@@ -1,0 +1,87 @@
+//! Microbenchmarks of the simulator's hot components.
+
+use aon_sim::branch::Gshare;
+use aon_sim::bus::{BusyTimeline, SlotTimeline};
+use aon_sim::cache::{CacheArray, Mesi};
+use aon_sim::config::{Platform, PredictorConfig};
+use aon_sim::hier::MemorySystem;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_micro");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("cache_lookup_hit", |b| {
+        let mut cache = CacheArray::new(512, 8);
+        for line in 0..512u64 {
+            cache.fill(line, Mesi::Exclusive);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) & 511;
+            std::hint::black_box(cache.lookup(i))
+        })
+    });
+
+    g.bench_function("cache_fill_evict", |b| {
+        let mut cache = CacheArray::new(64, 8);
+        let mut line = 0u64;
+        b.iter(|| {
+            line += 64;
+            std::hint::black_box(cache.fill(line, Mesi::Modified))
+        })
+    });
+
+    g.bench_function("gshare_update", |b| {
+        let mut p = Gshare::new(PredictorConfig { table_bits: 12, history_bits: 8 });
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(p.update(0x40_0000 + (i % 97) * 4, 0, !i.is_multiple_of(3)))
+        })
+    });
+
+    g.bench_function("slot_timeline_book", |b| {
+        let mut t = SlotTimeline::new(135);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            std::hint::black_box(t.book(now, 1))
+        })
+    });
+
+    g.bench_function("busy_timeline_book", |b| {
+        let mut t = BusyTimeline::new();
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 30;
+            std::hint::black_box(t.book(now, 24))
+        })
+    });
+
+    g.bench_function("memory_access_l1_hit", |b| {
+        let mut mem = MemorySystem::new(&Platform::OneCorePentiumM.config());
+        mem.access_data(0, 0x1000, 8, false, 0);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 4;
+            std::hint::black_box(mem.access_data(0, 0x1000, 8, false, now))
+        })
+    });
+
+    g.bench_function("memory_access_streaming_miss", |b| {
+        let mut mem = MemorySystem::new(&Platform::OneLogicalXeon.config());
+        let mut addr = 0x10_0000u64;
+        let mut now = 0u64;
+        b.iter(|| {
+            addr += 64;
+            now += 300;
+            std::hint::black_box(mem.access_data(0, addr, 8, false, now))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(micro, benches);
+criterion_main!(micro);

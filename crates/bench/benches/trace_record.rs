@@ -1,0 +1,22 @@
+//! Trace-recording throughput: running the real engines under a tracer.
+
+use aon_server::corpus::Corpus;
+use aon_server::usecase::{record_message_trace, UseCase};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn benches(c: &mut Criterion) {
+    let corpus = Corpus::generate(42, 1);
+    let mut g = c.benchmark_group("trace_record");
+    g.sample_size(20);
+    for u in UseCase::ALL {
+        g.bench_with_input(BenchmarkId::new("record", u.label()), &u, |b, &u| {
+            b.iter(|| {
+                std::hint::black_box(record_message_trace(u, &corpus, &corpus.variants[0], 0))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(record, benches);
+criterion_main!(record);

@@ -1,0 +1,116 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Each ablation builds a *modified* machine description, reruns a server
+//! use case, and reports the delta — quantifying how much each modelled
+//! mechanism contributes to the paper's effects:
+//!
+//! 1. shared vs. private L2 for the dual-core Pentium M (§5.1/§5.3);
+//! 2. Smart Memory Access (prefetch + disambiguation reloads) on/off for
+//!    Pentium M bus traffic (§5.4);
+//! 3. SMT-shared vs. private branch-predictor history for Hyperthreading
+//!    BrMPR (§5.5);
+//! 4. misprediction-penalty sweep (the Netburst pipeline-depth effect);
+//! 5. L2-size sweep for the Xeon (cache-capacity sensitivity).
+
+use aon_core::experiment::ExperimentConfig;
+use aon_core::workload::WorkloadKind;
+use aon_server::corpus::Corpus;
+use aon_sim::config::{L2Topology, MachineConfig, Platform, PrefetchConfig};
+use aon_sim::machine::Machine;
+use aon_sim::stats::MachineStats;
+
+fn run_with(cfg: MachineConfig, workload: WorkloadKind, ecfg: &ExperimentConfig) -> MachineStats {
+    let corpus = Corpus::generate(ecfg.corpus_seed, ecfg.corpus_variants);
+    let mut m = Machine::new(cfg);
+    workload.build(&mut m, &corpus);
+    m.run(ecfg.warmup_cycles);
+    m.reset_counters();
+    let out = m.run(ecfg.warmup_cycles + ecfg.measure_cycles);
+    MachineStats::collect(&m, &out)
+}
+
+fn main() {
+    let ecfg = aon_bench::experiment_config();
+
+    println!("=== Ablation 1: 2CPm shared vs private L2 (FR) ===");
+    let shared = run_with(Platform::TwoCorePentiumM.config(), WorkloadKind::Fr, &ecfg);
+    let mut private = Platform::TwoCorePentiumM.config();
+    private.l2_topology = L2Topology::PerPackage;
+    private.packages = 2;
+    private.cores_per_package = 1;
+    let private = run_with(private, WorkloadKind::Fr, &ecfg);
+    println!(
+        "shared L2 : {:>8.0} msg/s  CPI {:.2}  L2MPI {:.3}%  BTPI {:.2}%",
+        shared.units_per_sec(),
+        shared.total.cpi(),
+        shared.total.l2mpi_pct(),
+        shared.total.btpi_pct()
+    );
+    println!(
+        "private L2: {:>8.0} msg/s  CPI {:.2}  L2MPI {:.3}%  BTPI {:.2}%",
+        private.units_per_sec(),
+        private.total.cpi(),
+        private.total.l2mpi_pct(),
+        private.total.btpi_pct()
+    );
+
+    println!("\n=== Ablation 2: Pentium M Smart Memory Access on/off (FR, 1CPm) ===");
+    let on = run_with(Platform::OneCorePentiumM.config(), WorkloadKind::Fr, &ecfg);
+    let mut off_cfg = Platform::OneCorePentiumM.config();
+    off_cfg.arch.prefetch = PrefetchConfig::OFF;
+    let off = run_with(off_cfg, WorkloadKind::Fr, &ecfg);
+    println!(
+        "SMA on : {:>8.0} msg/s  BTPI {:.2}%  L2MPI {:.3}%",
+        on.units_per_sec(),
+        on.total.btpi_pct(),
+        on.total.l2mpi_pct()
+    );
+    println!(
+        "SMA off: {:>8.0} msg/s  BTPI {:.2}%  L2MPI {:.3}%",
+        off.units_per_sec(),
+        off.total.btpi_pct(),
+        off.total.l2mpi_pct()
+    );
+    println!("(prefetch+disambiguation should raise bus traffic while hiding latency)");
+
+    println!("\n=== Ablation 3: 2LPx shared vs private predictor history (SV) ===");
+    let shared_hist = run_with(Platform::TwoLogicalXeon.config(), WorkloadKind::Sv, &ecfg);
+    let mut priv_cfg = Platform::TwoLogicalXeon.config();
+    priv_cfg.smt_shared_predictor = false;
+    let private_hist = run_with(priv_cfg, WorkloadKind::Sv, &ecfg);
+    println!(
+        "shared history : BrMPR {:.2}%  {:>8.0} msg/s",
+        shared_hist.total.brmpr_pct(),
+        shared_hist.units_per_sec()
+    );
+    println!(
+        "private history: BrMPR {:.2}%  {:>8.0} msg/s",
+        private_hist.total.brmpr_pct(),
+        private_hist.units_per_sec()
+    );
+
+    println!("\n=== Ablation 4: misprediction penalty sweep (Xeon 1LPx, SV) ===");
+    for penalty in [12u32, 20, 30, 45] {
+        let mut cfg = Platform::OneLogicalXeon.config();
+        cfg.arch.mispredict_penalty = penalty;
+        let s = run_with(cfg, WorkloadKind::Sv, &ecfg);
+        println!(
+            "penalty {penalty:>2} cycles: CPI {:.2}  {:>8.0} msg/s",
+            s.total.cpi(),
+            s.units_per_sec()
+        );
+    }
+
+    println!("\n=== Ablation 5: Xeon L2 size sweep (1LPx, FR) ===");
+    for size_kb in [512u32, 1024, 2048, 4096] {
+        let mut cfg = Platform::OneLogicalXeon.config();
+        cfg.l2.size = size_kb << 10;
+        let s = run_with(cfg, WorkloadKind::Fr, &ecfg);
+        println!(
+            "L2 {size_kb:>4} KiB: L2MPI {:.3}%  CPI {:.2}  {:>8.0} msg/s",
+            s.total.l2mpi_pct(),
+            s.total.cpi(),
+            s.units_per_sec()
+        );
+    }
+}

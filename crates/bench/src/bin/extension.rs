@@ -1,0 +1,65 @@
+//! The paper's §6 future work, measured: deep packet inspection and
+//! HMAC-SHA1 message authentication as fourth and fifth use cases on the
+//! same five configurations. No paper numbers exist for these — this is
+//! the extension study the authors propose.
+
+use aon_bench::experiment_config;
+use aon_core::experiment::{run_grid, find};
+use aon_core::metrics::{throughput_scaling, MetricKind, ScalingPair};
+use aon_core::report::metric_row;
+use aon_core::workload::WorkloadKind;
+use aon_sim::config::Platform;
+
+fn main() {
+    let cfg = experiment_config();
+    let loads =
+        [WorkloadKind::Fr, WorkloadKind::Sv, WorkloadKind::Dpi, WorkloadKind::Crypto];
+    eprintln!("running extension grid (4 workloads x 5 platforms)...");
+    let ms = run_grid(&Platform::ALL, &loads, &cfg, true);
+
+    println!("Extension study (paper §6 future work): DPI and crypto use cases.");
+    println!("FR and SV shown for context.\n");
+    println!("{:<10}{:>9}{:>9}{:>9}{:>9}{:>9}", "msg/s", "1CPm", "2CPm", "1LPx", "2LPx", "2PPx");
+    for w in loads {
+        let mut row = [0.0f64; 5];
+        for (i, p) in Platform::ALL.iter().enumerate() {
+            row[i] = find(&ms, *p, w).map(|m| m.stats.units_per_sec()).unwrap_or(f64::NAN);
+        }
+        println!(
+            "{:<10}{:>9.0}{:>9.0}{:>9.0}{:>9.0}{:>9.0}",
+            w.label(), row[0], row[1], row[2], row[3], row[4]
+        );
+    }
+    println!();
+    for (name, metric) in [
+        ("CPI", MetricKind::Cpi),
+        ("L2MPI %", MetricKind::L2Mpi),
+        ("BrMPR %", MetricKind::BrMpr),
+        ("branch %", MetricKind::BranchFreq),
+    ] {
+        println!("{:<10}{:>9}{:>9}{:>9}{:>9}{:>9}", name, "1CPm", "2CPm", "1LPx", "2LPx", "2PPx");
+        for w in [WorkloadKind::Dpi, WorkloadKind::Crypto] {
+            let row = metric_row(&ms, w, metric);
+            println!(
+                "{:<10}{:>9.2}{:>9.2}{:>9.2}{:>9.2}{:>9.2}",
+                w.label(), row[0], row[1], row[2], row[3], row[4]
+            );
+        }
+        println!();
+    }
+
+    println!("dual-processing scaling (Figure 3 extended):");
+    println!("{:<10}{:>14}{:>14}{:>14}", "", "1CPm->2CPm", "1LPx->2LPx", "1LPx->2PPx");
+    for w in loads {
+        let s: Vec<f64> = ScalingPair::ALL
+            .iter()
+            .map(|&pr| throughput_scaling(&ms, pr, w).unwrap_or(f64::NAN))
+            .collect();
+        println!("{:<10}{:>14.2}{:>14.2}{:>14.2}", w.label(), s[0], s[1], s[2]);
+    }
+    println!(
+        "\nExpectation from the paper's analysis: both extensions are CPU-\n\
+         intensive, so they should scale like SV — well on dual core / dual\n\
+         package, poorly under Hyperthreading."
+    );
+}

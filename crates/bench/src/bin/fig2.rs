@@ -1,0 +1,31 @@
+//! Regenerates Figure 2 — netperf baseline throughput on the five
+//! configurations (loopback and end-to-end).
+
+use aon_bench::{experiment_config, header, paper_vs_measured, run_netperf_grid};
+use aon_core::paper;
+use aon_core::report::metric_row;
+use aon_core::metrics::MetricKind;
+use aon_core::workload::WorkloadKind;
+
+fn main() {
+    let cfg = experiment_config();
+    let ms = run_netperf_grid(&cfg);
+    println!("Figure 2. Baseline throughput measurements using Netperf benchmark (Mbps).");
+    print!("{}", header());
+    print!(
+        "{}",
+        paper_vs_measured(
+            "netperf-loopback",
+            &paper::FIG2_LOOPBACK_MBPS,
+            &metric_row(&ms, WorkloadKind::NetperfLoopback, MetricKind::ThroughputMbps),
+        )
+    );
+    print!(
+        "{}",
+        paper_vs_measured(
+            "netperf (e2e)",
+            &paper::FIG2_E2E_MBPS,
+            &metric_row(&ms, WorkloadKind::NetperfE2E, MetricKind::ThroughputMbps),
+        )
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 3 — dual-processor throughput scaling for the XML
+//! AON use cases.
+
+use aon_bench::{experiment_config, run_server_grid};
+use aon_core::metrics::{throughput_scaling, ScalingPair};
+use aon_core::paper::fig3_scaling;
+use aon_core::workload::WorkloadKind;
+
+fn main() {
+    let cfg = experiment_config();
+    let ms = run_server_grid(&cfg);
+    println!("Figure 3. Dual processor throughput scaling for XML AON use cases.");
+    println!("{:<14}{:>18}{:>18}{:>18}", "", "1CPm->2CPm", "1LPx->2LPx", "1LPx->2PPx");
+    for w in [WorkloadKind::Sv, WorkloadKind::Cbr, WorkloadKind::Fr] {
+        let paper: Vec<f64> = ScalingPair::ALL
+            .iter()
+            .map(|&p| fig3_scaling(p, w).unwrap())
+            .collect();
+        let sim: Vec<f64> = ScalingPair::ALL
+            .iter()
+            .map(|&p| throughput_scaling(&ms, p, w).unwrap_or(f64::NAN))
+            .collect();
+        println!("{:<14}{:>18.2}{:>18.2}{:>18.2}", format!("{w} (paper)"), paper[0], paper[1], paper[2]);
+        println!("{:<14}{:>18.2}{:>18.2}{:>18.2}", format!("{w} (sim)"), sim[0], sim[1], sim[2]);
+    }
+}

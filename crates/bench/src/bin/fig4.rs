@@ -1,0 +1,19 @@
+//! Regenerates Figure 4.
+
+use aon_bench::{experiment_config, header, paper_vs_measured, run_server_grid};
+use aon_core::metrics::MetricKind;
+use aon_core::paper::fig4_l2mpi;
+use aon_core::report::metric_row;
+use aon_core::workload::WorkloadKind;
+
+fn main() {
+    let cfg = experiment_config();
+    let ms = run_server_grid(&cfg);
+    println!("Figure 4. L2 cache misses per retired instruction (%) for XML AON use cases.");
+    print!("{}", header());
+    for w in [WorkloadKind::Sv, WorkloadKind::Cbr, WorkloadKind::Fr] {
+        let paper = fig4_l2mpi(w).expect("server workload");
+        let sim = metric_row(&ms, w, MetricKind::L2Mpi);
+        print!("{}", paper_vs_measured(w.label(), &paper, &sim));
+    }
+}

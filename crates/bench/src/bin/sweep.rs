@@ -1,0 +1,81 @@
+//! Parameter sweeps around the paper's fixed operating point.
+//!
+//! The paper fixes the AONBench 5 KB message size and saturation load;
+//! its companion benchmark (Waheed & Ding, SAINT'07) sweeps both axes.
+//! This binary reproduces those sweeps on the simulated platforms:
+//!
+//! 1. **message-size sweep** — 1.5 KB … 24 KB bodies, FR vs SV on the two
+//!    dual-unit flagships (2CPm, 2PPx): bigger messages amortize the
+//!    per-connection overhead, so Mbps rises even as msg/s falls;
+//! 2. **offered-load sweep** — 25 % … 100 % of the ingress link for SV on
+//!    2CPm: below saturation the server tracks the offered load with idle
+//!    headroom; at saturation it flat-tops.
+
+use aon_bench::experiment_config;
+use aon_core::workload::WorkloadKind;
+use aon_server::app::{build_server, ServerConfig};
+use aon_server::corpus::Corpus;
+use aon_server::usecase::UseCase;
+use aon_sim::config::Platform;
+use aon_sim::machine::Machine;
+use aon_sim::stats::MachineStats;
+
+fn run_sized(
+    platform: Platform,
+    use_case: UseCase,
+    body_size: usize,
+    offered_pct: u32,
+) -> MachineStats {
+    let ecfg = experiment_config();
+    let corpus = Corpus::generate_sized(ecfg.corpus_seed, ecfg.corpus_variants, body_size);
+    let mut m = Machine::new(platform.config());
+    build_server(
+        &mut m,
+        use_case,
+        &corpus,
+        &ServerConfig { offered_load_pct: offered_pct, ..ServerConfig::default() },
+    );
+    m.run(ecfg.warmup_cycles);
+    m.reset_counters();
+    let out = m.run(ecfg.warmup_cycles + ecfg.measure_cycles);
+    MachineStats::collect(&m, &out)
+}
+
+fn main() {
+    println!("=== Message-size sweep (saturation load) ===");
+    println!(
+        "{:<10}{:<6}{:>10}{:>10}{:>8}{:>9}",
+        "platform", "case", "body", "msg/s", "Mbps", "CPI"
+    );
+    for p in [Platform::TwoCorePentiumM, Platform::TwoPhysicalXeon] {
+        for u in [UseCase::Fr, UseCase::Sv] {
+            for body in [1536usize, 3 * 1024, 5 * 1024, 10 * 1024, 24 * 1024] {
+                let s = run_sized(p, u, body, 100);
+                println!(
+                    "{:<10}{:<6}{:>10}{:>10.0}{:>8.0}{:>9.2}",
+                    p.notation(),
+                    u.label(),
+                    body,
+                    s.units_per_sec(),
+                    s.throughput_mbps(),
+                    s.total.cpi()
+                );
+            }
+        }
+    }
+
+    println!("\n=== Offered-load sweep (SV on 2CPm, 5 KB messages) ===");
+    println!("{:<10}{:>10}{:>8}{:>10}", "offered%", "msg/s", "Mbps", "idle%");
+    for pct in [25u32, 50, 75, 90, 100] {
+        let s = run_sized(Platform::TwoCorePentiumM, UseCase::Sv, 5 * 1024, pct);
+        let idle: u64 = s.per_cpu.iter().map(|c| c.idle_cycles).sum();
+        let total: u64 = s.per_cpu.iter().map(|c| c.clockticks).sum();
+        println!(
+            "{:<10}{:>10.0}{:>8.0}{:>10.1}",
+            pct,
+            s.units_per_sec(),
+            s.throughput_mbps(),
+            idle as f64 / total.max(1) as f64 * 100.0
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table 3 — performance metrics for netperf in loopback and
+//! end-to-end modes.
+
+use aon_bench::{experiment_config, header, paper_vs_measured, run_netperf_grid};
+use aon_core::metrics::MetricKind;
+use aon_core::paper::{TABLE3_E2E, TABLE3_LOOPBACK};
+use aon_core::report::metric_row;
+use aon_core::workload::WorkloadKind;
+
+fn main() {
+    let cfg = experiment_config();
+    let ms = run_netperf_grid(&cfg);
+    for (mode, w, rows) in [
+        ("Netperf-loopback", WorkloadKind::NetperfLoopback, TABLE3_LOOPBACK),
+        ("Netperf (end-to-end)", WorkloadKind::NetperfE2E, TABLE3_E2E),
+    ] {
+        println!("Table 3. Performance metrics for {mode}.");
+        print!("{}", header());
+        print!("{}", paper_vs_measured("CPI", &rows.cpi, &metric_row(&ms, w, MetricKind::Cpi)));
+        print!("{}", paper_vs_measured("L2MPI", &rows.l2mpi, &metric_row(&ms, w, MetricKind::L2Mpi)));
+        print!("{}", paper_vs_measured("BTPI %", &rows.btpi, &metric_row(&ms, w, MetricKind::Btpi)));
+        print!("{}", paper_vs_measured("Branch freq %", &rows.branch_freq, &metric_row(&ms, w, MetricKind::BranchFreq)));
+        print!("{}", paper_vs_measured("BrMPR %", &rows.brmpr, &metric_row(&ms, w, MetricKind::BrMpr)));
+        println!();
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table 5.
+
+use aon_bench::{experiment_config, header, paper_vs_measured, run_server_grid};
+use aon_core::metrics::MetricKind;
+use aon_core::paper::table5_branch_freq;
+use aon_core::report::metric_row;
+use aon_core::workload::WorkloadKind;
+
+fn main() {
+    let cfg = experiment_config();
+    let ms = run_server_grid(&cfg);
+    println!("Table 5. Branch instructions retired per instruction retired (%).");
+    print!("{}", header());
+    for w in [WorkloadKind::Sv, WorkloadKind::Cbr, WorkloadKind::Fr] {
+        let paper = table5_branch_freq(w).expect("server workload");
+        let sim = metric_row(&ms, w, MetricKind::BranchFreq);
+        print!("{}", paper_vs_measured(w.label(), &paper, &sim));
+    }
+}

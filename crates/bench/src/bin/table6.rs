@@ -1,0 +1,19 @@
+//! Regenerates Table 6.
+
+use aon_bench::{experiment_config, header, paper_vs_measured, run_server_grid};
+use aon_core::metrics::MetricKind;
+use aon_core::paper::table6_brmpr;
+use aon_core::report::metric_row;
+use aon_core::workload::WorkloadKind;
+
+fn main() {
+    let cfg = experiment_config();
+    let ms = run_server_grid(&cfg);
+    println!("Table 6. Branch misprediction ratios (%).");
+    print!("{}", header());
+    for w in [WorkloadKind::Sv, WorkloadKind::Cbr, WorkloadKind::Fr] {
+        let paper = table6_brmpr(w).expect("server workload");
+        let sim = metric_row(&ms, w, MetricKind::BrMpr);
+        print!("{}", paper_vs_measured(w.label(), &paper, &sim));
+    }
+}

@@ -1,0 +1,62 @@
+//! # aon-bench — regeneration harness for every table and figure
+//!
+//! One binary per paper artifact (`fig2`, `table3`, `fig3`, `table4`,
+//! `fig4`, `fig5`, `table5`, `table6`), each printing the paper's published
+//! values beside the simulated measurements, plus `all` (writes
+//! EXPERIMENTS.md) and `ablation` (design-choice studies). Criterion
+//! benches measure the native speed of the substrates.
+//!
+//! Set `AON_QUICK=1` to run with short measurement windows (CI-sized).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aon_core::experiment::{run_grid, ExperimentConfig, Measurement};
+use aon_core::workload::WorkloadKind;
+use aon_sim::config::Platform;
+
+/// The experiment configuration, honoring `AON_QUICK`.
+pub fn experiment_config() -> ExperimentConfig {
+    if std::env::var("AON_QUICK").is_ok() {
+        ExperimentConfig {
+            warmup_cycles: 5_000_000,
+            measure_cycles: 20_000_000,
+            ..ExperimentConfig::default()
+        }
+    } else {
+        ExperimentConfig::default()
+    }
+}
+
+/// Run the server-use-case grid (FR/CBR/SV × 5 platforms).
+pub fn run_server_grid(cfg: &ExperimentConfig) -> Vec<Measurement> {
+    run_grid(&Platform::ALL, &WorkloadKind::SERVER, cfg, true)
+}
+
+/// Run the netperf grid (loopback + e2e × 5 platforms).
+pub fn run_netperf_grid(cfg: &ExperimentConfig) -> Vec<Measurement> {
+    run_grid(
+        &Platform::ALL,
+        &[WorkloadKind::NetperfLoopback, WorkloadKind::NetperfE2E],
+        cfg,
+        true,
+    )
+}
+
+/// Render one paper-vs-measured block.
+pub fn paper_vs_measured(label: &str, paper: &[f64; 5], measured: &[f64; 5]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<22}{:>9}{:>9}{:>9}{:>9}{:>9}\n", format!("{label} (paper)"),
+        paper[0], paper[1], paper[2], paper[3], paper[4]));
+    out.push_str(&format!(
+        "{:<22}{:>9.2}{:>9.2}{:>9.2}{:>9.2}{:>9.2}\n",
+        format!("{label} (sim)"),
+        measured[0], measured[1], measured[2], measured[3], measured[4]
+    ));
+    out
+}
+
+/// Standard header row for the five platforms.
+pub fn header() -> String {
+    format!("{:<22}{:>9}{:>9}{:>9}{:>9}{:>9}\n", "", "1CPm", "2CPm", "1LPx", "2LPx", "2PPx")
+}

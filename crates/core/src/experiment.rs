@@ -1,0 +1,154 @@
+//! The experiment runner.
+//!
+//! One *cell* is one (platform × workload) measurement: build the machine,
+//! wire the workload, warm up, reset the counters, measure for a fixed
+//! simulated window, and collect [`MachineStats`]. The full grid (5 × 5)
+//! can run across OS threads — each simulated machine is self-contained,
+//! so the sweep parallelizes embarrassingly.
+
+use crate::workload::WorkloadKind;
+use aon_server::corpus::Corpus;
+use aon_sim::config::Platform;
+use aon_sim::machine::Machine;
+use aon_sim::stats::MachineStats;
+use serde::{Deserialize, Serialize};
+
+/// Sweep parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Warm-up cycles before counters reset.
+    pub warmup_cycles: u64,
+    /// Measured window in cycles.
+    pub measure_cycles: u64,
+    /// Corpus seed.
+    pub corpus_seed: u64,
+    /// Number of message variants in the corpus.
+    pub corpus_variants: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            warmup_cycles: 20_000_000,
+            measure_cycles: 80_000_000,
+            corpus_seed: 42,
+            corpus_variants: 4,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A fast configuration for unit tests (small windows).
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            warmup_cycles: 2_000_000,
+            measure_cycles: 8_000_000,
+            corpus_seed: 42,
+            corpus_variants: 2,
+        }
+    }
+}
+
+/// One measured cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Measurement {
+    /// The platform measured.
+    pub platform: Platform,
+    /// The workload measured.
+    pub workload: WorkloadKind,
+    /// Collected statistics.
+    pub stats: MachineStats,
+}
+
+/// Run one (platform × workload) cell.
+pub fn run_cell(platform: Platform, workload: WorkloadKind, cfg: &ExperimentConfig) -> Measurement {
+    let corpus = Corpus::generate(cfg.corpus_seed, cfg.corpus_variants);
+    let mut machine = Machine::new(platform.config());
+    workload.build(&mut machine, &corpus);
+    machine.run(cfg.warmup_cycles);
+    machine.reset_counters();
+    let out = machine.run(cfg.warmup_cycles + cfg.measure_cycles);
+    Measurement { platform, workload, stats: MachineStats::collect(&machine, &out) }
+}
+
+/// Run the full 5 × 5 grid. `parallel` fans cells out across OS threads
+/// (each machine is independent; determinism is unaffected).
+pub fn run_grid(
+    platforms: &[Platform],
+    workloads: &[WorkloadKind],
+    cfg: &ExperimentConfig,
+    parallel: bool,
+) -> Vec<Measurement> {
+    let cells: Vec<(Platform, WorkloadKind)> = workloads
+        .iter()
+        .flat_map(|&w| platforms.iter().map(move |&p| (p, w)))
+        .collect();
+    if !parallel {
+        return cells.iter().map(|&(p, w)| run_cell(p, w, cfg)).collect();
+    }
+    let mut out: Vec<Option<Measurement>> = (0..cells.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, &(p, w)) in cells.iter().enumerate() {
+            let cfg = *cfg;
+            handles.push((i, scope.spawn(move |_| run_cell(p, w, &cfg))));
+        }
+        for (i, h) in handles {
+            out[i] = Some(h.join().expect("experiment thread panicked"));
+        }
+    })
+    .expect("scope");
+    out.into_iter().map(|m| m.expect("filled")).collect()
+}
+
+/// Find a cell in a measurement set.
+pub fn find(
+    measurements: &[Measurement],
+    platform: Platform,
+    workload: WorkloadKind,
+) -> Option<&Measurement> {
+    measurements.iter().find(|m| m.platform == platform && m.workload == workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cell_produces_work() {
+        let m = run_cell(Platform::OneCorePentiumM, WorkloadKind::Fr, &ExperimentConfig::quick());
+        assert!(m.stats.completed_units > 0);
+        assert!(m.stats.total.inst_retired() > 0.0);
+        assert!(m.stats.total.cpi() > 0.5);
+    }
+
+    #[test]
+    fn cells_are_deterministic() {
+        let cfg = ExperimentConfig::quick();
+        let a = run_cell(Platform::TwoLogicalXeon, WorkloadKind::Cbr, &cfg);
+        let b = run_cell(Platform::TwoLogicalXeon, WorkloadKind::Cbr, &cfg);
+        assert_eq!(a.stats.total, b.stats.total);
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial() {
+        let cfg = ExperimentConfig::quick();
+        let plats = [Platform::OneCorePentiumM, Platform::TwoCorePentiumM];
+        let loads = [WorkloadKind::Fr];
+        let serial = run_grid(&plats, &loads, &cfg, false);
+        let parallel = run_grid(&plats, &loads, &cfg, true);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.platform, b.platform);
+            assert_eq!(a.stats.total, b.stats.total, "parallelism must not change results");
+        }
+    }
+
+    #[test]
+    fn find_locates_cells() {
+        let cfg = ExperimentConfig::quick();
+        let ms = run_grid(&[Platform::OneCorePentiumM], &[WorkloadKind::Sv], &cfg, false);
+        assert!(find(&ms, Platform::OneCorePentiumM, WorkloadKind::Sv).is_some());
+        assert!(find(&ms, Platform::TwoCorePentiumM, WorkloadKind::Sv).is_none());
+    }
+}

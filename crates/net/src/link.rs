@@ -1,0 +1,66 @@
+//! Link-rate arithmetic.
+//!
+//! The testbed's Gigabit Ethernet moves at most 125 MB/s of payload (less
+//! in practice: Ethernet + IP + TCP framing). The simulator's channels
+//! meter flow in *bytes per 1024 cycles*, which depends on the CPU clock,
+//! so these helpers convert.
+
+/// Gigabit Ethernet payload capacity in bytes per second, accounting for
+/// Ethernet/IP/TCP framing of MSS-sized segments (~94 % of 125 MB/s — the
+/// paper's observation that a good TCP application reaches >90 % of the
+/// wire rate).
+pub const GIGE_PAYLOAD_BYTES_PER_SEC: u64 = 117_500_000;
+
+/// The classic Ethernet TCP maximum segment size.
+pub const MSS: u32 = 1460;
+
+/// Convert a byte rate into the simulator's bytes-per-1024-cycles unit for
+/// a CPU running at `cpu_mhz`.
+pub fn bytes_per_kcycle(bytes_per_sec: u64, cpu_mhz: u32) -> u32 {
+    // rate[B/s] * 1024[cycles] / (mhz * 1e6)[cycles/s]
+    ((bytes_per_sec * 1024) / (cpu_mhz as u64 * 1_000_000)).max(1) as u32
+}
+
+/// Gigabit link rate in the simulator's channel unit.
+pub fn gige_per_kcycle(cpu_mhz: u32) -> u32 {
+    bytes_per_kcycle(GIGE_PAYLOAD_BYTES_PER_SEC, cpu_mhz)
+}
+
+/// Number of MSS segments needed for `bytes` of payload.
+pub fn segments(bytes: u32) -> u32 {
+    bytes.div_ceil(MSS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kcycle_rates_scale_with_clock() {
+        let pm = gige_per_kcycle(1830);
+        let xe = gige_per_kcycle(3160);
+        // Faster clock → fewer bytes per kilocycle.
+        assert!(pm > xe);
+        // Sanity: 117.5 MB/s at 1.83 GHz ≈ 65 bytes/kcycle.
+        assert!((60..=70).contains(&pm), "pm rate {pm}");
+        assert!((35..=42).contains(&xe), "xeon rate {xe}");
+    }
+
+    #[test]
+    fn round_trip_rate_is_gigabit() {
+        // Converting back: rate * mhz * 1e6 / 1024 ≈ original.
+        let r = gige_per_kcycle(1830) as u64;
+        let back = r * 1830 * 1_000_000 / 1024;
+        let err = (back as f64 - GIGE_PAYLOAD_BYTES_PER_SEC as f64).abs()
+            / GIGE_PAYLOAD_BYTES_PER_SEC as f64;
+        assert!(err < 0.02, "rate conversion error {err}");
+    }
+
+    #[test]
+    fn segment_count() {
+        assert_eq!(segments(1460), 1);
+        assert_eq!(segments(1461), 2);
+        assert_eq!(segments(16 * 1024), 12);
+        assert_eq!(segments(1), 1);
+    }
+}

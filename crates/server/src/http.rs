@@ -1,0 +1,317 @@
+//! Instrumented HTTP/1.1 subset.
+//!
+//! Enough of HTTP for an AON device's POST-proxying front end: request-line
+//! and header parsing (byte-at-a-time, traced), `Content-Length` handling,
+//! and response serialization. The parser is deliberately in the style of
+//! a 2006 C server: linear scans, case-insensitive header compares, no
+//! allocation beyond the header index.
+
+use aon_trace::{br, site, Addr, Probe, RegionSlot};
+use aon_xml::input::TBuf;
+
+/// HTTP methods the server accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST` (the AON message path).
+    Post,
+    /// `HEAD`
+    Head,
+}
+
+/// A byte range within the request buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Start offset.
+    pub start: usize,
+    /// End offset (exclusive).
+    pub end: usize,
+}
+
+/// One parsed header.
+#[derive(Debug, Clone, Copy)]
+pub struct Header {
+    /// Header name span.
+    pub name: Span,
+    /// Header value span (trimmed of leading spaces).
+    pub value: Span,
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request target (path).
+    pub path: Span,
+    /// Headers in order.
+    pub headers: Vec<Header>,
+    /// Offset where the body starts.
+    pub body_start: usize,
+    /// `Content-Length` value, if present.
+    pub content_length: Option<usize>,
+}
+
+/// Parse failure reasons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpError {
+    /// Ran out of bytes mid-construct.
+    Truncated,
+    /// Unknown or malformed method.
+    BadMethod,
+    /// Malformed request line.
+    BadRequestLine,
+    /// Malformed header.
+    BadHeader,
+    /// Content-Length does not parse.
+    BadContentLength,
+}
+
+/// ASCII lowercase for header compares (one ALU per byte).
+#[inline]
+fn lower(b: u8) -> u8 {
+    if b.is_ascii_uppercase() {
+        b | 0x20
+    } else {
+        b
+    }
+}
+
+/// Case-insensitive compare of a scanned header name against an expected
+/// literal, traced.
+fn header_name_is<P: Probe>(buf: TBuf<'_>, span: Span, expect: &[u8], p: &mut P) -> bool {
+    p.alu(1);
+    if span.end - span.start != expect.len() {
+        p.branch(site!(), false);
+        return false;
+    }
+    for (i, &e) in expect.iter().enumerate() {
+        let b = buf.get(span.start + i, p);
+        p.alu(2);
+        if !br!(p, lower(b) == lower(e)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Parse a request from the start of `buf`.
+pub fn parse_request<P: Probe>(buf: TBuf<'_>, p: &mut P) -> Result<Request, HttpError> {
+    let mut pos = 0usize;
+
+    // Method.
+    let m0 = buf.try_get(pos, p).ok_or(HttpError::Truncated)?;
+    p.alu(1);
+    let method = if br!(p, m0 == b'P') {
+        expect_bytes(buf, &mut pos, b"POST ", p)?;
+        Method::Post
+    } else if br!(p, m0 == b'G') {
+        expect_bytes(buf, &mut pos, b"GET ", p)?;
+        Method::Get
+    } else if br!(p, m0 == b'H') {
+        expect_bytes(buf, &mut pos, b"HEAD ", p)?;
+        Method::Head
+    } else {
+        return Err(HttpError::BadMethod);
+    };
+
+    // Path up to space.
+    let path_start = pos;
+    loop {
+        let b = buf.try_get(pos, p).ok_or(HttpError::Truncated)?;
+        p.alu(1);
+        if br!(p, b == b' ') {
+            break;
+        }
+        if br!(p, b == b'\r' || b == b'\n') {
+            return Err(HttpError::BadRequestLine);
+        }
+        pos += 1;
+    }
+    let path = Span { start: path_start, end: pos };
+    pos += 1;
+
+    // Version to CRLF.
+    expect_bytes(buf, &mut pos, b"HTTP/1.", p)?;
+    let v = buf.try_get(pos, p).ok_or(HttpError::Truncated)?;
+    p.alu(1);
+    if !br!(p, v == b'0' || v == b'1') {
+        return Err(HttpError::BadRequestLine);
+    }
+    pos += 1;
+    expect_bytes(buf, &mut pos, b"\r\n", p)?;
+
+    // Headers.
+    let mut headers = Vec::with_capacity(12);
+    let mut content_length = None;
+    loop {
+        let b = buf.try_get(pos, p).ok_or(HttpError::Truncated)?;
+        p.alu(1);
+        if br!(p, b == b'\r') {
+            expect_bytes(buf, &mut pos, b"\r\n", p)?;
+            break;
+        }
+        // Header name up to ':'.
+        let name_start = pos;
+        loop {
+            let c = buf.try_get(pos, p).ok_or(HttpError::Truncated)?;
+            p.alu(1);
+            if br!(p, c == b':') {
+                break;
+            }
+            if br!(p, c == b'\r' || c == b'\n') {
+                return Err(HttpError::BadHeader);
+            }
+            pos += 1;
+        }
+        let name = Span { start: name_start, end: pos };
+        pos += 1;
+        // Skip spaces.
+        while let Some(c) = buf.try_get(pos, p) {
+            p.alu(1);
+            if !br!(p, c == b' ' || c == b'\t') {
+                break;
+            }
+            pos += 1;
+        }
+        // Value to CRLF.
+        let val_start = pos;
+        loop {
+            let c = buf.try_get(pos, p).ok_or(HttpError::Truncated)?;
+            p.alu(1);
+            if br!(p, c == b'\r') {
+                break;
+            }
+            pos += 1;
+        }
+        let value = Span { start: val_start, end: pos };
+        expect_bytes(buf, &mut pos, b"\r\n", p)?;
+        headers.push(Header { name, value });
+
+        if header_name_is(buf, name, b"content-length", p) {
+            let text = buf.span(value.start, value.end);
+            p.alu(text.len() as u32);
+            let parsed: Option<usize> =
+                std::str::from_utf8(text).ok().and_then(|s| s.trim().parse().ok());
+            content_length = Some(parsed.ok_or(HttpError::BadContentLength)?);
+        }
+    }
+
+    Ok(Request { method, path, headers, body_start: pos, content_length })
+}
+
+fn expect_bytes<P: Probe>(
+    buf: TBuf<'_>,
+    pos: &mut usize,
+    lit: &[u8],
+    p: &mut P,
+) -> Result<(), HttpError> {
+    for &want in lit {
+        let b = buf.try_get(*pos, p).ok_or(HttpError::Truncated)?;
+        p.alu(1);
+        if !br!(p, b == want) {
+            return Err(HttpError::BadRequestLine);
+        }
+        *pos += 1;
+    }
+    Ok(())
+}
+
+/// Serialize a minimal response head into the `OUT` region (stores traced);
+/// returns the bytes for native use.
+pub fn build_response<P: Probe>(status: u16, body_len: usize, p: &mut P) -> Vec<u8> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        422 => "Unprocessable Entity",
+        502 => "Bad Gateway",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: text/xml\r\nContent-Length: {body_len}\r\nConnection: close\r\n\r\n"
+    );
+    // Formatting cost + header stores.
+    p.alu(head.len() as u32 * 2);
+    let words = (head.len() as u32).div_ceil(8);
+    for w in 0..words {
+        p.store(Addr::new(RegionSlot::OUT, w * 8), 8);
+    }
+    head.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aon_trace::{NullProbe, Tracer};
+
+    const REQ: &[u8] = b"POST /aon/route HTTP/1.1\r\nHost: sut:8080\r\nContent-Type: text/xml\r\nContent-Length: 11\r\n\r\n<order:ok/>";
+
+    #[test]
+    fn parses_post() {
+        let r = parse_request(TBuf::msg(REQ), &mut NullProbe).unwrap();
+        assert_eq!(r.method, Method::Post);
+        assert_eq!(&REQ[r.path.start..r.path.end], b"/aon/route");
+        assert_eq!(r.headers.len(), 3);
+        assert_eq!(r.content_length, Some(11));
+        assert_eq!(&REQ[r.body_start..], b"<order:ok/>");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = b"GET /health HTTP/1.0\r\n\r\n";
+        let r = parse_request(TBuf::msg(req), &mut NullProbe).unwrap();
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.content_length, None);
+        assert_eq!(r.body_start, req.len());
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let req = b"POST / HTTP/1.1\r\nCONTENT-LENGTH: 5\r\n\r\nhello";
+        let r = parse_request(TBuf::msg(req), &mut NullProbe).unwrap();
+        assert_eq!(r.content_length, Some(5));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            &b"PUT / HTTP/1.1\r\n\r\n"[..],
+            b"POST / FTP/1.1\r\n\r\n",
+            b"POST / HTTP/1.1\r\nBad Header\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+            b"POST / HTT",
+            b"",
+        ] {
+            assert!(parse_request(TBuf::msg(bad), &mut NullProbe).is_err());
+        }
+    }
+
+    #[test]
+    fn parsing_is_traced_per_byte() {
+        let mut t = Tracer::new();
+        parse_request(TBuf::msg(REQ), &mut t).unwrap();
+        let s = t.finish().stats();
+        // The head (everything before the body) is scanned byte-by-byte.
+        assert!(s.loads as usize >= REQ.len() - 11);
+        assert!(s.branches as usize > REQ.len() / 2);
+    }
+
+    #[test]
+    fn response_head_is_valid_http() {
+        let head = build_response(200, 5120, &mut NullProbe);
+        let text = String::from_utf8(head).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5120\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn response_stores_are_traced() {
+        let mut t = Tracer::new();
+        let head = build_response(502, 0, &mut t);
+        let s = t.finish().stats();
+        assert!(s.stores as usize >= head.len() / 8);
+    }
+}

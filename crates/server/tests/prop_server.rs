@@ -1,0 +1,66 @@
+//! Property tests for the server substrate: corpus well-formedness across
+//! seeds, and no-panic guarantees for the HTTP parser.
+
+use aon_server::corpus::Corpus;
+use aon_server::http::parse_request;
+use aon_trace::NullProbe;
+use aon_xml::input::TBuf;
+use aon_xml::parser::parse_document;
+use aon_xml::schema::Schema;
+use aon_xml::soap::payload_root;
+use aon_xml::xpath::XPath;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn corpus_is_well_formed_for_any_seed(seed in any::<u64>(), n in 1usize..6) {
+        let corpus = Corpus::generate(seed, n);
+        prop_assert_eq!(corpus.len(), n);
+        let schema = Schema::compile(aon_server::corpus::CORPUS_XSD).unwrap();
+        let xp = XPath::compile("//quantity/text()").unwrap();
+        for v in &corpus.variants {
+            let req = parse_request(TBuf::msg(&v.http), &mut NullProbe).expect("valid HTTP");
+            let body = TBuf::msg(&v.http).slice(req.body_start, v.http.len());
+            let doc = parse_document(body, &mut NullProbe).expect("well-formed body");
+            let payload = payload_root(&doc, &mut NullProbe).expect("SOAP payload");
+            prop_assert_eq!(
+                xp.string_equals(&doc, b"1", &mut NullProbe).unwrap(),
+                v.cbr_match
+            );
+            prop_assert_eq!(
+                schema.validate_node(&doc, payload, &mut NullProbe).is_valid(),
+                v.sv_valid
+            );
+            // AONBench size envelope.
+            let body_len = v.http.len() - v.body_start;
+            prop_assert!((4096..=6144).contains(&body_len), "body {} bytes", body_len);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn http_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = parse_request(TBuf::msg(&bytes), &mut NullProbe);
+    }
+
+    #[test]
+    fn http_parser_never_panics_on_header_like_input(
+        s in "(POST|GET|HEAD|PUT)? ?[/a-z]{0,10} ?(HTTP/1.[01])?(\r\n[a-zA-Z-]{0,12}:? ?[a-z0-9 ]{0,12}){0,4}(\r\n\r\n)?[a-z]{0,20}"
+    ) {
+        let _ = parse_request(TBuf::msg(s.as_bytes()), &mut NullProbe);
+    }
+
+    #[test]
+    fn truncated_valid_requests_error_not_panic(cut in 0usize..100) {
+        let corpus = Corpus::generate(1, 1);
+        let full = &corpus.variants[0].http;
+        let cut = cut.min(full.len());
+        // Truncating the head must produce an error (never a bogus parse of
+        // a complete head, never a panic).
+        if cut < corpus.variants[0].body_start {
+            prop_assert!(parse_request(TBuf::msg(&full[..cut]), &mut NullProbe).is_err());
+        }
+    }
+}

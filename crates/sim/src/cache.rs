@@ -1,0 +1,277 @@
+//! Set-associative cache arrays with MESI line states.
+//!
+//! [`CacheArray`] is the building block for every level: true LRU within a
+//! set, per-line MESI state and an owner-defined 8-bit presence mask (the
+//! L2 uses it as a directory of which L1s above it hold the line). Timing
+//! and coherence policy live in [`crate::hier`]; this module is pure state.
+
+use serde::{Deserialize, Serialize};
+
+/// MESI coherence states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mesi {
+    /// Modified: exclusive and dirty.
+    Modified,
+    /// Exclusive: sole copy, clean.
+    Exclusive,
+    /// Shared: possibly other copies, clean.
+    Shared,
+    /// Invalid.
+    Invalid,
+}
+
+/// One cache line's metadata.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    state: Mesi,
+    /// LRU stamp (bigger = more recent).
+    lru: u64,
+    /// Owner-defined presence mask (directory bits for inclusive L2s).
+    presence: u8,
+}
+
+const EMPTY: Line = Line { tag: 0, state: Mesi::Invalid, lru: 0, presence: 0 };
+
+/// Result of a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Line present with the given state.
+    Hit(Mesi),
+    /// Line absent.
+    Miss,
+}
+
+/// A victim evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// The evicted line address (address / line_size).
+    pub line_addr: u64,
+    /// Its state at eviction (Modified ⇒ write-back needed).
+    pub state: Mesi,
+    /// Its presence mask at eviction (inclusive caches must back-invalidate).
+    pub presence: u8,
+}
+
+/// A set-associative array indexed by line address.
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    sets: u32,
+    ways: u32,
+    lines: Vec<Line>,
+    stamp: u64,
+}
+
+impl CacheArray {
+    /// Build an array with `sets` sets of `ways` ways.
+    pub fn new(sets: u32, ways: u32) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways > 0);
+        CacheArray { sets, ways, lines: vec![EMPTY; (sets * ways) as usize], stamp: 0 }
+    }
+
+    /// Build from a [`crate::config::CacheConfig`].
+    pub fn from_config(cfg: &crate::config::CacheConfig) -> Self {
+        Self::new(cfg.sets(), cfg.ways)
+    }
+
+    #[inline]
+    fn set_of(&self, line_addr: u64) -> u32 {
+        (line_addr as u32) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn set_range(&self, set: u32) -> std::ops::Range<usize> {
+        let base = (set * self.ways) as usize;
+        base..base + self.ways as usize
+    }
+
+    fn find(&self, line_addr: u64) -> Option<usize> {
+        let set = self.set_of(line_addr);
+        self.set_range(set)
+            .find(|&i| self.lines[i].state != Mesi::Invalid && self.lines[i].tag == line_addr)
+    }
+
+    /// Look up a line, refreshing LRU on a hit.
+    pub fn lookup(&mut self, line_addr: u64) -> Lookup {
+        self.stamp += 1;
+        match self.find(line_addr) {
+            Some(i) => {
+                self.lines[i].lru = self.stamp;
+                Lookup::Hit(self.lines[i].state)
+            }
+            None => Lookup::Miss,
+        }
+    }
+
+    /// Look up without touching LRU (snoops).
+    pub fn probe(&self, line_addr: u64) -> Lookup {
+        match self.find(line_addr) {
+            Some(i) => Lookup::Hit(self.lines[i].state),
+            None => Lookup::Miss,
+        }
+    }
+
+    /// Change the state of a present line. No-op if absent.
+    pub fn set_state(&mut self, line_addr: u64, state: Mesi) {
+        if let Some(i) = self.find(line_addr) {
+            self.lines[i].state = state;
+        }
+    }
+
+    /// Invalidate a line; returns its pre-invalidation state (and presence)
+    /// if it was present.
+    pub fn invalidate(&mut self, line_addr: u64) -> Option<(Mesi, u8)> {
+        self.find(line_addr).map(|i| {
+            let old = (self.lines[i].state, self.lines[i].presence);
+            self.lines[i] = EMPTY;
+            old
+        })
+    }
+
+    /// Insert a line with the given state, evicting LRU if needed.
+    pub fn fill(&mut self, line_addr: u64, state: Mesi) -> Option<Victim> {
+        self.stamp += 1;
+        if let Some(i) = self.find(line_addr) {
+            self.lines[i].state = state;
+            self.lines[i].lru = self.stamp;
+            return None;
+        }
+        let set = self.set_of(line_addr);
+        // Prefer an invalid way, else LRU.
+        let mut victim_idx = None;
+        let mut oldest = u64::MAX;
+        for i in self.set_range(set) {
+            if self.lines[i].state == Mesi::Invalid {
+                victim_idx = Some(i);
+                break;
+            }
+            if self.lines[i].lru < oldest {
+                oldest = self.lines[i].lru;
+                victim_idx = Some(i);
+            }
+        }
+        let i = victim_idx.expect("ways > 0");
+        let victim = if self.lines[i].state != Mesi::Invalid {
+            Some(Victim {
+                line_addr: self.lines[i].tag,
+                state: self.lines[i].state,
+                presence: self.lines[i].presence,
+            })
+        } else {
+            None
+        };
+        self.lines[i] = Line { tag: line_addr, state, lru: self.stamp, presence: 0 };
+        victim
+    }
+
+    /// Read the presence mask of a present line (0 if absent).
+    pub fn presence(&self, line_addr: u64) -> u8 {
+        self.find(line_addr).map(|i| self.lines[i].presence).unwrap_or(0)
+    }
+
+    /// Update the presence mask of a present line.
+    pub fn set_presence(&mut self, line_addr: u64, mask: u8) {
+        if let Some(i) = self.find(line_addr) {
+            self.lines[i].presence = mask;
+        }
+    }
+
+    /// Or bits into the presence mask.
+    pub fn add_presence(&mut self, line_addr: u64, bits: u8) {
+        if let Some(i) = self.find(line_addr) {
+            self.lines[i].presence |= bits;
+        }
+    }
+
+    /// Number of valid lines (tests / occupancy reporting).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.state != Mesi::Invalid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheArray {
+        CacheArray::new(4, 2)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.lookup(100), Lookup::Miss);
+        assert_eq!(c.fill(100, Mesi::Exclusive), None);
+        assert_eq!(c.lookup(100), Lookup::Hit(Mesi::Exclusive));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Lines 0, 4, 8 map to set 0 (4 sets). Two ways: filling three
+        // evicts the least recently used.
+        c.fill(0, Mesi::Exclusive);
+        c.fill(4, Mesi::Exclusive);
+        c.lookup(0); // refresh 0; 4 is now LRU
+        let v = c.fill(8, Mesi::Exclusive).expect("eviction");
+        assert_eq!(v.line_addr, 4);
+        assert_eq!(c.probe(0), Lookup::Hit(Mesi::Exclusive));
+        assert_eq!(c.probe(4), Lookup::Miss);
+    }
+
+    #[test]
+    fn dirty_victim_reported() {
+        let mut c = small();
+        c.fill(0, Mesi::Modified);
+        c.fill(4, Mesi::Exclusive);
+        c.lookup(4);
+        c.lookup(4);
+        // 0 is LRU.
+        let v = c.fill(8, Mesi::Exclusive).unwrap();
+        assert_eq!(v.state, Mesi::Modified);
+        assert_eq!(v.line_addr, 0);
+    }
+
+    #[test]
+    fn invalidate_returns_state() {
+        let mut c = small();
+        c.fill(3, Mesi::Modified);
+        assert_eq!(c.invalidate(3), Some((Mesi::Modified, 0)));
+        assert_eq!(c.invalidate(3), None);
+        assert_eq!(c.probe(3), Lookup::Miss);
+    }
+
+    #[test]
+    fn presence_mask_tracks_sharers() {
+        let mut c = small();
+        c.fill(7, Mesi::Shared);
+        c.add_presence(7, 0b01);
+        c.add_presence(7, 0b10);
+        assert_eq!(c.presence(7), 0b11);
+        c.set_presence(7, 0b10);
+        assert_eq!(c.presence(7), 0b10);
+        assert_eq!(c.presence(999), 0);
+    }
+
+    #[test]
+    fn refill_same_line_updates_state_without_eviction() {
+        let mut c = small();
+        c.fill(5, Mesi::Shared);
+        assert_eq!(c.fill(5, Mesi::Modified), None);
+        assert_eq!(c.probe(5), Lookup::Hit(Mesi::Modified));
+        assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c = small();
+        for addr in 0..4u64 {
+            c.fill(addr, Mesi::Exclusive);
+        }
+        assert_eq!(c.valid_lines(), 4);
+        for addr in 0..4u64 {
+            assert!(matches!(c.probe(addr), Lookup::Hit(_)));
+        }
+    }
+}

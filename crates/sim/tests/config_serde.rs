@@ -1,0 +1,47 @@
+//! Machine descriptions serialize (experiment configs are recorded next to
+//! results) and the five platforms expose consistent topology data.
+
+use aon_sim::config::{MachineConfig, Platform};
+
+#[test]
+fn configs_roundtrip_through_json() {
+    for p in Platform::ALL {
+        let cfg = p.config();
+        let json = serde_json::to_string(&cfg).expect("serializes");
+        // `name` is &'static str, so deserialization borrows from the JSON
+        // text; leak it (test-only) to satisfy the lifetime.
+        let json: &'static str = Box::leak(json.into_boxed_str());
+        let back: MachineConfig = serde_json::from_str(json).expect("deserializes");
+        assert_eq!(cfg, back, "{p} config must round-trip");
+    }
+}
+
+#[test]
+fn platform_json_is_stable() {
+    let json = serde_json::to_string(&Platform::TwoLogicalXeon).unwrap();
+    let back: Platform = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, Platform::TwoLogicalXeon);
+}
+
+#[test]
+fn core_and_package_maps_are_consistent() {
+    for p in Platform::ALL {
+        let cfg = p.config();
+        for cpu in 0..cfg.logical_cpus() {
+            assert!(cfg.core_of(cpu) < cfg.physical_cores());
+            assert!(cfg.package_of(cpu) < cfg.packages);
+            assert!(cfg.l2_domain_of(cpu) < cfg.l2_domains());
+        }
+    }
+}
+
+#[test]
+fn xeon_is_faster_clocked_but_smaller_cached() {
+    let pm = Platform::OneCorePentiumM.config();
+    let xe = Platform::OneLogicalXeon.config();
+    assert!(xe.cpu_mhz > pm.cpu_mhz);
+    assert!(xe.l2.size < pm.l2.size);
+    assert!(xe.arch.l1d.size < pm.arch.l1d.size);
+    assert!(xe.arch.mispredict_penalty > pm.arch.mispredict_penalty);
+    assert!(xe.dram_cycles() > pm.dram_cycles(), "same DRAM is more cycles at higher clock");
+}

@@ -1,0 +1,188 @@
+//! Property tests for simulator components: the cache array against a
+//! reference LRU model, timeline monotonicity, and channel conservation.
+
+use aon_sim::bus::{BusyTimeline, SlotTimeline};
+use aon_sim::cache::{CacheArray, Lookup, Mesi};
+use aon_sim::sync::{ChannelConfig, Msg, SimChannel};
+use aon_trace::VAddr;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Reference model: per-set LRU lists.
+struct RefCache {
+    sets: u64,
+    ways: usize,
+    lists: Vec<VecDeque<u64>>,
+}
+
+impl RefCache {
+    fn new(sets: u64, ways: usize) -> Self {
+        RefCache { sets, ways, lists: (0..sets).map(|_| VecDeque::new()).collect() }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets) as usize
+    }
+
+    fn lookup(&mut self, line: u64) -> bool {
+        let s = self.set_of(line);
+        if let Some(pos) = self.lists[s].iter().position(|&l| l == line) {
+            let l = self.lists[s].remove(pos).expect("present");
+            self.lists[s].push_back(l);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, line: u64) {
+        let s = self.set_of(line);
+        if let Some(pos) = self.lists[s].iter().position(|&l| l == line) {
+            let l = self.lists[s].remove(pos).expect("present");
+            self.lists[s].push_back(l);
+            return;
+        }
+        if self.lists[s].len() == self.ways {
+            self.lists[s].pop_front();
+        }
+        self.lists[s].push_back(line);
+    }
+
+    fn invalidate(&mut self, line: u64) {
+        let s = self.set_of(line);
+        self.lists[s].retain(|&l| l != line);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Lookup(u64),
+    Fill(u64),
+    Invalidate(u64),
+}
+
+fn arb_cache_op() -> impl Strategy<Value = CacheOp> {
+    // A small line universe so sets conflict frequently.
+    let line = 0u64..256;
+    prop_oneof![
+        line.clone().prop_map(CacheOp::Lookup),
+        (0u64..256).prop_map(CacheOp::Fill),
+        (0u64..256).prop_map(CacheOp::Invalidate),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn cache_agrees_with_reference_lru(ops in prop::collection::vec(arb_cache_op(), 1..500)) {
+        let mut cache = CacheArray::new(8, 4);
+        let mut reference = RefCache::new(8, 4);
+        for op in ops {
+            match op {
+                CacheOp::Lookup(l) => {
+                    let hit = matches!(cache.lookup(l), Lookup::Hit(_));
+                    prop_assert_eq!(hit, reference.lookup(l), "lookup({}) disagreed", l);
+                }
+                CacheOp::Fill(l) => {
+                    cache.fill(l, Mesi::Exclusive);
+                    reference.fill(l);
+                }
+                CacheOp::Invalidate(l) => {
+                    cache.invalidate(l);
+                    reference.invalidate(l);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_timeline_is_monotonic_and_rate_limited(
+        width in 10u32..400,
+        bookings in prop::collection::vec((0u64..10_000, 1u32..50), 1..200),
+    ) {
+        let mut t = SlotTimeline::new(width);
+        let mut prev_end = 0u64;
+        let mut total_slots = 0u64;
+        let mut max_earliest = 0u64;
+        for (earliest, slots) in bookings {
+            let end = t.book(earliest, slots);
+            total_slots += slots as u64;
+            max_earliest = max_earliest.max(earliest);
+            // Completion can never regress.
+            prop_assert!(end >= prev_end);
+            prev_end = end;
+        }
+        // Cannot complete faster than the width allows.
+        let min_cycles = total_slots * 100 / width as u64;
+        prop_assert!(prev_end + 1 >= min_cycles, "end {} < min {}", prev_end, min_cycles);
+    }
+
+    #[test]
+    fn busy_timeline_bookings_never_overlap(
+        bookings in prop::collection::vec((0u64..10_000, 1u64..100), 1..200),
+    ) {
+        let mut t = BusyTimeline::new();
+        let mut prev_end = 0u64;
+        let mut busy_sum = 0u64;
+        for (earliest, busy) in bookings {
+            let (start, end) = t.book(earliest, busy);
+            prop_assert!(start >= earliest);
+            prop_assert!(start >= prev_end, "windows must not overlap");
+            prop_assert_eq!(end - start, busy);
+            prev_end = end;
+            busy_sum += busy;
+        }
+        prop_assert_eq!(t.busy_total(), busy_sum);
+    }
+
+    #[test]
+    fn channel_conserves_bytes(
+        capacity in 1000u32..100_000,
+        sends in prop::collection::vec((1u32..5_000, any::<u64>()), 1..100),
+    ) {
+        let mut ch = SimChannel::new(ChannelConfig::bounded(capacity, VAddr(0x1000)));
+        let mut accepted = 0u64;
+        let mut received = 0u64;
+        let mut now = 0u64;
+        for (bytes, tag) in sends {
+            now += 10;
+            if ch.try_send(Msg { bytes: bytes.min(capacity) , tag }, now) {
+                accepted += bytes.min(capacity) as u64;
+            }
+            // Occasionally drain one message.
+            if tag % 3 == 0 {
+                if let Some(m) = ch.try_recv(now) {
+                    received += m.bytes as u64;
+                }
+            }
+            prop_assert!(ch.occupied(now) <= capacity as u64);
+        }
+        // Drain the rest.
+        while let Some(m) = ch.try_recv(now) {
+            received += m.bytes as u64;
+        }
+        prop_assert_eq!(accepted, received, "bytes in == bytes out");
+        prop_assert_eq!(ch.occupied(now), 0);
+    }
+
+    #[test]
+    fn draining_channel_never_loses_messages_midair(
+        drain in 1u32..2000,
+        msgs in prop::collection::vec(1u32..2000, 1..50),
+    ) {
+        let mut ch = SimChannel::new(ChannelConfig {
+            capacity: 1 << 20,
+            drain_per_kcycle: drain,
+            buf_base: VAddr(0x1000),
+            fill: None,
+        });
+        let mut sent = 0u64;
+        for (i, bytes) in msgs.iter().enumerate() {
+            assert!(ch.try_send(Msg { bytes: *bytes, tag: i as u64 }, i as u64 * 5));
+            sent += *bytes as u64;
+        }
+        // After enough time everything drains, exactly once.
+        let eta = sent * 1024 / drain as u64 + msgs.len() as u64 * 10 + 10;
+        prop_assert_eq!(ch.occupied(eta * 2), 0);
+        prop_assert_eq!(ch.total_bytes_out, sent);
+    }
+}

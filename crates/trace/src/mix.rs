@@ -1,0 +1,118 @@
+//! Instruction-mix analysis of recorded traces.
+//!
+//! The paper leans on instruction-mix observations twice: Table 5 (branch
+//! instructions retired per instruction retired) and the §3.2 workload
+//! characterization (XML content processing is string-manipulation heavy,
+//! exercises logic ops / caches / branch prediction rather than floating
+//! point). This module derives those mixes from traces so tests can assert
+//! the workloads we generate have the documented character — e.g. that the
+//! network-I/O-heavy FR trace is ~25 % richer in branches than SV/CBR.
+
+use crate::trace::{Trace, TraceStats};
+use serde::{Deserialize, Serialize};
+
+/// Fractional instruction mix of a trace, at abstract-op granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mix {
+    /// ALU fraction.
+    pub alu: f64,
+    /// Load fraction.
+    pub load: f64,
+    /// Store fraction.
+    pub store: f64,
+    /// Conditional-branch fraction.
+    pub branch: f64,
+    /// Unconditional-transfer fraction.
+    pub jump: f64,
+    /// Fraction of conditional branches that were taken.
+    pub taken_ratio: f64,
+    /// Total abstract ops the mix was computed over.
+    pub total_ops: u64,
+}
+
+impl Mix {
+    /// Compute the mix of a trace. Returns an all-zero mix for empty traces.
+    pub fn of(trace: &Trace) -> Mix {
+        Self::of_stats(&trace.stats())
+    }
+
+    /// Compute the mix from precomputed stats.
+    pub fn of_stats(s: &TraceStats) -> Mix {
+        let total = s.ops.max(1) as f64;
+        Mix {
+            alu: s.alus as f64 / total,
+            load: s.loads as f64 / total,
+            store: s.stores as f64 / total,
+            branch: s.branches as f64 / total,
+            jump: s.jumps as f64 / total,
+            taken_ratio: if s.branches == 0 {
+                0.0
+            } else {
+                s.taken_branches as f64 / s.branches as f64
+            },
+            total_ops: s.ops,
+        }
+    }
+
+    /// Fractions sum to ~1 (sanity invariant; holds for non-empty traces).
+    pub fn is_normalized(&self) -> bool {
+        if self.total_ops == 0 {
+            return true;
+        }
+        let sum = self.alu + self.load + self.store + self.branch + self.jump;
+        (sum - 1.0).abs() < 1e-9
+    }
+}
+
+impl core::fmt::Display for Mix {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "alu {:.1}% ld {:.1}% st {:.1}% br {:.1}% (taken {:.1}%) jmp {:.1}% [{} ops]",
+            self.alu * 100.0,
+            self.load * 100.0,
+            self.store * 100.0,
+            self.branch * 100.0,
+            self.taken_ratio * 100.0,
+            self.jump * 100.0,
+            self.total_ops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{Addr, Op, RegionSlot};
+
+    #[test]
+    fn mix_of_empty_trace() {
+        let m = Mix::of(&Trace::default());
+        assert_eq!(m.total_ops, 0);
+        assert!(m.is_normalized());
+    }
+
+    #[test]
+    fn mix_fractions() {
+        let mut t = Trace::default();
+        t.push(Op::Alu(6));
+        t.push(Op::Load { addr: Addr::new(RegionSlot::MSG, 0), size: 8 });
+        t.push(Op::Store { addr: Addr::new(RegionSlot::OUT, 0), size: 8 });
+        t.push(Op::Branch { site: 1, taken: true });
+        t.push(Op::Branch { site: 1, taken: false });
+        let m = Mix::of(&t);
+        assert_eq!(m.total_ops, 10);
+        assert!((m.alu - 0.6).abs() < 1e-12);
+        assert!((m.branch - 0.2).abs() < 1e-12);
+        assert!((m.taken_ratio - 0.5).abs() < 1e-12);
+        assert!(m.is_normalized());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut t = Trace::default();
+        t.push(Op::Alu(1));
+        let s = format!("{}", Mix::of(&t));
+        assert!(s.contains("alu 100.0%"));
+    }
+}

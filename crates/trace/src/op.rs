@@ -1,0 +1,182 @@
+//! The abstract, architecture-neutral operation set.
+//!
+//! Instrumented workload code emits these ops. They deliberately sit *above*
+//! any concrete ISA: the simulator's per-architecture cracking model
+//! (`aon-sim::isa`) decides how many retired instructions each abstract op
+//! corresponds to on Pentium M vs. Netburst Xeon — which is how the paper's
+//! Table 5 observation (Pentium M retires ~2x the branch *fraction* of Xeon
+//! for identical source code) is reproduced.
+//!
+//! Memory addresses are *relocatable*: an [`Addr`] is a region slot plus an
+//! offset, and the binding of slots to absolute [`VAddr`](crate::VAddr)
+//! bases happens at replay time. This lets a single recorded trace be
+//! replayed against a fresh message buffer for every simulated request,
+//! which is what makes streaming network payloads miss in the cache while
+//! static data (schemas, routing tables, code) stays warm.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one of the (at most [`RegionSlot::MAX`]) relocatable memory
+/// regions a trace references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegionSlot(pub u8);
+
+impl RegionSlot {
+    /// Maximum number of distinct regions per trace.
+    pub const MAX: usize = 16;
+
+    /// Static data: schemas, routing tables, interned strings. Bound to the
+    /// same base on every replay, so it stays cache-resident.
+    pub const STATIC: RegionSlot = RegionSlot(0);
+    /// The incoming message / payload buffer. Bound to a fresh base per
+    /// replay to model streaming data with no temporal reuse.
+    pub const MSG: RegionSlot = RegionSlot(1);
+    /// Per-request working memory (DOM arena, token buffers). Rebound per
+    /// replay but typically drawn from a small recycled pool.
+    pub const WORK: RegionSlot = RegionSlot(2);
+    /// Thread stack.
+    pub const STACK: RegionSlot = RegionSlot(3);
+    /// Outgoing / destination buffer (forwarded message, kernel socket buf).
+    pub const OUT: RegionSlot = RegionSlot(4);
+    /// Secondary input buffer (e.g. receive side of a copy).
+    pub const IN2: RegionSlot = RegionSlot(5);
+    /// Kernel connection state (sockets, fd tables, timers, route cache).
+    /// Bound to a rotating window so per-connection structures behave like
+    /// a slab allocator cycling through a working set far larger than L2.
+    pub const KERNEL: RegionSlot = RegionSlot(6);
+    /// Kernel global tables (conntrack hash, dentry/inode caches). Bound
+    /// with a *slow* per-worker rotation, so the tier's reuse distance sits
+    /// between the two modelled L2 sizes.
+    pub const KERNEL2: RegionSlot = RegionSlot(7);
+    /// The cold kernel expanse (page structs, far slabs). Bound with a
+    /// *fast* wide rotation: reuse distance beyond any modelled L2.
+    pub const KERNEL3: RegionSlot = RegionSlot(8);
+
+    /// Index into a slot-binding table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A relocatable address: `base(slot) + offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Addr {
+    /// Which relocatable region this access falls in.
+    pub slot: RegionSlot,
+    /// Byte offset within the region.
+    pub offset: u32,
+}
+
+impl Addr {
+    /// Construct an address.
+    #[inline]
+    pub fn new(slot: RegionSlot, offset: u32) -> Self {
+        Addr { slot, offset }
+    }
+}
+
+/// One abstract operation.
+///
+/// `Alu` ops are run-length compressed: the tracer coalesces consecutive
+/// integer/logic work into a single `Alu(n)` record, which keeps traces
+/// compact (XML parsing emits on the order of 10^5–10^6 abstract ops per
+/// 5 KB message).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// `n` integer / logic / address-arithmetic operations.
+    Alu(u16),
+    /// A data load of `size` bytes.
+    Load {
+        /// Relocatable source address.
+        addr: Addr,
+        /// Access width in bytes (1–64).
+        size: u8,
+    },
+    /// A data store of `size` bytes.
+    Store {
+        /// Relocatable destination address.
+        addr: Addr,
+        /// Access width in bytes (1–64).
+        size: u8,
+    },
+    /// A conditional branch at the given code site.
+    Branch {
+        /// Stable site id (hashes to a synthetic PC).
+        site: u32,
+        /// Whether the branch was taken in this execution.
+        taken: bool,
+    },
+    /// An unconditional transfer (call/ret/jump) at the given code site.
+    Jump {
+        /// Stable site id.
+        site: u32,
+    },
+}
+
+/// Coarse classification of abstract ops, used by instruction-mix statistics
+/// and by per-architecture cracking models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer/logic work.
+    Alu,
+    /// Data load.
+    Load,
+    /// Data store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional transfer.
+    Jump,
+}
+
+impl Op {
+    /// The class of this op.
+    #[inline]
+    pub fn class(&self) -> OpClass {
+        match self {
+            Op::Alu(_) => OpClass::Alu,
+            Op::Load { .. } => OpClass::Load,
+            Op::Store { .. } => OpClass::Store,
+            Op::Branch { .. } => OpClass::Branch,
+            Op::Jump { .. } => OpClass::Jump,
+        }
+    }
+
+    /// Number of abstract operations this record represents (`n` for
+    /// `Alu(n)`, 1 otherwise).
+    #[inline]
+    pub fn weight(&self) -> u64 {
+        match self {
+            Op::Alu(n) => *n as u64,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_is_compact() {
+        // Traces hold millions of these; keep the representation small.
+        assert!(core::mem::size_of::<Op>() <= 12);
+    }
+
+    #[test]
+    fn weight_counts_alu_runs() {
+        assert_eq!(Op::Alu(7).weight(), 7);
+        assert_eq!(
+            Op::Load { addr: Addr::new(RegionSlot::MSG, 0), size: 8 }.weight(),
+            1
+        );
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(Op::Alu(1).class(), OpClass::Alu);
+        assert_eq!(Op::Jump { site: 3 }.class(), OpClass::Jump);
+        assert_eq!(Op::Branch { site: 1, taken: true }.class(), OpClass::Branch);
+    }
+}

@@ -1,0 +1,279 @@
+//! Recorded traces and their replay-time address binding.
+//!
+//! A [`Trace`] is the unit the simulator executes: a compact op sequence
+//! whose memory addresses are relocatable (region slot + offset). A
+//! [`Binding`] maps slots to absolute bases; the server's request loop binds
+//! the `MSG` slot to a fresh buffer per simulated message while keeping the
+//! `STATIC` slot pinned, so temporal-reuse differences between workloads
+//! (the paper's FR vs. SV axis, §5.3) are emergent rather than configured.
+
+use crate::op::{Addr, Op, OpClass, RegionSlot};
+use crate::vaddr::VAddr;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate counts over a trace (abstract-op granularity, pre-cracking).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total abstract operations (ALU runs expanded).
+    pub ops: u64,
+    /// ALU operations.
+    pub alus: u64,
+    /// Data loads.
+    pub loads: u64,
+    /// Data stores.
+    pub stores: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Conditional branches that were taken.
+    pub taken_branches: u64,
+    /// Unconditional transfers.
+    pub jumps: u64,
+    /// Bytes loaded.
+    pub bytes_loaded: u64,
+    /// Bytes stored.
+    pub bytes_stored: u64,
+}
+
+impl TraceStats {
+    /// Accumulate one op record.
+    pub fn record(&mut self, op: &Op) {
+        match *op {
+            Op::Alu(n) => {
+                self.ops += n as u64;
+                self.alus += n as u64;
+            }
+            Op::Load { size, .. } => {
+                self.ops += 1;
+                self.loads += 1;
+                self.bytes_loaded += size as u64;
+            }
+            Op::Store { size, .. } => {
+                self.ops += 1;
+                self.stores += 1;
+                self.bytes_stored += size as u64;
+            }
+            Op::Branch { taken, .. } => {
+                self.ops += 1;
+                self.branches += 1;
+                if taken {
+                    self.taken_branches += 1;
+                }
+            }
+            Op::Jump { .. } => {
+                self.ops += 1;
+                self.jumps += 1;
+            }
+        }
+    }
+
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.ops += other.ops;
+        self.alus += other.alus;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.branches += other.branches;
+        self.taken_branches += other.taken_branches;
+        self.jumps += other.jumps;
+        self.bytes_loaded += other.bytes_loaded;
+        self.bytes_stored += other.bytes_stored;
+    }
+
+    /// Fraction of abstract ops that are conditional branches.
+    pub fn branch_fraction(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.branches as f64 / self.ops as f64
+        }
+    }
+
+    /// Fraction of abstract ops that touch memory.
+    pub fn memory_fraction(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            (self.loads + self.stores) as f64 / self.ops as f64
+        }
+    }
+}
+
+/// A recorded, replayable op sequence.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    ops: Vec<Op>,
+    stats: TraceStats,
+    /// Human-readable label ("cbr: parse+xpath", …) for reports and tests.
+    pub label: String,
+}
+
+impl Trace {
+    /// An empty trace with a label.
+    pub fn with_label(label: impl Into<String>) -> Self {
+        Trace { label: label.into(), ..Default::default() }
+    }
+
+    /// Append an op, maintaining stats. ALU runs are coalesced.
+    pub fn push(&mut self, op: Op) {
+        self.stats.record(&op);
+        if let (Some(Op::Alu(prev)), Op::Alu(n)) = (self.ops.last_mut(), &op) {
+            let sum = *prev as u32 + *n as u32;
+            if sum <= u16::MAX as u32 {
+                *prev = sum as u16;
+                return;
+            }
+        }
+        self.ops.push(op);
+    }
+
+    /// The op records (ALU runs still compressed).
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of op *records* (compressed length).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no ops were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> TraceStats {
+        self.stats
+    }
+
+    /// Append all ops of `other`.
+    pub fn extend_from(&mut self, other: &Trace) {
+        for op in &other.ops {
+            self.push(*op);
+        }
+    }
+
+    /// Per-class op counts (expanded).
+    pub fn class_counts(&self) -> [(OpClass, u64); 5] {
+        [
+            (OpClass::Alu, self.stats.alus),
+            (OpClass::Load, self.stats.loads),
+            (OpClass::Store, self.stats.stores),
+            (OpClass::Branch, self.stats.branches),
+            (OpClass::Jump, self.stats.jumps),
+        ]
+    }
+}
+
+/// Binding of region slots to absolute virtual addresses for one replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binding {
+    bases: [u64; RegionSlot::MAX],
+}
+
+impl Default for Binding {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Binding {
+    /// All slots bound to distinct, well-separated default bases. Useful for
+    /// tests and single-shot replays.
+    pub fn new() -> Self {
+        let mut bases = [0u64; RegionSlot::MAX];
+        for (i, b) in bases.iter_mut().enumerate() {
+            // 16 MiB apart — far beyond any cache, so unbound slots never
+            // accidentally alias.
+            *b = 0x1000_0000 + (i as u64) * (16 << 20);
+        }
+        Binding { bases }
+    }
+
+    /// Bind `slot` to `base`.
+    pub fn bind(&mut self, slot: RegionSlot, base: VAddr) -> &mut Self {
+        self.bases[slot.index()] = base.0;
+        self
+    }
+
+    /// Resolve a relocatable address.
+    #[inline]
+    pub fn resolve(&self, addr: Addr) -> VAddr {
+        VAddr(self.bases[addr.slot.index()] + addr.offset as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(slot: RegionSlot, off: u32) -> Addr {
+        Addr::new(slot, off)
+    }
+
+    #[test]
+    fn push_coalesces_alu_runs() {
+        let mut t = Trace::default();
+        t.push(Op::Alu(3));
+        t.push(Op::Alu(4));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.stats().alus, 7);
+        t.push(Op::Load { addr: addr(RegionSlot::MSG, 0), size: 8 });
+        t.push(Op::Alu(1));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn alu_coalescing_saturates_at_u16() {
+        let mut t = Trace::default();
+        t.push(Op::Alu(u16::MAX));
+        t.push(Op::Alu(10));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.stats().alus, u16::MAX as u64 + 10);
+    }
+
+    #[test]
+    fn stats_track_everything() {
+        let mut t = Trace::default();
+        t.push(Op::Load { addr: addr(RegionSlot::MSG, 4), size: 4 });
+        t.push(Op::Store { addr: addr(RegionSlot::OUT, 8), size: 8 });
+        t.push(Op::Branch { site: 7, taken: true });
+        t.push(Op::Branch { site: 7, taken: false });
+        t.push(Op::Jump { site: 9 });
+        let s = t.stats();
+        assert_eq!(s.ops, 5);
+        assert_eq!(s.bytes_loaded, 4);
+        assert_eq!(s.bytes_stored, 8);
+        assert_eq!(s.taken_branches, 1);
+        assert_eq!(s.jumps, 1);
+        assert!((s.branch_fraction() - 0.4).abs() < 1e-12);
+        assert!((s.memory_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binding_resolves_with_offset() {
+        let mut b = Binding::new();
+        b.bind(RegionSlot::MSG, VAddr(0x5000));
+        assert_eq!(b.resolve(addr(RegionSlot::MSG, 0x20)), VAddr(0x5020));
+    }
+
+    #[test]
+    fn default_binding_slots_do_not_alias() {
+        let b = Binding::new();
+        let a0 = b.resolve(addr(RegionSlot::STATIC, 0));
+        let a1 = b.resolve(addr(RegionSlot::MSG, 0));
+        assert!(a1.0 - a0.0 >= (16 << 20));
+    }
+
+    #[test]
+    fn extend_from_merges() {
+        let mut a = Trace::default();
+        a.push(Op::Alu(2));
+        let mut b = Trace::default();
+        b.push(Op::Alu(3));
+        b.push(Op::Jump { site: 1 });
+        a.extend_from(&b);
+        assert_eq!(a.stats().alus, 5);
+        assert_eq!(a.stats().jumps, 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Per-request working-memory arena.
+//!
+//! DOM nodes, decoded strings and token scratch all live in one bump arena
+//! mapped to [`RegionSlot::WORK`]. The arena tracks a byte watermark so
+//! every allocated object has a deterministic region offset; object field
+//! writes are traced as stores at those offsets, and later traversals load
+//! from the same offsets — giving the simulator a faithful picture of DOM
+//! locality (sequentially allocated siblings are spatially adjacent, just
+//! like a real arena-allocating XML engine such as libxml2's dict/arena).
+
+use aon_trace::{Addr, Probe, RegionSlot};
+
+/// Bump allocator over a relocatable region.
+#[derive(Debug, Clone)]
+pub struct Arena {
+    slot: RegionSlot,
+    watermark: u32,
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Arena {
+    /// A fresh arena in [`RegionSlot::WORK`].
+    pub fn new() -> Self {
+        Arena { slot: RegionSlot::WORK, watermark: 0 }
+    }
+
+    /// A fresh arena in a caller-chosen region.
+    pub fn in_slot(slot: RegionSlot) -> Self {
+        Arena { slot, watermark: 0 }
+    }
+
+    /// The region this arena allocates in.
+    pub fn slot(&self) -> RegionSlot {
+        self.slot
+    }
+
+    /// Bytes allocated so far.
+    pub fn used(&self) -> u32 {
+        self.watermark
+    }
+
+    /// Allocate `len` bytes aligned to `align`; returns the region offset.
+    /// Emits the allocation-path work (pointer bump + limit check) on the
+    /// probe but no memory traffic — callers trace their own initializing
+    /// stores.
+    pub fn alloc<P: Probe>(&mut self, len: u32, align: u32, p: &mut P) -> u32 {
+        debug_assert!(align.is_power_of_two());
+        let off = (self.watermark + align - 1) & !(align - 1);
+        self.watermark = off + len;
+        p.alu(2); // bump + limit check
+        off
+    }
+
+    /// The traced address of `offset` within this arena.
+    #[inline]
+    pub fn addr(&self, offset: u32) -> Addr {
+        Addr::new(self.slot, offset)
+    }
+
+    /// Copy `bytes` into the arena, tracing one store per 8-byte word (the
+    /// loads from the source are the caller's responsibility — usually the
+    /// bytes were just scanned from a [`TBuf`](crate::TBuf)). Returns the
+    /// region offset of the copy.
+    pub fn store_bytes<P: Probe>(&mut self, bytes: &[u8], p: &mut P) -> u32 {
+        let off = self.alloc(bytes.len() as u32, 8, p);
+        let words = (bytes.len() as u32).div_ceil(8);
+        for w in 0..words {
+            p.store(Addr::new(self.slot, off + w * 8), 8);
+            p.alu(1);
+        }
+        off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aon_trace::{NullProbe, Tracer};
+
+    #[test]
+    fn alloc_respects_alignment_and_order() {
+        let mut a = Arena::new();
+        let mut p = NullProbe;
+        let x = a.alloc(3, 1, &mut p);
+        let y = a.alloc(8, 8, &mut p);
+        assert_eq!(x, 0);
+        assert_eq!(y % 8, 0);
+        assert!(y >= 3);
+        assert_eq!(a.used(), y + 8);
+    }
+
+    #[test]
+    fn store_bytes_traces_word_stores() {
+        let mut a = Arena::new();
+        let mut t = Tracer::new();
+        let off = a.store_bytes(b"0123456789abcdef0", &mut t); // 17 bytes -> 3 words
+        assert_eq!(off, 0);
+        assert_eq!(t.finish().stats().stores, 3);
+    }
+
+    #[test]
+    fn custom_slot() {
+        let a = Arena::in_slot(RegionSlot::STATIC);
+        assert_eq!(a.slot(), RegionSlot::STATIC);
+        assert_eq!(a.addr(16).slot, RegionSlot::STATIC);
+    }
+}

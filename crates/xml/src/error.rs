@@ -1,0 +1,102 @@
+//! Error types for the XML substrate.
+
+use std::fmt;
+
+/// What went wrong while processing XML.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A byte that cannot start or continue the current construct.
+    UnexpectedByte,
+    /// Malformed tag syntax (`<`, name, attributes, `>`).
+    MalformedTag,
+    /// Close tag does not match the open tag.
+    MismatchedTag,
+    /// Malformed or unsupported entity reference.
+    BadEntity,
+    /// Attribute without a properly quoted value.
+    BadAttribute,
+    /// More than one root element, or content outside the root.
+    ExtraContent,
+    /// Document contains no root element.
+    NoRoot,
+    /// Malformed processing instruction or declaration.
+    BadPi,
+    /// Malformed comment (`--` inside, missing `-->`).
+    BadComment,
+    /// Malformed CDATA section.
+    BadCdata,
+    /// Nesting deeper than the configured limit.
+    TooDeep,
+    /// XPath expression syntax error.
+    XPathSyntax,
+    /// Schema definition is malformed or uses an unsupported construct.
+    BadSchema,
+}
+
+impl fmt::Display for XmlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            XmlErrorKind::UnexpectedEof => "unexpected end of input",
+            XmlErrorKind::UnexpectedByte => "unexpected byte",
+            XmlErrorKind::MalformedTag => "malformed tag",
+            XmlErrorKind::MismatchedTag => "mismatched close tag",
+            XmlErrorKind::BadEntity => "bad entity reference",
+            XmlErrorKind::BadAttribute => "bad attribute",
+            XmlErrorKind::ExtraContent => "content outside root element",
+            XmlErrorKind::NoRoot => "no root element",
+            XmlErrorKind::BadPi => "bad processing instruction",
+            XmlErrorKind::BadComment => "bad comment",
+            XmlErrorKind::BadCdata => "bad CDATA section",
+            XmlErrorKind::TooDeep => "nesting too deep",
+            XmlErrorKind::XPathSyntax => "XPath syntax error",
+            XmlErrorKind::BadSchema => "bad schema definition",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An error with the byte offset where it was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XmlError {
+    /// The kind of failure.
+    pub kind: XmlErrorKind,
+    /// Byte offset in the input where the failure was detected.
+    pub offset: usize,
+}
+
+impl XmlError {
+    /// Construct an error at `offset`.
+    pub fn at(kind: XmlErrorKind, offset: usize) -> Self {
+        XmlError { kind, offset }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.kind, self.offset)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Convenience alias used across the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset() {
+        let e = XmlError::at(XmlErrorKind::MalformedTag, 17);
+        assert_eq!(e.to_string(), "malformed tag at byte 17");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&XmlError::at(XmlErrorKind::NoRoot, 0));
+    }
+}

@@ -1,0 +1,52 @@
+//! # aon-xml — instrumented XML substrate
+//!
+//! A real, self-contained XML processing stack — tokenizer, pull parser,
+//! arena DOM, XPath 1.0 subset, and XSD schema-validation subset — built for
+//! the AON reproduction. It serves double duty:
+//!
+//! 1. **As an ordinary library.** All entry points are generic over
+//!    `P: Probe` ([`aon_trace::Probe`]); pass [`aon_trace::NullProbe`] and
+//!    the instrumentation compiles away, leaving a usable (if deliberately
+//!    2006-era-styled) XML engine. The Criterion benches measure it this
+//!    way.
+//! 2. **As a workload generator.** Pass an [`aon_trace::Tracer`] and every
+//!    byte examined, DOM node built, schema rule checked and branch decided
+//!    is recorded as an abstract-op trace with realistic addresses — the
+//!    instruction stream the `aon-sim` processor models execute.
+//!
+//! The three paper use cases map onto this crate as:
+//!
+//! * **FR** — no XML work (HTTP proxying only; see `aon-server`).
+//! * **CBR** — [`parser`] + [`dom`] + [`xpath`] evaluation of
+//!   `//quantity/text()` (paper §3.2.1).
+//! * **SV** — [`parser`] + [`dom`] + [`schema`] validation against a
+//!   pre-stored XSD.
+//!
+//! Design constraints carried over from the paper's workload description
+//! (§3.2): computation is character/string manipulation — copying,
+//! concatenation, parsing, tokenization, matching — with no floating point;
+//! it exercises logical ops, caches, and branch prediction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod dom;
+pub mod error;
+pub mod input;
+pub mod lexer;
+pub mod parser;
+pub mod samples;
+pub mod schema;
+pub mod serialize;
+pub mod soap;
+pub mod utf8;
+pub mod xpath;
+
+pub use arena::Arena;
+pub use dom::{Document, NodeId, NodeKind};
+pub use error::{XmlError, XmlErrorKind, XmlResult};
+pub use input::TBuf;
+pub use parser::parse_document;
+pub use schema::{Schema, Validity};
+pub use xpath::{XPath, XPathValue};

@@ -1,0 +1,127 @@
+//! Shared sample documents for tests and examples.
+//!
+//! The CBR/SV message follows the paper's description (§3.2.1): a SOAP
+//! envelope carrying a purchase-order body with a `<quantity>` element,
+//! padded with filler text elements toward the AONBench-specified 5 KB
+//! message size. The runtime corpus generator lives in
+//! `aon-server::corpus`; these fixtures are small hand-written instances.
+
+/// A purchase-order XSD exercising sequences, occurs bounds, attributes,
+/// simple-type facets and patterns.
+pub const PURCHASE_ORDER_XSD: &[u8] = br#"<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:simpleType name="skuType">
+    <xs:restriction base="xs:string">
+      <xs:pattern value="[A-Z]{2}[0-9]{3,6}"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:simpleType name="qtyType">
+    <xs:restriction base="xs:positiveInteger">
+      <xs:maxInclusive value="1000"/>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:complexType name="itemType">
+    <xs:sequence>
+      <xs:element name="sku" type="skuType"/>
+      <xs:element name="name" type="xs:string"/>
+      <xs:element name="quantity" type="qtyType"/>
+      <xs:element name="price" type="xs:decimal"/>
+      <xs:element name="note" type="xs:string" minOccurs="0"/>
+    </xs:sequence>
+    <xs:attribute name="line" type="xs:positiveInteger" use="required"/>
+  </xs:complexType>
+  <xs:element name="order">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="customer" type="xs:string"/>
+        <xs:element name="date" type="xs:date"/>
+        <xs:element name="item" type="itemType" minOccurs="1" maxOccurs="unbounded"/>
+        <xs:element name="filler" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+      </xs:sequence>
+      <xs:attribute name="id" type="xs:positiveInteger" use="required"/>
+      <xs:attribute name="currency">
+        <xs:simpleType>
+          <xs:restriction base="xs:string">
+            <xs:enumeration value="USD"/>
+            <xs:enumeration value="EUR"/>
+            <xs:enumeration value="JPY"/>
+          </xs:restriction>
+        </xs:simpleType>
+      </xs:attribute>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"#;
+
+/// A message that conforms to [`PURCHASE_ORDER_XSD`].
+pub const PURCHASE_ORDER_OK: &[u8] = br#"<?xml version="1.0"?>
+<order id="7" currency="USD">
+  <customer>Acme Networks</customer>
+  <date>2007-03-14</date>
+  <item line="1">
+    <sku>AB1234</sku>
+    <name>gigabit line card</name>
+    <quantity>1</quantity>
+    <price>4999.00</price>
+  </item>
+  <item line="2">
+    <sku>CD567</sku>
+    <name>rack bolt</name>
+    <quantity>25</quantity>
+    <price>0.35</price>
+    <note>stainless</note>
+  </item>
+  <filler>xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx</filler>
+</order>
+"#;
+
+/// A message that violates [`PURCHASE_ORDER_XSD`] (bad sku pattern, zero
+/// quantity, missing required attribute).
+pub const PURCHASE_ORDER_BAD: &[u8] = br#"<?xml version="1.0"?>
+<order currency="USD">
+  <customer>Acme Networks</customer>
+  <date>2007-03-14</date>
+  <item line="1">
+    <sku>lowercase99</sku>
+    <name>gigabit line card</name>
+    <quantity>0</quantity>
+    <price>4999.00</price>
+  </item>
+</order>
+"#;
+
+/// The SOAP-wrapped CBR message of the paper: `//quantity/text()` is
+/// evaluated and compared against `"1"`.
+pub const SOAP_CBR_MATCH: &[u8] = br#"<?xml version="1.0"?>
+<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">
+  <soap:Header><route>default</route></soap:Header>
+  <soap:Body>
+    <purchaseOrder>
+      <item><name>line card</name><quantity>1</quantity></item>
+      <fill>abcdefghijklmnopqrstuvwxyz0123456789</fill>
+    </purchaseOrder>
+  </soap:Body>
+</soap:Envelope>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::TBuf;
+    use crate::parser::parse_document;
+    use aon_trace::NullProbe;
+
+    #[test]
+    fn fixtures_parse() {
+        for doc in [PURCHASE_ORDER_XSD, PURCHASE_ORDER_OK, PURCHASE_ORDER_BAD, SOAP_CBR_MATCH] {
+            parse_document(TBuf::msg(doc), &mut NullProbe).expect("fixture parses");
+        }
+    }
+
+    #[test]
+    fn soap_message_matches_paper_xpath() {
+        let doc = parse_document(TBuf::msg(SOAP_CBR_MATCH), &mut NullProbe).unwrap();
+        let xp = crate::xpath::XPath::compile("//quantity/text()").unwrap();
+        assert!(xp.string_equals(&doc, b"1", &mut NullProbe).unwrap());
+    }
+}

@@ -1,0 +1,361 @@
+//! XSD schema-validation subset.
+//!
+//! The paper's SV use case ("the predominant CPU intensive case", §3.2.1)
+//! validates each incoming message against a pre-stored schema: conforming
+//! messages route to the destination endpoint, non-conforming ones to the
+//! error endpoint. This module implements the W3C XML Schema subset that an
+//! AON device's validation stage needs:
+//!
+//! * global `xs:element` declarations with named or anonymous types;
+//! * `xs:complexType` with `xs:sequence` / `xs:choice` / `xs:all` content
+//!   models, nested groups, `minOccurs` / `maxOccurs` (including
+//!   `unbounded`), attributes (`use="required"` / `optional`), and
+//!   `simpleContent` text;
+//! * `xs:simpleType` restrictions over the built-in types `string`,
+//!   `integer`, `nonNegativeInteger`, `positiveInteger`, `decimal`,
+//!   `boolean`, `date`, `anyURI`, `token` — with the facets `enumeration`,
+//!   `pattern` (a self-contained regex-lite engine, see [`pattern`]),
+//!   `minLength` / `maxLength` / `length`, and `minInclusive` /
+//!   `maxInclusive`.
+//!
+//! Schemas are *compiled* from their XSD document (parsed with this crate's
+//! own parser) into flat record tables that notionally live in the `STATIC`
+//! region — device configuration, warm in cache across requests — while
+//! validation walks the cold per-message DOM. That split is what drives the
+//! paper's observation that SV shows the best temporal locality of the
+//! three use cases (lowest L2MPI, Figure 4).
+
+mod parse;
+pub mod pattern;
+mod types;
+mod validate;
+mod value;
+
+pub use pattern::Pattern;
+pub use types::{
+    AttrDecl, BuiltinType, ComplexType, ContentModel, ElemDecl, Facets, Particle, SimpleType,
+    TypeId, TypeRef, MAX_UNBOUNDED,
+};
+pub use validate::{Validity, Violation, ViolationKind};
+
+use crate::dom::Document;
+use crate::error::XmlResult;
+use crate::input::TBuf;
+use aon_trace::{NullProbe, Probe};
+
+/// A compiled schema.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    pub(crate) elements: Vec<ElemDecl>,
+    pub(crate) types: Vec<types::TypeDef>,
+    /// Total compiled records (elements + types + particles), for tracing.
+    pub(crate) record_count: u32,
+}
+
+impl Schema {
+    /// Compile a schema from XSD source text.
+    ///
+    /// Compilation is untraced (it happens once at simulated-server
+    /// start-up, outside the measured request path).
+    pub fn compile(xsd: &[u8]) -> XmlResult<Schema> {
+        let doc = crate::parser::parse_document(TBuf::msg(xsd), &mut NullProbe)?;
+        parse::compile_from_doc(&doc)
+    }
+
+    /// Number of global element declarations.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Number of compiled type definitions.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Number of compiled records (elements + types + particles) — the
+    /// schema's STATIC-region footprint in records.
+    pub fn record_count(&self) -> u32 {
+        self.record_count
+    }
+
+    /// Find a global element declaration by name.
+    pub fn find_element(&self, name: &[u8]) -> Option<&ElemDecl> {
+        self.elements.iter().find(|e| e.name == name)
+    }
+
+    /// Validate a parsed document. The document's root element must match a
+    /// global element declaration.
+    pub fn validate<P: Probe>(&self, doc: &Document, p: &mut P) -> XmlResult<Validity> {
+        validate::validate_document(self, doc, p)
+    }
+
+    /// Validate the subtree rooted at `node` (for payloads inside an
+    /// envelope, e.g. a SOAP body member).
+    pub fn validate_node<P: Probe>(
+        &self,
+        doc: &Document,
+        node: crate::dom::NodeId,
+        p: &mut P,
+    ) -> Validity {
+        validate::validate_subtree(self, doc, node, p)
+    }
+
+    /// Convenience: parse + validate raw message bytes in one call.
+    pub fn validate_bytes<P: Probe>(&self, msg: &[u8], p: &mut P) -> XmlResult<Validity> {
+        let doc = crate::parser::parse_document(TBuf::msg(msg), p)?;
+        self.validate(&doc, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+
+    fn po_schema() -> Schema {
+        Schema::compile(samples::PURCHASE_ORDER_XSD).expect("sample schema compiles")
+    }
+
+    #[test]
+    fn sample_schema_compiles() {
+        let s = po_schema();
+        assert!(s.element_count() >= 1);
+        assert!(s.type_count() >= 2);
+        assert!(s.find_element(b"order").is_some());
+    }
+
+    #[test]
+    fn valid_sample_message_passes() {
+        let s = po_schema();
+        let v = s.validate_bytes(samples::PURCHASE_ORDER_OK, &mut NullProbe).unwrap();
+        assert!(v.is_valid(), "expected valid, got {v:?}");
+    }
+
+    #[test]
+    fn invalid_sample_message_fails() {
+        let s = po_schema();
+        let v = s.validate_bytes(samples::PURCHASE_ORDER_BAD, &mut NullProbe).unwrap();
+        assert!(!v.is_valid());
+    }
+
+    #[test]
+    fn unknown_root_is_invalid() {
+        let s = po_schema();
+        let v = s.validate_bytes(b"<mystery/>", &mut NullProbe).unwrap();
+        assert!(!v.is_valid());
+        assert!(matches!(
+            v.violations()[0].kind,
+            ViolationKind::UnknownElement
+        ));
+    }
+
+    #[test]
+    fn missing_required_child_is_invalid() {
+        let s = Schema::compile(
+            br#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+              <xs:element name="r">
+                <xs:complexType><xs:sequence>
+                  <xs:element name="a" type="xs:string"/>
+                  <xs:element name="b" type="xs:string"/>
+                </xs:sequence></xs:complexType>
+              </xs:element>
+            </xs:schema>"#,
+        )
+        .unwrap();
+        assert!(s.validate_bytes(b"<r><a>x</a><b>y</b></r>", &mut NullProbe).unwrap().is_valid());
+        assert!(!s.validate_bytes(b"<r><a>x</a></r>", &mut NullProbe).unwrap().is_valid());
+        assert!(!s.validate_bytes(b"<r><b>y</b><a>x</a></r>", &mut NullProbe).unwrap().is_valid());
+    }
+
+    #[test]
+    fn occurs_bounds_enforced() {
+        let s = Schema::compile(
+            br#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+              <xs:element name="r">
+                <xs:complexType><xs:sequence>
+                  <xs:element name="i" type="xs:integer" minOccurs="1" maxOccurs="3"/>
+                </xs:sequence></xs:complexType>
+              </xs:element>
+            </xs:schema>"#,
+        )
+        .unwrap();
+        assert!(!s.validate_bytes(b"<r/>", &mut NullProbe).unwrap().is_valid());
+        assert!(s.validate_bytes(b"<r><i>1</i></r>", &mut NullProbe).unwrap().is_valid());
+        assert!(s
+            .validate_bytes(b"<r><i>1</i><i>2</i><i>3</i></r>", &mut NullProbe)
+            .unwrap()
+            .is_valid());
+        assert!(!s
+            .validate_bytes(b"<r><i>1</i><i>2</i><i>3</i><i>4</i></r>", &mut NullProbe)
+            .unwrap()
+            .is_valid());
+    }
+
+    #[test]
+    fn choice_content_model() {
+        let s = Schema::compile(
+            br#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+              <xs:element name="r">
+                <xs:complexType><xs:choice>
+                  <xs:element name="a" type="xs:string"/>
+                  <xs:element name="b" type="xs:string"/>
+                </xs:choice></xs:complexType>
+              </xs:element>
+            </xs:schema>"#,
+        )
+        .unwrap();
+        assert!(s.validate_bytes(b"<r><a>x</a></r>", &mut NullProbe).unwrap().is_valid());
+        assert!(s.validate_bytes(b"<r><b>x</b></r>", &mut NullProbe).unwrap().is_valid());
+        assert!(!s.validate_bytes(b"<r><a>x</a><b>y</b></r>", &mut NullProbe).unwrap().is_valid());
+        assert!(!s.validate_bytes(b"<r/>", &mut NullProbe).unwrap().is_valid());
+    }
+
+    #[test]
+    fn all_content_model_any_order() {
+        let s = Schema::compile(
+            br#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+              <xs:element name="r">
+                <xs:complexType><xs:all>
+                  <xs:element name="a" type="xs:string"/>
+                  <xs:element name="b" type="xs:string"/>
+                </xs:all></xs:complexType>
+              </xs:element>
+            </xs:schema>"#,
+        )
+        .unwrap();
+        assert!(s.validate_bytes(b"<r><a>1</a><b>2</b></r>", &mut NullProbe).unwrap().is_valid());
+        assert!(s.validate_bytes(b"<r><b>2</b><a>1</a></r>", &mut NullProbe).unwrap().is_valid());
+        assert!(!s.validate_bytes(b"<r><a>1</a></r>", &mut NullProbe).unwrap().is_valid());
+        assert!(!s
+            .validate_bytes(b"<r><a>1</a><a>2</a><b>3</b></r>", &mut NullProbe)
+            .unwrap()
+            .is_valid());
+    }
+
+    #[test]
+    fn required_attribute_enforced() {
+        let s = Schema::compile(
+            br#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+              <xs:element name="r">
+                <xs:complexType>
+                  <xs:attribute name="id" type="xs:integer" use="required"/>
+                  <xs:attribute name="note" type="xs:string"/>
+                </xs:complexType>
+              </xs:element>
+            </xs:schema>"#,
+        )
+        .unwrap();
+        assert!(s.validate_bytes(br#"<r id="3"/>"#, &mut NullProbe).unwrap().is_valid());
+        assert!(!s.validate_bytes(b"<r/>", &mut NullProbe).unwrap().is_valid());
+        assert!(!s.validate_bytes(br#"<r id="x"/>"#, &mut NullProbe).unwrap().is_valid());
+        assert!(!s.validate_bytes(br#"<r id="1" other="y"/>"#, &mut NullProbe).unwrap().is_valid());
+    }
+
+    #[test]
+    fn simple_type_facets() {
+        let s = Schema::compile(
+            br#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+              <xs:element name="code">
+                <xs:simpleType>
+                  <xs:restriction base="xs:string">
+                    <xs:pattern value="[A-Z]{2}-[0-9]+"/>
+                    <xs:maxLength value="8"/>
+                  </xs:restriction>
+                </xs:simpleType>
+              </xs:element>
+            </xs:schema>"#,
+        )
+        .unwrap();
+        assert!(s.validate_bytes(b"<code>AB-123</code>", &mut NullProbe).unwrap().is_valid());
+        assert!(!s.validate_bytes(b"<code>ab-123</code>", &mut NullProbe).unwrap().is_valid());
+        assert!(!s.validate_bytes(b"<code>AB-123456</code>", &mut NullProbe).unwrap().is_valid());
+    }
+
+    #[test]
+    fn enumeration_facet() {
+        let s = Schema::compile(
+            br#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+              <xs:element name="cur">
+                <xs:simpleType>
+                  <xs:restriction base="xs:string">
+                    <xs:enumeration value="USD"/>
+                    <xs:enumeration value="EUR"/>
+                  </xs:restriction>
+                </xs:simpleType>
+              </xs:element>
+            </xs:schema>"#,
+        )
+        .unwrap();
+        assert!(s.validate_bytes(b"<cur>USD</cur>", &mut NullProbe).unwrap().is_valid());
+        assert!(s.validate_bytes(b"<cur>EUR</cur>", &mut NullProbe).unwrap().is_valid());
+        assert!(!s.validate_bytes(b"<cur>GBP</cur>", &mut NullProbe).unwrap().is_valid());
+    }
+
+    #[test]
+    fn numeric_range_facets() {
+        let s = Schema::compile(
+            br#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+              <xs:element name="qty">
+                <xs:simpleType>
+                  <xs:restriction base="xs:integer">
+                    <xs:minInclusive value="1"/>
+                    <xs:maxInclusive value="100"/>
+                  </xs:restriction>
+                </xs:simpleType>
+              </xs:element>
+            </xs:schema>"#,
+        )
+        .unwrap();
+        assert!(s.validate_bytes(b"<qty>1</qty>", &mut NullProbe).unwrap().is_valid());
+        assert!(s.validate_bytes(b"<qty>100</qty>", &mut NullProbe).unwrap().is_valid());
+        assert!(!s.validate_bytes(b"<qty>0</qty>", &mut NullProbe).unwrap().is_valid());
+        assert!(!s.validate_bytes(b"<qty>101</qty>", &mut NullProbe).unwrap().is_valid());
+        assert!(!s.validate_bytes(b"<qty>ten</qty>", &mut NullProbe).unwrap().is_valid());
+    }
+
+    #[test]
+    fn named_type_references() {
+        let s = Schema::compile(
+            br#"<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+              <xs:simpleType name="sku">
+                <xs:restriction base="xs:string"><xs:pattern value="S[0-9]+"/></xs:restriction>
+              </xs:simpleType>
+              <xs:element name="r">
+                <xs:complexType><xs:sequence>
+                  <xs:element name="item" type="sku" maxOccurs="unbounded"/>
+                </xs:sequence></xs:complexType>
+              </xs:element>
+            </xs:schema>"#,
+        )
+        .unwrap();
+        assert!(s
+            .validate_bytes(b"<r><item>S1</item><item>S22</item></r>", &mut NullProbe)
+            .unwrap()
+            .is_valid());
+        assert!(!s.validate_bytes(b"<r><item>X1</item></r>", &mut NullProbe).unwrap().is_valid());
+    }
+
+    #[test]
+    fn validation_produces_trace() {
+        use aon_trace::Tracer;
+        let s = po_schema();
+        let mut t = Tracer::new();
+        let v = s.validate_bytes(samples::PURCHASE_ORDER_OK, &mut t).unwrap();
+        assert!(v.is_valid());
+        let st = t.finish().stats();
+        // SV is the CPU-heavy use case: the trace must be substantial.
+        assert!(st.ops > 2_000, "expected substantial trace, got {} ops", st.ops);
+        assert!(st.branches > 200);
+    }
+
+    #[test]
+    fn bad_schema_rejected() {
+        for bad in [
+            &b"<notaschema/>"[..],
+            b"<xs:schema xmlns:xs='x'><xs:element/></xs:schema>", // element without name
+            b"<xs:schema xmlns:xs='x'><xs:element name='e' type='nosuch'/></xs:schema>",
+        ] {
+            assert!(Schema::compile(bad).is_err(), "expected compile error");
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! XSD document → compiled [`Schema`].
+//!
+//! Schema compilation happens once, at simulated-server start-up, so it
+//! reads the schema's own DOM untraced ([`NullProbe`]). The compiler is a
+//! conventional two-pass design: first allocate [`TypeId`] slots for all
+//! named types (so forward references resolve), then compile bodies.
+
+use super::types::{
+    AttrDecl, BuiltinType, ComplexType, ContentModel, ElemDecl, Facets, Particle, SimpleType,
+    TypeDef, TypeId, TypeRef, MAX_UNBOUNDED,
+};
+use super::{pattern::Pattern, Schema};
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use aon_trace::NullProbe;
+use std::collections::HashMap;
+
+fn err(offset: usize) -> XmlError {
+    XmlError::at(XmlErrorKind::BadSchema, offset)
+}
+
+/// Strip a `prefix:` from a QName.
+fn local_name(name: &[u8]) -> &[u8] {
+    match name.iter().rposition(|&b| b == b':') {
+        Some(i) => &name[i + 1..],
+        None => name,
+    }
+}
+
+struct SchemaCompiler<'d> {
+    doc: &'d Document,
+    types: Vec<Option<TypeDef>>,
+    by_name: HashMap<Vec<u8>, TypeId>,
+}
+
+/// Compile a parsed XSD document.
+pub fn compile_from_doc(doc: &Document) -> XmlResult<Schema> {
+    let root = doc.root()?;
+    if local_name(&element_name(doc, root).ok_or_else(|| err(0))?) != b"schema" {
+        return Err(err(0));
+    }
+    let mut c = SchemaCompiler { doc, types: Vec::new(), by_name: HashMap::new() };
+
+    // Pass 1: allocate slots for named top-level types.
+    for child in element_children(doc, root) {
+        let tag = element_name(doc, child).expect("element child");
+        let local = local_name(&tag).to_vec();
+        if local == b"complexType" || local == b"simpleType" {
+            let name = attr(doc, child, b"name").ok_or_else(|| err(0))?;
+            let id = TypeId(c.types.len() as u32);
+            c.types.push(None);
+            if c.by_name.insert(name, id).is_some() {
+                return Err(err(0)); // duplicate type name
+            }
+        }
+    }
+
+    // Pass 2: compile named type bodies.
+    let mut named_idx = 0u32;
+    for child in element_children(doc, root) {
+        let tag = element_name(doc, child).expect("element child");
+        match local_name(&tag) {
+            b"complexType" => {
+                let def = TypeDef::Complex(c.compile_complex(child)?);
+                c.types[named_idx as usize] = Some(def);
+                named_idx += 1;
+            }
+            b"simpleType" => {
+                let def = TypeDef::Simple(c.compile_simple(child)?);
+                c.types[named_idx as usize] = Some(def);
+                named_idx += 1;
+            }
+            _ => {}
+        }
+    }
+
+    // Pass 3: global element declarations.
+    let mut elements = Vec::new();
+    for child in element_children(doc, root) {
+        let tag = element_name(doc, child).expect("element child");
+        if local_name(&tag) == b"element" {
+            let (name, ty) = c.compile_element_decl(child)?;
+            elements.push(ElemDecl { name, ty });
+        }
+    }
+    if elements.is_empty() {
+        return Err(err(0));
+    }
+
+    let types: Vec<TypeDef> = c
+        .types
+        .into_iter()
+        .map(|t| t.ok_or_else(|| err(0)))
+        .collect::<XmlResult<_>>()?;
+    let record_count = elements.len() as u32
+        + types
+            .iter()
+            .map(|t| match t {
+                TypeDef::Simple(_) => 1,
+                TypeDef::Complex(ct) => match &ct.content {
+                    ContentModel::Children(p) => 1 + p.record_count(),
+                    _ => 1,
+                },
+            })
+            .sum::<u32>();
+    Ok(Schema { elements, types, record_count })
+}
+
+impl SchemaCompiler<'_> {
+    /// `<xs:element name=".." type=".."/>` or with inline type. Returns
+    /// (name, type-ref).
+    fn compile_element_decl(&mut self, node: NodeId) -> XmlResult<(Vec<u8>, TypeRef)> {
+        let name = attr(self.doc, node, b"name").ok_or_else(|| err(0))?;
+        let ty = if let Some(tyname) = attr(self.doc, node, b"type") {
+            self.resolve_type(&tyname)?
+        } else {
+            // Inline anonymous type.
+            let mut inline = None;
+            for child in element_children(self.doc, node) {
+                let tag = element_name(self.doc, child).expect("element child");
+                match local_name(&tag) {
+                    b"complexType" => {
+                        let def = TypeDef::Complex(self.compile_complex(child)?);
+                        inline = Some(self.push_anon(def));
+                    }
+                    b"simpleType" => {
+                        let def = TypeDef::Simple(self.compile_simple(child)?);
+                        inline = Some(self.push_anon(def));
+                    }
+                    b"annotation" => {}
+                    _ => return Err(err(0)),
+                }
+            }
+            match inline {
+                Some(id) => TypeRef::Def(id),
+                // No type at all: xs:anyType ~ string.
+                None => TypeRef::Builtin(BuiltinType::String),
+            }
+        };
+        Ok((name, ty))
+    }
+
+    fn push_anon(&mut self, def: TypeDef) -> TypeId {
+        let id = TypeId(self.types.len() as u32);
+        self.types.push(Some(def));
+        id
+    }
+
+    fn resolve_type(&self, qname: &[u8]) -> XmlResult<TypeRef> {
+        let local = local_name(qname);
+        if let Some(bt) = BuiltinType::by_local_name(local) {
+            return Ok(TypeRef::Builtin(bt));
+        }
+        self.by_name
+            .get(local)
+            .copied()
+            .map(TypeRef::Def)
+            .ok_or_else(|| err(0))
+    }
+
+    /// `<xs:complexType>` body.
+    fn compile_complex(&mut self, node: NodeId) -> XmlResult<ComplexType> {
+        let mut attrs = Vec::new();
+        let mut content = ContentModel::Empty;
+        for child in element_children(self.doc, node) {
+            let tag = element_name(self.doc, child).expect("element child");
+            match local_name(&tag) {
+                b"sequence" => {
+                    content = ContentModel::Children(self.compile_group(child, GroupKind::Seq)?)
+                }
+                b"choice" => {
+                    content = ContentModel::Children(self.compile_group(child, GroupKind::Choice)?)
+                }
+                b"all" => {
+                    let mut items = Vec::new();
+                    for g in element_children(self.doc, child) {
+                        items.push(self.compile_particle(g)?);
+                    }
+                    content = ContentModel::Children(Particle::All { items });
+                }
+                b"attribute" => attrs.push(self.compile_attr(child)?),
+                b"simpleContent" => {
+                    // <xs:extension base="..."> with attributes.
+                    for ext in element_children(self.doc, child) {
+                        let etag = element_name(self.doc, ext).expect("element child");
+                        if local_name(&etag) == b"extension" {
+                            let base = attr(self.doc, ext, b"base").ok_or_else(|| err(0))?;
+                            content = ContentModel::Text(self.resolve_type(&base)?);
+                            for a in element_children(self.doc, ext) {
+                                let atag = element_name(self.doc, a).expect("element child");
+                                if local_name(&atag) == b"attribute" {
+                                    attrs.push(self.compile_attr(a)?);
+                                }
+                            }
+                        }
+                    }
+                }
+                b"annotation" => {}
+                _ => return Err(err(0)),
+            }
+        }
+        Ok(ComplexType { attrs, content })
+    }
+
+    fn compile_attr(&mut self, node: NodeId) -> XmlResult<AttrDecl> {
+        let name = attr(self.doc, node, b"name").ok_or_else(|| err(0))?;
+        let required = attr(self.doc, node, b"use").as_deref() == Some(b"required");
+        let ty = match attr(self.doc, node, b"type") {
+            Some(t) => self.resolve_type(&t)?,
+            None => {
+                // Inline simple type or default string.
+                let mut found = TypeRef::Builtin(BuiltinType::String);
+                for child in element_children(self.doc, node) {
+                    let tag = element_name(self.doc, child).expect("element child");
+                    if local_name(&tag) == b"simpleType" {
+                        let def = TypeDef::Simple(self.compile_simple(child)?);
+                        found = TypeRef::Def(self.push_anon(def));
+                    }
+                }
+                found
+            }
+        };
+        Ok(AttrDecl { name, ty, required })
+    }
+
+    fn compile_group(&mut self, node: NodeId, kind: GroupKind) -> XmlResult<Particle> {
+        let (min, max) = occurs(self.doc, node)?;
+        let mut items = Vec::new();
+        for child in element_children(self.doc, node) {
+            items.push(self.compile_particle(child)?);
+        }
+        Ok(match kind {
+            GroupKind::Seq => Particle::Sequence { items, min, max },
+            GroupKind::Choice => Particle::Choice { items, min, max },
+        })
+    }
+
+    fn compile_particle(&mut self, node: NodeId) -> XmlResult<Particle> {
+        let tag = element_name(self.doc, node).ok_or_else(|| err(0))?;
+        match local_name(&tag) {
+            b"element" => {
+                let (min, max) = occurs(self.doc, node)?;
+                let (name, ty) = self.compile_element_decl(node)?;
+                Ok(Particle::Element { name, ty, min, max })
+            }
+            b"sequence" => self.compile_group(node, GroupKind::Seq),
+            b"choice" => self.compile_group(node, GroupKind::Choice),
+            _ => Err(err(0)),
+        }
+    }
+
+    /// `<xs:simpleType>` body: a restriction with facets.
+    fn compile_simple(&mut self, node: NodeId) -> XmlResult<SimpleType> {
+        for child in element_children(self.doc, node) {
+            let tag = element_name(self.doc, child).expect("element child");
+            if local_name(&tag) != b"restriction" {
+                continue;
+            }
+            let base_name = attr(self.doc, child, b"base").ok_or_else(|| err(0))?;
+            let base = BuiltinType::by_local_name(local_name(&base_name)).ok_or_else(|| err(0))?;
+            let mut facets = Facets::default();
+            for facet in element_children(self.doc, child) {
+                let ftag = element_name(self.doc, facet).expect("element child");
+                let value = attr(self.doc, facet, b"value").ok_or_else(|| err(0))?;
+                match local_name(&ftag) {
+                    b"enumeration" => facets.enumeration.push(value),
+                    b"pattern" => {
+                        let src = String::from_utf8(value).map_err(|_| err(0))?;
+                        facets.pattern = Some(Pattern::compile(&src)?);
+                    }
+                    b"length" => facets.length = Some(parse_u32(&value)?),
+                    b"minLength" => facets.min_length = Some(parse_u32(&value)?),
+                    b"maxLength" => facets.max_length = Some(parse_u32(&value)?),
+                    b"minInclusive" => facets.min_inclusive = Some(parse_i64(&value)?),
+                    b"maxInclusive" => facets.max_inclusive = Some(parse_i64(&value)?),
+                    b"whiteSpace" | b"fractionDigits" | b"totalDigits" => {}
+                    _ => return Err(err(0)),
+                }
+            }
+            return Ok(SimpleType { base, facets });
+        }
+        Err(err(0))
+    }
+}
+
+#[derive(Clone, Copy)]
+enum GroupKind {
+    Seq,
+    Choice,
+}
+
+fn parse_u32(v: &[u8]) -> XmlResult<u32> {
+    std::str::from_utf8(v).ok().and_then(|s| s.trim().parse().ok()).ok_or_else(|| err(0))
+}
+
+fn parse_i64(v: &[u8]) -> XmlResult<i64> {
+    std::str::from_utf8(v).ok().and_then(|s| s.trim().parse().ok()).ok_or_else(|| err(0))
+}
+
+/// `minOccurs` / `maxOccurs` of a particle node.
+fn occurs(doc: &Document, node: NodeId) -> XmlResult<(u32, u32)> {
+    let min = match attr(doc, node, b"minOccurs") {
+        Some(v) => parse_u32(&v)?,
+        None => 1,
+    };
+    let max = match attr(doc, node, b"maxOccurs") {
+        Some(v) => {
+            if v == b"unbounded" {
+                MAX_UNBOUNDED
+            } else {
+                parse_u32(&v)?
+            }
+        }
+        None => 1,
+    };
+    if max != MAX_UNBOUNDED && max < min {
+        return Err(err(0));
+    }
+    Ok((min, max))
+}
+
+fn element_name(doc: &Document, node: NodeId) -> Option<Vec<u8>> {
+    match doc.kind_t(node, &mut NullProbe) {
+        NodeKind::Element(nm) => Some(doc.name_bytes(nm).to_vec()),
+        _ => None,
+    }
+}
+
+fn attr(doc: &Document, node: NodeId, name: &[u8]) -> Option<Vec<u8>> {
+    doc.attr_value_t(node, name, &mut NullProbe).map(|s| doc.str_bytes(s).to_vec())
+}
+
+fn element_children(doc: &Document, node: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut cur = doc.first_child_t(node, &mut NullProbe);
+    while let Some(c) = cur {
+        if matches!(doc.kind_t(c, &mut NullProbe), NodeKind::Element(_)) {
+            out.push(c);
+        }
+        cur = doc.next_sibling_t(c, &mut NullProbe);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_name_strips_prefix() {
+        assert_eq!(local_name(b"xs:element"), b"element");
+        assert_eq!(local_name(b"element"), b"element");
+        assert_eq!(local_name(b"a:b:c"), b"c");
+    }
+
+    #[test]
+    fn occurs_defaults() {
+        let doc = crate::parser::parse_document(
+            crate::input::TBuf::msg(b"<e/>"),
+            &mut NullProbe,
+        )
+        .unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(occurs(&doc, root).unwrap(), (1, 1));
+    }
+
+    #[test]
+    fn occurs_unbounded() {
+        let doc = crate::parser::parse_document(
+            crate::input::TBuf::msg(br#"<e minOccurs="0" maxOccurs="unbounded"/>"#),
+            &mut NullProbe,
+        )
+        .unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(occurs(&doc, root).unwrap(), (0, MAX_UNBOUNDED));
+    }
+
+    #[test]
+    fn occurs_invalid_range() {
+        let doc = crate::parser::parse_document(
+            crate::input::TBuf::msg(br#"<e minOccurs="3" maxOccurs="2"/>"#),
+            &mut NullProbe,
+        )
+        .unwrap();
+        assert!(occurs(&doc, doc.root().unwrap()).is_err());
+    }
+}

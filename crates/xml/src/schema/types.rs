@@ -1,0 +1,226 @@
+//! Compiled schema data structures.
+
+/// `maxOccurs="unbounded"`.
+pub const MAX_UNBOUNDED: u32 = u32::MAX;
+
+/// Index of a type definition in [`Schema::types`](super::Schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypeId(pub u32);
+
+/// Reference to a type: either a built-in or a compiled definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeRef {
+    /// One of the built-in simple types (`xs:string`, …).
+    Builtin(BuiltinType),
+    /// A compiled `xs:simpleType` or `xs:complexType`.
+    Def(TypeId),
+}
+
+/// Built-in simple types supported by the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinType {
+    /// `xs:string` — any character data.
+    String,
+    /// `xs:token` — string with collapsed whitespace semantics (we validate
+    /// the value space only).
+    Token,
+    /// `xs:integer`.
+    Integer,
+    /// `xs:nonNegativeInteger`.
+    NonNegativeInteger,
+    /// `xs:positiveInteger`.
+    PositiveInteger,
+    /// `xs:decimal`.
+    Decimal,
+    /// `xs:boolean` — `true|false|1|0`.
+    Boolean,
+    /// `xs:date` — `CCYY-MM-DD`.
+    Date,
+    /// `xs:anyURI` — loosely validated.
+    AnyUri,
+}
+
+impl BuiltinType {
+    /// Resolve a QName's local part (`xs:` prefix already stripped).
+    pub fn by_local_name(name: &[u8]) -> Option<BuiltinType> {
+        Some(match name {
+            b"string" => BuiltinType::String,
+            b"token" | b"normalizedString" => BuiltinType::Token,
+            b"integer" | b"int" | b"long" | b"short" => BuiltinType::Integer,
+            b"nonNegativeInteger" | b"unsignedInt" | b"unsignedLong" => {
+                BuiltinType::NonNegativeInteger
+            }
+            b"positiveInteger" => BuiltinType::PositiveInteger,
+            b"decimal" | b"double" | b"float" => BuiltinType::Decimal,
+            b"boolean" => BuiltinType::Boolean,
+            b"date" => BuiltinType::Date,
+            b"anyURI" => BuiltinType::AnyUri,
+            _ => return None,
+        })
+    }
+}
+
+/// Restriction facets of a simple type.
+#[derive(Debug, Clone, Default)]
+pub struct Facets {
+    /// `xs:enumeration` values (value must equal one when non-empty).
+    pub enumeration: Vec<Vec<u8>>,
+    /// `xs:pattern` (regex-lite, see [`super::pattern`]).
+    pub pattern: Option<super::pattern::Pattern>,
+    /// `xs:length`.
+    pub length: Option<u32>,
+    /// `xs:minLength`.
+    pub min_length: Option<u32>,
+    /// `xs:maxLength`.
+    pub max_length: Option<u32>,
+    /// `xs:minInclusive` (numeric types).
+    pub min_inclusive: Option<i64>,
+    /// `xs:maxInclusive` (numeric types).
+    pub max_inclusive: Option<i64>,
+}
+
+/// A compiled `xs:simpleType` restriction.
+#[derive(Debug, Clone)]
+pub struct SimpleType {
+    /// The base built-in type.
+    pub base: BuiltinType,
+    /// Restriction facets.
+    pub facets: Facets,
+}
+
+/// An attribute declaration on a complex type.
+#[derive(Debug, Clone)]
+pub struct AttrDecl {
+    /// Attribute name.
+    pub name: Vec<u8>,
+    /// Value type (must be simple).
+    pub ty: TypeRef,
+    /// `use="required"`.
+    pub required: bool,
+}
+
+/// A content-model particle.
+#[derive(Debug, Clone)]
+pub enum Particle {
+    /// A child element slot.
+    Element {
+        /// Element name.
+        name: Vec<u8>,
+        /// The element's type.
+        ty: TypeRef,
+        /// `minOccurs`.
+        min: u32,
+        /// `maxOccurs` ([`MAX_UNBOUNDED`] for `unbounded`).
+        max: u32,
+    },
+    /// Ordered group.
+    Sequence {
+        /// Group members, in order.
+        items: Vec<Particle>,
+        /// `minOccurs` of the group.
+        min: u32,
+        /// `maxOccurs` of the group.
+        max: u32,
+    },
+    /// One-of group.
+    Choice {
+        /// Alternatives.
+        items: Vec<Particle>,
+        /// `minOccurs` of the group.
+        min: u32,
+        /// `maxOccurs` of the group.
+        max: u32,
+    },
+    /// Unordered group (each member at most once, required members exactly
+    /// once) — `xs:all`.
+    All {
+        /// Members.
+        items: Vec<Particle>,
+    },
+}
+
+impl Particle {
+    /// Number of particle records (self + descendants), for STATIC-region
+    /// trace accounting.
+    pub fn record_count(&self) -> u32 {
+        match self {
+            Particle::Element { .. } => 1,
+            Particle::Sequence { items, .. }
+            | Particle::Choice { items, .. }
+            | Particle::All { items } => 1 + items.iter().map(Particle::record_count).sum::<u32>(),
+        }
+    }
+}
+
+/// Content of a complex type.
+#[derive(Debug, Clone)]
+pub enum ContentModel {
+    /// No children, no text.
+    Empty,
+    /// Text-only content of a simple type (`xs:simpleContent` or an element
+    /// with a simple type).
+    Text(TypeRef),
+    /// Element-only content.
+    Children(Particle),
+}
+
+/// A compiled `xs:complexType`.
+#[derive(Debug, Clone)]
+pub struct ComplexType {
+    /// Attribute declarations.
+    pub attrs: Vec<AttrDecl>,
+    /// The content model.
+    pub content: ContentModel,
+}
+
+/// A compiled type definition.
+#[derive(Debug, Clone)]
+pub enum TypeDef {
+    /// Simple type.
+    Simple(SimpleType),
+    /// Complex type.
+    Complex(ComplexType),
+}
+
+/// A global element declaration.
+#[derive(Debug, Clone)]
+pub struct ElemDecl {
+    /// Element name.
+    pub name: Vec<u8>,
+    /// The element's type.
+    pub ty: TypeRef,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_lookup() {
+        assert_eq!(BuiltinType::by_local_name(b"string"), Some(BuiltinType::String));
+        assert_eq!(BuiltinType::by_local_name(b"positiveInteger"), Some(BuiltinType::PositiveInteger));
+        assert_eq!(BuiltinType::by_local_name(b"nosuch"), None);
+    }
+
+    #[test]
+    fn particle_record_count() {
+        let p = Particle::Sequence {
+            items: vec![
+                Particle::Element { name: b"a".to_vec(), ty: TypeRef::Builtin(BuiltinType::String), min: 1, max: 1 },
+                Particle::Choice {
+                    items: vec![Particle::Element {
+                        name: b"b".to_vec(),
+                        ty: TypeRef::Builtin(BuiltinType::String),
+                        min: 1,
+                        max: 1,
+                    }],
+                    min: 0,
+                    max: 1,
+                },
+            ],
+            min: 1,
+            max: 1,
+        };
+        assert_eq!(p.record_count(), 4);
+    }
+}

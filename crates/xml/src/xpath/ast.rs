@@ -1,0 +1,211 @@
+//! Compiled XPath representation.
+
+/// Traversal axis of a location step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Direct children.
+    Child,
+    /// All descendants (not self).
+    Descendant,
+    /// Self and all descendants (the `//` axis).
+    DescendantOrSelf,
+    /// The context node itself.
+    SelfAxis,
+    /// The parent node.
+    Parent,
+    /// Attributes.
+    Attribute,
+}
+
+/// What a step matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// A specific element/attribute name.
+    Name(Vec<u8>),
+    /// Any element (or any attribute on the attribute axis).
+    AnyName,
+    /// `text()` — text nodes.
+    Text,
+    /// `node()` — any node.
+    AnyNode,
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Axis to traverse.
+    pub axis: Axis,
+    /// Node test to apply.
+    pub test: NodeTest,
+    /// Predicates, applied in order.
+    pub predicates: Vec<Expr>,
+}
+
+/// Binary comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Built-in functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    /// `count(node-set)`
+    Count,
+    /// `contains(a, b)`
+    Contains,
+    /// `starts-with(a, b)`
+    StartsWith,
+    /// `not(x)`
+    Not,
+    /// `true()`
+    True,
+    /// `false()`
+    False,
+    /// `position()`
+    Position,
+    /// `last()`
+    Last,
+    /// `string(x)`
+    String,
+    /// `string-length(x)`
+    StringLength,
+    /// `normalize-space(x)`
+    NormalizeSpace,
+    /// `name()` — name of the context node.
+    Name,
+    /// `concat(a, b, ...)`
+    Concat,
+    /// `substring(s, start [, len])` — 1-based, per XPath rounding rules.
+    Substring,
+    /// `substring-before(a, b)`
+    SubstringBefore,
+    /// `substring-after(a, b)`
+    SubstringAfter,
+    /// `translate(s, from, to)`
+    Translate,
+}
+
+impl Func {
+    /// Look up a function by its XPath name.
+    pub fn by_name(name: &str) -> Option<Func> {
+        Some(match name {
+            "count" => Func::Count,
+            "contains" => Func::Contains,
+            "starts-with" => Func::StartsWith,
+            "not" => Func::Not,
+            "true" => Func::True,
+            "false" => Func::False,
+            "position" => Func::Position,
+            "last" => Func::Last,
+            "string" => Func::String,
+            "string-length" => Func::StringLength,
+            "normalize-space" => Func::NormalizeSpace,
+            "name" => Func::Name,
+            "concat" => Func::Concat,
+            "substring" => Func::Substring,
+            "substring-before" => Func::SubstringBefore,
+            "substring-after" => Func::SubstringAfter,
+            "translate" => Func::Translate,
+            _ => return None,
+        })
+    }
+
+    /// (min, max) argument count.
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            Func::Count | Func::Not => (1, 1),
+            Func::Contains | Func::StartsWith => (2, 2),
+            Func::True | Func::False | Func::Position | Func::Last => (0, 0),
+            Func::String | Func::StringLength | Func::NormalizeSpace => (0, 1),
+            Func::Name => (0, 1),
+            Func::Concat => (2, 16),
+            Func::Substring => (2, 3),
+            Func::SubstringBefore | Func::SubstringAfter => (2, 2),
+            Func::Translate => (3, 3),
+        }
+    }
+}
+
+/// An expression tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A location path. `absolute` paths start at the document root.
+    Path {
+        /// Whether the path starts with `/` or `//`.
+        absolute: bool,
+        /// The steps.
+        steps: Vec<Step>,
+    },
+    /// A string literal.
+    Literal(Vec<u8>),
+    /// A number literal.
+    Number(f64),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical and (short-circuit).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical or (short-circuit).
+    Or(Box<Expr>, Box<Expr>),
+    /// Node-set union.
+    Union(Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(Func, Vec<Expr>),
+}
+
+impl Expr {
+    /// Count AST records for STATIC-region layout (each step and expression
+    /// node occupies one record whose read is traced during evaluation).
+    pub fn count_records(&self) -> u32 {
+        match self {
+            Expr::Path { steps, .. } => {
+                1 + steps
+                    .iter()
+                    .map(|s| 1 + s.predicates.iter().map(Expr::count_records).sum::<u32>())
+                    .sum::<u32>()
+            }
+            Expr::Literal(_) | Expr::Number(_) => 1,
+            Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) | Expr::Union(a, b) => {
+                1 + a.count_records() + b.count_records()
+            }
+            Expr::Call(_, args) => 1 + args.iter().map(Expr::count_records).sum::<u32>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn func_lookup() {
+        assert_eq!(Func::by_name("count"), Some(Func::Count));
+        assert_eq!(Func::by_name("starts-with"), Some(Func::StartsWith));
+        assert_eq!(Func::by_name("bogus"), None);
+    }
+
+    #[test]
+    fn record_counting() {
+        let e = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Path {
+                absolute: false,
+                steps: vec![Step { axis: Axis::Child, test: NodeTest::AnyName, predicates: vec![] }],
+            }),
+            Box::new(Expr::Literal(b"1".to_vec())),
+        );
+        // cmp + path + step + literal
+        assert_eq!(e.count_records(), 4);
+    }
+}

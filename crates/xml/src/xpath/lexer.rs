@@ -1,0 +1,287 @@
+//! XPath expression tokenizer.
+//!
+//! Compilation happens once per configured route at server start-up, so this
+//! lexer is untraced — only *evaluation* contributes to the measured
+//! workload, matching the paper's setup where XPath expressions are part of
+//! the device configuration.
+
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+
+/// XPath tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `@`
+    At,
+    /// `*`
+    Star,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `|`
+    Pipe,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `axis::` prefix (name before `::`)
+    AxisName(String),
+    /// A name (element name, function name).
+    Name(String),
+    /// A string literal.
+    Literal(String),
+    /// A number literal.
+    Number(f64),
+    /// End of expression.
+    End,
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    // ':' is handled separately so `axis::test` and `prefix:name` both work.
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+/// Tokenize `src` completely.
+pub fn tokenize(src: &str) -> XmlResult<Vec<Tok>> {
+    let err = |off: usize| XmlError::at(XmlErrorKind::XPathSyntax, off);
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' => {
+                if bytes.get(i + 1) == Some(&'/') {
+                    out.push(Tok::DoubleSlash);
+                    i += 2;
+                } else {
+                    out.push(Tok::Slash);
+                    i += 1;
+                }
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&'.') {
+                    out.push(Tok::DotDot);
+                    i += 2;
+                } else if bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    // .5 style number
+                    let (n, len) = scan_number(&bytes[i..]).ok_or_else(|| err(i))?;
+                    out.push(Tok::Number(n));
+                    i += len;
+                } else {
+                    out.push(Tok::Dot);
+                    i += 1;
+                }
+            }
+            '@' => {
+                out.push(Tok::At);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '[' => {
+                out.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Tok::RBracket);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '|' => {
+                out.push(Tok::Pipe);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            '!'
+                if bytes.get(i + 1) == Some(&'=') => {
+                    out.push(Tok::Ne);
+                    i += 2;
+                }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Le);
+                    i += 2;
+                } else {
+                    out.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    out.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != quote {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(err(i));
+                }
+                out.push(Tok::Literal(bytes[start..j].iter().collect()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let (n, len) = scan_number(&bytes[i..]).ok_or_else(|| err(i))?;
+                out.push(Tok::Number(n));
+                i += len;
+            }
+            c if is_name_start(c) => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_name_char(bytes[j]) {
+                    j += 1;
+                }
+                let mut name: String = bytes[start..j].iter().collect();
+                // `axis::` spelling.
+                if bytes.get(j) == Some(&':') && bytes.get(j + 1) == Some(&':') {
+                    out.push(Tok::AxisName(name));
+                    i = j + 2;
+                } else if bytes.get(j) == Some(&':')
+                    && bytes.get(j + 1).is_some_and(|&c| is_name_start(c))
+                {
+                    // `prefix:name` qualified name.
+                    name.push(':');
+                    let mut k = j + 1;
+                    while k < bytes.len() && is_name_char(bytes[k]) {
+                        k += 1;
+                    }
+                    name.extend(bytes[j + 1..k].iter());
+                    out.push(Tok::Name(name));
+                    i = k;
+                } else {
+                    match name.as_str() {
+                        // `and`/`or` are operators only where an operator
+                        // can appear; the parser disambiguates by position.
+                        "and" => out.push(Tok::And),
+                        "or" => out.push(Tok::Or),
+                        _ => out.push(Tok::Name(name)),
+                    }
+                    i = j;
+                }
+            }
+            _ => return Err(err(i)),
+        }
+    }
+    out.push(Tok::End);
+    Ok(out)
+}
+
+fn scan_number(chars: &[char]) -> Option<(f64, usize)> {
+    let mut j = 0;
+    while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '.') {
+        j += 1;
+    }
+    let s: String = chars[..j].iter().collect();
+    s.parse().ok().map(|n| (n, j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_paper_expression() {
+        let toks = tokenize("//quantity/text()").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::DoubleSlash,
+                Tok::Name("quantity".into()),
+                Tok::Slash,
+                Tok::Name("text".into()),
+                Tok::LParen,
+                Tok::RParen,
+                Tok::End
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_literals() {
+        let toks = tokenize("a[@x != '1' and b >= 2.5]").unwrap();
+        assert!(toks.contains(&Tok::Ne));
+        assert!(toks.contains(&Tok::And));
+        assert!(toks.contains(&Tok::Ge));
+        assert!(toks.contains(&Tok::Literal("1".into())));
+        assert!(toks.contains(&Tok::Number(2.5)));
+    }
+
+    #[test]
+    fn axis_spelling() {
+        let toks = tokenize("descendant-or-self::node()").unwrap();
+        assert_eq!(toks[0], Tok::AxisName("descendant-or-self".into()));
+    }
+
+    #[test]
+    fn dots_and_numbers() {
+        assert_eq!(tokenize(".").unwrap()[0], Tok::Dot);
+        assert_eq!(tokenize("..").unwrap()[0], Tok::DotDot);
+        assert_eq!(tokenize(".5").unwrap()[0], Tok::Number(0.5));
+        assert_eq!(tokenize("42").unwrap()[0], Tok::Number(42.0));
+    }
+
+    #[test]
+    fn bad_input_errors() {
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("#").is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! Recursive-descent XPath parser (tokens → [`Expr`]).
+
+use super::ast::{Axis, CmpOp, Expr, Func, NodeTest, Step};
+use super::lexer::{tokenize, Tok};
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+
+/// Parse an XPath expression.
+pub fn parse(src: &str) -> XmlResult<Expr> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.or_expr()?;
+    p.expect_end()?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self) -> XmlError {
+        XmlError::at(XmlErrorKind::XPathSyntax, self.pos)
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> XmlResult<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err())
+        }
+    }
+
+    fn expect_end(&self) -> XmlResult<()> {
+        if *self.peek() == Tok::End {
+            Ok(())
+        } else {
+            Err(self.err())
+        }
+    }
+
+    // or_expr := and_expr ('or' and_expr)*
+    fn or_expr(&mut self) -> XmlResult<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat(&Tok::Or) {
+            let rhs = self.and_expr()?;
+            e = Expr::Or(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    // and_expr := cmp_expr ('and' cmp_expr)*
+    fn and_expr(&mut self) -> XmlResult<Expr> {
+        let mut e = self.cmp_expr()?;
+        while self.eat(&Tok::And) {
+            let rhs = self.cmp_expr()?;
+            e = Expr::And(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    // cmp_expr := union_expr (op union_expr)?
+    fn cmp_expr(&mut self) -> XmlResult<Expr> {
+        let lhs = self.union_expr()?;
+        let op = match self.peek() {
+            Tok::Eq => CmpOp::Eq,
+            Tok::Ne => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.union_expr()?;
+        Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    // union_expr := primary ('|' primary)*
+    fn union_expr(&mut self) -> XmlResult<Expr> {
+        let mut e = self.primary()?;
+        while self.eat(&Tok::Pipe) {
+            let rhs = self.primary()?;
+            e = Expr::Union(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> XmlResult<Expr> {
+        match self.peek().clone() {
+            Tok::Literal(s) => {
+                self.bump();
+                Ok(Expr::Literal(s.into_bytes()))
+            }
+            Tok::Number(n) => {
+                self.bump();
+                Ok(Expr::Number(n))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.or_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Name(name) if self.toks.get(self.pos + 1) == Some(&Tok::LParen) => {
+                // Function call — unless it's the node-test spelling
+                // `text()` / `node()`, which location_path handles.
+                if name == "text" || name == "node" {
+                    self.location_path()
+                } else {
+                    self.bump(); // name
+                    self.bump(); // (
+                    let func = Func::by_name(&name).ok_or_else(|| self.err())?;
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.or_expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                    }
+                    let (min, max) = func.arity();
+                    if args.len() < min || args.len() > max {
+                        return Err(self.err());
+                    }
+                    Ok(Expr::Call(func, args))
+                }
+            }
+            Tok::Slash | Tok::DoubleSlash | Tok::Dot | Tok::DotDot | Tok::At | Tok::Star
+            | Tok::Name(_) | Tok::AxisName(_) => self.location_path(),
+            _ => Err(self.err()),
+        }
+    }
+
+    // location_path := '/' steps? | '//' steps | steps
+    fn location_path(&mut self) -> XmlResult<Expr> {
+        let mut steps = Vec::new();
+        let absolute = matches!(self.peek(), Tok::Slash | Tok::DoubleSlash);
+        if self.eat(&Tok::Slash) {
+            // "/" alone selects the root; allow trailing end or continue.
+            if self.step_starts() {
+                steps.push(self.step()?);
+            } else if steps.is_empty() && !self.path_continues() {
+                return Ok(Expr::Path { absolute: true, steps });
+            } else {
+                return Err(self.err());
+            }
+        } else if self.eat(&Tok::DoubleSlash) {
+            steps.push(Step {
+                axis: Axis::DescendantOrSelf,
+                test: NodeTest::AnyNode,
+                predicates: vec![],
+            });
+            if !self.step_starts() {
+                return Err(self.err());
+            }
+            steps.push(self.step()?);
+        } else {
+            steps.push(self.step()?);
+        }
+        loop {
+            if self.eat(&Tok::Slash) {
+                if !self.step_starts() {
+                    return Err(self.err());
+                }
+                steps.push(self.step()?);
+            } else if self.eat(&Tok::DoubleSlash) {
+                steps.push(Step {
+                    axis: Axis::DescendantOrSelf,
+                    test: NodeTest::AnyNode,
+                    predicates: vec![],
+                });
+                if !self.step_starts() {
+                    return Err(self.err());
+                }
+                steps.push(self.step()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Expr::Path { absolute, steps })
+    }
+
+    fn step_starts(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::Name(_) | Tok::Star | Tok::At | Tok::Dot | Tok::DotDot | Tok::AxisName(_)
+        )
+    }
+
+    fn path_continues(&self) -> bool {
+        self.step_starts() || matches!(self.peek(), Tok::Slash | Tok::DoubleSlash)
+    }
+
+    // step := '@'? node_test predicate* | '.' | '..' | axis '::' node_test predicate*
+    fn step(&mut self) -> XmlResult<Step> {
+        if self.eat(&Tok::Dot) {
+            return Ok(Step { axis: Axis::SelfAxis, test: NodeTest::AnyNode, predicates: vec![] });
+        }
+        if self.eat(&Tok::DotDot) {
+            return Ok(Step { axis: Axis::Parent, test: NodeTest::AnyNode, predicates: vec![] });
+        }
+        let axis = if self.eat(&Tok::At) {
+            Axis::Attribute
+        } else if let Tok::AxisName(name) = self.peek().clone() {
+            self.bump();
+            match name.as_str() {
+                "child" => Axis::Child,
+                "descendant" => Axis::Descendant,
+                "descendant-or-self" => Axis::DescendantOrSelf,
+                "self" => Axis::SelfAxis,
+                "parent" => Axis::Parent,
+                "attribute" => Axis::Attribute,
+                _ => return Err(self.err()),
+            }
+        } else {
+            Axis::Child
+        };
+        let test = match self.bump() {
+            Tok::Star => NodeTest::AnyName,
+            Tok::Name(name) => {
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    self.expect(&Tok::RParen)?;
+                    match name.as_str() {
+                        "text" => NodeTest::Text,
+                        "node" => NodeTest::AnyNode,
+                        _ => return Err(self.err()),
+                    }
+                } else {
+                    NodeTest::Name(name.into_bytes())
+                }
+            }
+            _ => return Err(self.err()),
+        };
+        let mut predicates = Vec::new();
+        while self.eat(&Tok::LBracket) {
+            predicates.push(self.or_expr()?);
+            self.expect(&Tok::RBracket)?;
+        }
+        Ok(Step { axis, test, predicates })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_expression() {
+        let e = parse("//quantity/text()").unwrap();
+        match e {
+            Expr::Path { absolute, steps } => {
+                assert!(absolute);
+                assert_eq!(steps.len(), 3);
+                assert_eq!(steps[0].axis, Axis::DescendantOrSelf);
+                assert_eq!(steps[1].test, NodeTest::Name(b"quantity".to_vec()));
+                assert_eq!(steps[2].test, NodeTest::Text);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_predicates() {
+        let e = parse("item[quantity = '1'][2]").unwrap();
+        match e {
+            Expr::Path { steps, .. } => {
+                assert_eq!(steps[0].predicates.len(), 2);
+                assert!(matches!(steps[0].predicates[1], Expr::Number(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_explicit_axes() {
+        let e = parse("child::a/descendant::b/attribute::c").unwrap();
+        match e {
+            Expr::Path { steps, .. } => {
+                assert_eq!(steps[0].axis, Axis::Child);
+                assert_eq!(steps[1].axis, Axis::Descendant);
+                assert_eq!(steps[2].axis, Axis::Attribute);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_only_path() {
+        let e = parse("/").unwrap();
+        assert!(matches!(e, Expr::Path { absolute: true, ref steps } if steps.is_empty()));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // or binds looser than and: a='1' or b='2' and c='3'
+        let e = parse("a='1' or b='2' and c='3'").unwrap();
+        assert!(matches!(e, Expr::Or(..)));
+    }
+
+    #[test]
+    fn function_arity_checked() {
+        assert!(parse("count()").is_err());
+        assert!(parse("count(a, b)").is_err());
+        assert!(parse("contains(a)").is_err());
+        assert!(parse("true(1)").is_err());
+        assert!(parse("unknown-func(a)").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("a b").is_err());
+        assert!(parse("a)").is_err());
+    }
+
+    #[test]
+    fn bad_axis_rejected() {
+        assert!(parse("following::a").is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! Property tests for the XML substrate: parser/serializer round trips,
+//! UTF-8 validation against the standard library, pattern matching against
+//! an independent reference implementation, and no-panic guarantees.
+
+use aon_trace::NullProbe;
+use aon_xml::input::TBuf;
+use aon_xml::parser::parse_document;
+use aon_xml::schema::pattern::Pattern;
+use aon_xml::serialize::serialize_document;
+use aon_xml::utf8::validate_utf8;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Random document generation (rendered to text, then parsed).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Node {
+    Element { name: String, attrs: Vec<(String, String)>, children: Vec<Node> },
+    Text(String),
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,7}"
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Includes characters that need escaping.
+    "[ a-zA-Z0-9<>&'\"]{0,24}"
+}
+
+fn arb_node() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        arb_text().prop_map(Node::Text),
+        (arb_name(), prop::collection::vec((arb_name(), arb_text()), 0..3))
+            .prop_map(|(name, attrs)| Node::Element { name, attrs: dedup_attrs(attrs), children: vec![] }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (arb_name(), prop::collection::vec((arb_name(), arb_text()), 0..3), prop::collection::vec(inner, 0..4))
+            .prop_map(|(name, attrs, children)| Node::Element {
+                name,
+                attrs: dedup_attrs(attrs),
+                children,
+            })
+    })
+}
+
+fn dedup_attrs(attrs: Vec<(String, String)>) -> Vec<(String, String)> {
+    let mut seen = std::collections::HashSet::new();
+    attrs.into_iter().filter(|(n, _)| seen.insert(n.clone())).collect()
+}
+
+fn escape(text: &str, attr: bool) -> String {
+    let mut out = String::new();
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if attr => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn render(node: &Node, out: &mut String) {
+    match node {
+        Node::Text(t) => out.push_str(&escape(t, false)),
+        Node::Element { name, attrs, children } => {
+            out.push('<');
+            out.push_str(name);
+            for (an, av) in attrs {
+                out.push(' ');
+                out.push_str(an);
+                out.push_str("=\"");
+                out.push_str(&escape(av, true));
+                out.push('"');
+            }
+            if children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for c in children {
+                    render(c, out);
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+        }
+    }
+}
+
+fn root_wrapped(node: Node) -> String {
+    let mut s = String::from("<root>");
+    render(&node, &mut s);
+    s.push_str("</root>");
+    s
+}
+
+proptest! {
+    #[test]
+    fn parse_serialize_reaches_fixed_point(node in arb_node()) {
+        let text = root_wrapped(node);
+        let doc = parse_document(TBuf::msg(text.as_bytes()), &mut NullProbe).expect("rendered XML parses");
+        let once = serialize_document(&doc, &mut NullProbe);
+        let redoc = parse_document(TBuf::msg(&once), &mut NullProbe).expect("serialized XML reparses");
+        let twice = serialize_document(&redoc, &mut NullProbe);
+        prop_assert_eq!(&once, &twice, "serialization must be a fixed point");
+        prop_assert_eq!(doc.node_count(), redoc.node_count());
+        prop_assert_eq!(doc.attr_count(), redoc.attr_count());
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = parse_document(TBuf::msg(&bytes), &mut NullProbe);
+    }
+
+    #[test]
+    fn parser_never_panics_on_markup_like_input(s in "[<>a-z/&;\"= ]{0,200}") {
+        let _ = parse_document(TBuf::msg(s.as_bytes()), &mut NullProbe);
+    }
+
+    #[test]
+    fn utf8_validator_agrees_with_std(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let ours = validate_utf8(TBuf::msg(&bytes), &mut NullProbe);
+        let std_ok = std::str::from_utf8(&bytes).is_ok();
+        prop_assert_eq!(ours.is_some(), std_ok);
+        if let Some(n) = ours {
+            prop_assert_eq!(n, std::str::from_utf8(&bytes).unwrap().chars().count());
+        }
+    }
+
+    #[test]
+    fn utf8_validator_accepts_all_strings(s in any::<String>()) {
+        let n = validate_utf8(TBuf::msg(s.as_bytes()), &mut NullProbe);
+        prop_assert_eq!(n, Some(s.chars().count()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pattern engine vs. an independent reference matcher.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Pat {
+    Lit(char),
+    Class(Vec<char>, bool),
+    Concat(Box<Pat>, Box<Pat>),
+    Alt(Box<Pat>, Box<Pat>),
+    Star(Box<Pat>),
+    Plus(Box<Pat>),
+    Opt(Box<Pat>),
+    Counted(Box<Pat>, u32, u32),
+}
+
+fn arb_pat() -> impl Strategy<Value = Pat> {
+    let leaf = prop_oneof![
+        prop::sample::select(vec!['a', 'b', 'c']).prop_map(Pat::Lit),
+        (prop::collection::vec(prop::sample::select(vec!['a', 'b', 'c']), 1..3), any::<bool>())
+            .prop_map(|(cs, neg)| Pat::Class(cs, neg)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pat::Concat(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pat::Alt(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Pat::Star(Box::new(a))),
+            inner.clone().prop_map(|a| Pat::Plus(Box::new(a))),
+            inner.clone().prop_map(|a| Pat::Opt(Box::new(a))),
+            (inner, 0u32..3, 0u32..3).prop_map(|(a, m, extra)| Pat::Counted(Box::new(a), m, m + extra)),
+        ]
+    })
+}
+
+fn render_pat(p: &Pat, out: &mut String) {
+    match p {
+        Pat::Lit(c) => out.push(*c),
+        Pat::Class(cs, neg) => {
+            out.push('[');
+            if *neg {
+                out.push('^');
+            }
+            for c in cs {
+                out.push(*c);
+            }
+            out.push(']');
+        }
+        Pat::Concat(a, b) => {
+            out.push('(');
+            render_pat(a, out);
+            out.push(')');
+            out.push('(');
+            render_pat(b, out);
+            out.push(')');
+        }
+        Pat::Alt(a, b) => {
+            out.push('(');
+            render_pat(a, out);
+            out.push('|');
+            render_pat(b, out);
+            out.push(')');
+        }
+        Pat::Star(a) => {
+            out.push('(');
+            render_pat(a, out);
+            out.push_str(")*");
+        }
+        Pat::Plus(a) => {
+            out.push('(');
+            render_pat(a, out);
+            out.push_str(")+");
+        }
+        Pat::Opt(a) => {
+            out.push('(');
+            render_pat(a, out);
+            out.push_str(")?");
+        }
+        Pat::Counted(a, min, max) => {
+            out.push('(');
+            render_pat(a, out);
+            out.push(')');
+            out.push_str(&format!("{{{min},{max}}}"));
+        }
+    }
+}
+
+/// Reference matcher: set of reachable positions after consuming input.
+fn ref_match(p: &Pat, input: &[u8]) -> bool {
+    fn step(p: &Pat, input: &[u8], starts: &std::collections::BTreeSet<usize>) -> std::collections::BTreeSet<usize> {
+        let mut ends = std::collections::BTreeSet::new();
+        for &s in starts {
+            match p {
+                Pat::Lit(c) => {
+                    if input.get(s) == Some(&(*c as u8)) {
+                        ends.insert(s + 1);
+                    }
+                }
+                Pat::Class(cs, neg) => {
+                    if let Some(&b) = input.get(s) {
+                        let inside = cs.iter().any(|&c| c as u8 == b);
+                        if inside != *neg {
+                            ends.insert(s + 1);
+                        }
+                    }
+                }
+                Pat::Concat(a, b) => {
+                    let mid = step(a, input, &[s].into_iter().collect());
+                    ends.extend(step(b, input, &mid));
+                }
+                Pat::Alt(a, b) => {
+                    ends.extend(step(a, input, &[s].into_iter().collect()));
+                    ends.extend(step(b, input, &[s].into_iter().collect()));
+                }
+                Pat::Star(a) => {
+                    let mut reach: std::collections::BTreeSet<usize> = [s].into_iter().collect();
+                    let mut frontier = reach.clone();
+                    loop {
+                        let next = step(a, input, &frontier);
+                        let fresh: std::collections::BTreeSet<usize> =
+                            next.difference(&reach).copied().collect();
+                        if fresh.is_empty() {
+                            break;
+                        }
+                        reach.extend(fresh.iter().copied());
+                        frontier = fresh;
+                    }
+                    ends.extend(reach);
+                }
+                Pat::Plus(a) => {
+                    let once = step(a, input, &[s].into_iter().collect());
+                    let star = Pat::Star(Box::new((**a).clone()));
+                    ends.extend(step(&star, input, &once));
+                }
+                Pat::Opt(a) => {
+                    ends.insert(s);
+                    ends.extend(step(a, input, &[s].into_iter().collect()));
+                }
+                Pat::Counted(a, min, max) => {
+                    let mut cur: std::collections::BTreeSet<usize> = [s].into_iter().collect();
+                    for _ in 0..*min {
+                        cur = step(a, input, &cur);
+                    }
+                    let mut all = cur.clone();
+                    for _ in *min..*max {
+                        cur = step(a, input, &cur);
+                        all.extend(cur.iter().copied());
+                    }
+                    ends.extend(all);
+                }
+            }
+        }
+        ends
+    }
+    step(p, input, &[0usize].into_iter().collect()).contains(&input.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn pattern_engine_agrees_with_reference(
+        pat in arb_pat(),
+        input in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 0..8),
+    ) {
+        let mut src = String::new();
+        render_pat(&pat, &mut src);
+        let compiled = Pattern::compile(&src).expect("rendered pattern compiles");
+        let ours = compiled.matches(&input, &mut NullProbe);
+        let reference = ref_match(&pat, &input);
+        prop_assert_eq!(
+            ours,
+            reference,
+            "pattern {:?} on {:?}",
+            src,
+            String::from_utf8_lossy(&input)
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Black-box coverage of every XPath function and coercion through the
+//! public API.
+
+use aon_trace::NullProbe;
+use aon_xml::input::TBuf;
+use aon_xml::parser::parse_document;
+use aon_xml::xpath::{XPath, XPathValue};
+use aon_xml::Document;
+
+fn doc() -> Document {
+    parse_document(
+        TBuf::msg(
+            br#"<cat id="c1"><item n="a">  one  </item><item n="b">two</item><item n="c">three</item><empty/></cat>"#,
+        ),
+        &mut NullProbe,
+    )
+    .unwrap()
+}
+
+fn eval(expr: &str) -> XPathValue {
+    XPath::compile(expr).unwrap().eval(&doc(), &mut NullProbe).unwrap()
+}
+
+fn num(expr: &str) -> f64 {
+    eval(expr).number_value(&doc(), &mut NullProbe)
+}
+
+fn boolean(expr: &str) -> bool {
+    eval(expr).boolean_value(&doc(), &mut NullProbe)
+}
+
+fn string(expr: &str) -> String {
+    String::from_utf8(eval(expr).string_value(&doc(), &mut NullProbe)).unwrap()
+}
+
+#[test]
+fn count_function() {
+    assert_eq!(num("count(//item)"), 3.0);
+    assert_eq!(num("count(//missing)"), 0.0);
+    assert_eq!(num("count(/cat/*)"), 4.0);
+}
+
+#[test]
+fn string_functions() {
+    assert_eq!(string("string(//item[2]/text())"), "two");
+    assert_eq!(num("string-length(//item[2]/text())"), 3.0);
+    assert_eq!(string("normalize-space(//item[1]/text())"), "one");
+    assert_eq!(string("name(//item[3])"), "item");
+}
+
+#[test]
+fn contains_and_starts_with() {
+    assert!(boolean("contains(//item[3], 'hre')"));
+    assert!(!boolean("contains(//item[3], 'xyz')"));
+    assert!(boolean("starts-with(//item[2], 'tw')"));
+    assert!(!boolean("starts-with(//item[2], 'wo')"));
+}
+
+#[test]
+fn boolean_functions_and_operators() {
+    assert!(boolean("true()"));
+    assert!(!boolean("false()"));
+    assert!(boolean("not(false())"));
+    assert!(boolean("true() and not(false()) or false()"));
+}
+
+#[test]
+fn position_and_last() {
+    assert_eq!(string("//item[position() = 2]/@n"), "b");
+    assert_eq!(string("//item[last()]/@n"), "c");
+    assert_eq!(num("count(//item[position() != 1])"), 2.0);
+}
+
+#[test]
+fn numeric_coercions_and_comparisons() {
+    assert!(boolean("count(//item) > 2"));
+    assert!(boolean("count(//item) <= 3"));
+    assert!(boolean("string-length(//item[1]/@n) = 1"));
+    assert!(boolean("2 < 3 and 3 >= 3"));
+    assert!(!boolean("1 != 1"));
+}
+
+#[test]
+fn node_set_equality_is_existential() {
+    // `=` over a node-set is true if ANY member matches.
+    assert!(boolean("//item = 'two'"));
+    assert!(boolean("//item/@n = 'c'"));
+    assert!(!boolean("//item = 'nothing'"));
+    // And != is true if any member differs (both can hold at once).
+    assert!(boolean("//item != 'two'"));
+}
+
+#[test]
+fn empty_nodeset_semantics() {
+    assert!(!boolean("//missing"));
+    assert_eq!(string("string(//missing)"), "");
+    assert!(num("string(//missing)").is_nan() || num("string(//missing)") == 0.0);
+    assert!(!boolean("//missing = 'x'"));
+}
+
+#[test]
+fn union_and_wildcards() {
+    assert_eq!(num("count(//item | //empty)"), 4.0);
+    assert_eq!(num("count(//item | //item)"), 3.0, "unions deduplicate");
+    assert_eq!(num("count(/cat/node())"), 4.0);
+}
+
+#[test]
+fn attribute_values_in_predicates() {
+    assert_eq!(string("//item[@n='b']/text()"), "two");
+    assert_eq!(num("count(//item[@n])"), 3.0);
+    assert_eq!(num("count(//empty[@n])"), 0.0);
+}
+
+#[test]
+fn concat_function() {
+    assert_eq!(string("concat('a', 'b', 'c')"), "abc");
+    assert_eq!(string("concat(//item[1]/@n, '-', //item[2]/@n)"), "a-b");
+}
+
+#[test]
+fn substring_function() {
+    assert_eq!(string("substring('12345', 2, 3)"), "234");
+    assert_eq!(string("substring('12345', 2)"), "2345");
+    // The XPath spec's famous edge cases.
+    assert_eq!(string("substring('12345', 1.5, 2.6)"), "234");
+    assert_eq!(string("substring('12345', 0, 3)"), "12");
+    assert_eq!(string("substring('12345', 10, 3)"), "");
+}
+
+#[test]
+fn substring_before_after() {
+    assert_eq!(string("substring-before('1999/04/01', '/')"), "1999");
+    assert_eq!(string("substring-after('1999/04/01', '/')"), "04/01");
+    assert_eq!(string("substring-before('abc', 'x')"), "");
+    assert_eq!(string("substring-after('abc', 'x')"), "");
+}
+
+#[test]
+fn translate_function() {
+    assert_eq!(string("translate('bar', 'abc', 'ABC')"), "BAr");
+    // Characters in `from` without a counterpart in `to` are deleted.
+    assert_eq!(string("translate('--aaa--', 'abc-', 'ABC')"), "AAA");
+}

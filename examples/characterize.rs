@@ -1,0 +1,90 @@
+//! Characterize one (platform × workload) cell — the paper's §3
+//! methodology in one command: run the workload on the simulated machine
+//! and print the VTune-style counter report.
+//!
+//! Run: `cargo run --release --example characterize -- 2LPx SV`
+//! Platforms: 1CPm 2CPm 1LPx 2LPx 2PPx
+//! Workloads: FR CBR SV netperf netperf-loopback
+
+use aon::core::workload::WorkloadKind;
+use aon::core::experiment::ExperimentConfig;
+use aon::server::corpus::Corpus;
+use aon::sim::config::Platform;
+use aon::sim::machine::Machine;
+use aon::sim::stats::MachineStats;
+
+fn parse_platform(s: &str) -> Option<Platform> {
+    Platform::ALL.into_iter().find(|p| p.notation().eq_ignore_ascii_case(s))
+}
+
+fn parse_workload(s: &str) -> Option<WorkloadKind> {
+    WorkloadKind::ALL.into_iter().find(|w| w.label().eq_ignore_ascii_case(s))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let platform = args.get(1).and_then(|s| parse_platform(s)).unwrap_or(Platform::TwoCorePentiumM);
+    let workload = args.get(2).and_then(|s| parse_workload(s)).unwrap_or(WorkloadKind::Cbr);
+
+    let cfg = ExperimentConfig::default();
+    eprintln!(
+        "measuring {workload} on {platform} ({} Mcycle window)...",
+        cfg.measure_cycles / 1_000_000
+    );
+    // Run the cell by hand (instead of run_cell) to keep the machine for
+    // its sampling profile.
+    let corpus = Corpus::generate(cfg.corpus_seed, cfg.corpus_variants);
+    let mut machine = Machine::new(platform.config());
+    workload.build(&mut machine, &corpus);
+    machine.run(cfg.warmup_cycles);
+    machine.reset_counters();
+    let out = machine.run(cfg.warmup_cycles + cfg.measure_cycles);
+    let stats = MachineStats::collect(&machine, &out);
+    let s = &stats;
+    let t = &s.total;
+
+    println!("=== {workload} on {platform} ({} logical CPUs @ {} MHz) ===", s.per_cpu.len(), s.cpu_mhz);
+    println!("simulated window      : {:.1} ms", s.seconds() * 1e3);
+    println!("completed work units  : {} ({:.0}/s)", s.completed_units, s.units_per_sec());
+    println!("payload throughput    : {:.0} Mbps", s.throughput_mbps());
+    println!();
+    println!("-- on-chip counters (aggregated) --");
+    println!("clockticks            : {}", t.clockticks);
+    println!("instructions retired  : {:.0}", t.inst_retired());
+    println!("branches retired      : {}", t.branches_retired);
+    println!("branch mispredictions : {}", t.branch_mispredicts);
+    println!("L1D misses            : {}", t.l1d_misses);
+    println!("L2 misses             : {}", t.l2_misses);
+    println!("bus transactions      : {}", t.bus_txns);
+    println!();
+    println!("-- derived metrics (paper §3.3) --");
+    println!("CPI                   : {:.2}", t.cpi());
+    println!("L2MPI                 : {:.3} %", t.l2mpi_pct());
+    println!("BTPI                  : {:.2} %", t.btpi_pct());
+    println!("branch frequency      : {:.1} %", t.branch_freq_pct());
+    println!("BrMPR                 : {:.2} %", t.brmpr_pct());
+    println!();
+    println!("-- sampling profile (cycles by trace label) --");
+    let mut prof: Vec<(&String, &u64)> = machine.profile().iter().collect();
+    prof.sort_by(|a, b| b.1.cmp(a.1));
+    let total_prof: u64 = prof.iter().map(|(_, &c)| c).sum();
+    for (label, &cycles) in prof.iter().take(8) {
+        println!(
+            "{:<28}{:>12}  ({:>4.1}%)",
+            label,
+            cycles,
+            cycles as f64 / total_prof.max(1) as f64 * 100.0
+        );
+    }
+    println!();
+    println!("-- per logical CPU --");
+    for (i, c) in s.per_cpu.iter().enumerate() {
+        println!(
+            "cpu{i}: retired {:>12.0}  idle {:>5.1}%  mem-stall {:>5.1}%  flush {:>4.1}%",
+            c.inst_retired(),
+            c.idle_cycles as f64 / c.clockticks.max(1) as f64 * 100.0,
+            c.mem_stall_cycles as f64 / c.clockticks.max(1) as f64 * 100.0,
+            c.flush_cycles as f64 / c.clockticks.max(1) as f64 * 100.0,
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: the XML substrate as an ordinary library.
+//!
+//! Parses a SOAP purchase order, evaluates the paper's CBR expression,
+//! validates against the XSD, and re-serializes — all natively (the
+//! instrumentation probe is a no-op).
+//!
+//! Run: `cargo run --example quickstart`
+
+use aon::trace::NullProbe;
+use aon::xml::input::TBuf;
+use aon::xml::parser::parse_document;
+use aon::xml::schema::Schema;
+use aon::xml::serialize::serialize_node;
+use aon::xml::soap::payload_root;
+use aon::xml::xpath::XPath;
+
+const MESSAGE: &[u8] = br#"<?xml version="1.0"?>
+<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">
+  <soap:Body>
+    <purchaseOrder id="31" currency="USD">
+      <customer>Acme Networks</customer>
+      <date>2007-03-14</date>
+      <item line="1">
+        <sku>AB1234</sku>
+        <name>gigabit line card</name>
+        <quantity>1</quantity>
+        <price>4999.00</price>
+      </item>
+    </purchaseOrder>
+  </soap:Body>
+</soap:Envelope>"#;
+
+fn main() {
+    let p = &mut NullProbe;
+
+    // 1. Parse.
+    let doc = parse_document(TBuf::msg(MESSAGE), p).expect("well-formed XML");
+    println!("parsed {} DOM nodes, {} attributes", doc.node_count(), doc.attr_count());
+
+    // 2. Content-based routing: the paper's XPath.
+    let xpath = XPath::compile("//quantity/text()").expect("valid XPath");
+    let matched = xpath.string_equals(&doc, b"1", p).expect("document has a root");
+    println!(
+        "CBR: //quantity/text() = '1' is {matched} -> route to {}",
+        if matched { "destination endpoint" } else { "error endpoint" }
+    );
+
+    // 3. Schema validation.
+    let schema = Schema::compile(aon::server::corpus::CORPUS_XSD).expect("valid XSD");
+    let payload = payload_root(&doc, p).expect("SOAP body payload");
+    let validity = schema.validate_node(&doc, payload, p);
+    println!("SV: payload is {}", if validity.is_valid() { "valid" } else { "INVALID" });
+    for v in validity.violations() {
+        println!("  violation: {:?} at {:?}", v.kind, String::from_utf8_lossy(&v.name));
+    }
+
+    // 4. Canonical re-serialization (what the device forwards).
+    let mut out = Vec::new();
+    serialize_node(&doc, payload, &mut out, p);
+    println!("canonicalized payload ({} bytes):", out.len());
+    println!("{}", String::from_utf8_lossy(&out[..out.len().min(160)]));
+}

@@ -1,0 +1,87 @@
+//! The paper's stated purpose: "help architects of AON devices to select
+//! from alternative processors with restrictions to use one or two
+//! physical CPUs" (§1).
+//!
+//! Runs all three use cases on every configuration, then prints a
+//! recommendation matrix by workload profile.
+//!
+//! Run: `cargo run --release --example select_processor`
+
+use aon::core::experiment::{run_grid, ExperimentConfig};
+use aon::core::metrics::MetricKind;
+use aon::core::report::metric_row;
+use aon::core::workload::WorkloadKind;
+use aon::sim::config::Platform;
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    eprintln!("sweeping 3 use cases x 5 configurations (this runs 15 simulations)...");
+    let ms = run_grid(&Platform::ALL, &WorkloadKind::SERVER, &cfg, true);
+
+    println!("=== AON throughput by configuration (messages/second) ===");
+    println!("{:<8}{:>10}{:>10}{:>10}{:>10}{:>10}", "", "1CPm", "2CPm", "1LPx", "2LPx", "2PPx");
+    let mut tput: Vec<(WorkloadKind, [f64; 5])> = Vec::new();
+    for w in WorkloadKind::SERVER {
+        let mut row = [0.0f64; 5];
+        for (i, p) in Platform::ALL.iter().enumerate() {
+            row[i] = aon::core::experiment::find(&ms, *p, w)
+                .map(|m| m.stats.units_per_sec())
+                .unwrap_or(f64::NAN);
+        }
+        println!(
+            "{:<8}{:>10.0}{:>10.0}{:>10.0}{:>10.0}{:>10.0}",
+            w.label(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4]
+        );
+        tput.push((w, row));
+    }
+
+    println!("\n=== efficiency view (CPI; lower is better) ===");
+    println!("{:<8}{:>10}{:>10}{:>10}{:>10}{:>10}", "", "1CPm", "2CPm", "1LPx", "2LPx", "2PPx");
+    for w in WorkloadKind::SERVER {
+        let row = metric_row(&ms, w, MetricKind::Cpi);
+        println!(
+            "{:<8}{:>10.2}{:>10.2}{:>10.2}{:>10.2}{:>10.2}",
+            w.label(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4]
+        );
+    }
+
+    println!("\n=== recommendations ===");
+    for (w, row) in &tput {
+        let best = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| Platform::ALL[i])
+            .expect("five configs");
+        // Best single-processor-unit option (one core / one logical CPU).
+        let single = [Platform::OneCorePentiumM, Platform::OneLogicalXeon]
+            .into_iter()
+            .max_by(|a, b| {
+                let va = row[Platform::ALL.iter().position(|p| p == a).expect("in ALL")];
+                let vb = row[Platform::ALL.iter().position(|p| p == b).expect("in ALL")];
+                va.partial_cmp(&vb).expect("finite")
+            })
+            .expect("two options");
+        println!(
+            "{:<4} best overall: {:<5} best single-unit: {}",
+            w.label(),
+            best.notation(),
+            single.notation()
+        );
+    }
+    println!(
+        "\n(The paper's conclusion — the dual-core Pentium M provides balanced\n\
+         scaling for mixed AON workloads while Hyperthreading scales poorly for\n\
+         CPU-intensive XML processing — should be visible in the matrix above.)"
+    );
+}

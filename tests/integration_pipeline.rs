@@ -1,0 +1,91 @@
+//! Cross-crate integration: the full message pipeline — corpus generation,
+//! HTTP parsing, XML parsing, XPath routing, schema validation, canonical
+//! serialization, trace recording — agrees with itself across crates.
+
+use aon::server::corpus::Corpus;
+use aon::server::http::{parse_request, Method};
+use aon::server::usecase::{record_message_trace, UseCase};
+use aon::trace::mix::Mix;
+use aon::trace::NullProbe;
+use aon::xml::input::TBuf;
+use aon::xml::parser::parse_document;
+use aon::xml::schema::Schema;
+use aon::xml::serialize::serialize_node;
+use aon::xml::soap::payload_root;
+use aon::xml::xpath::XPath;
+
+#[test]
+fn corpus_flags_agree_with_engines_for_many_variants() {
+    let corpus = Corpus::generate(2024, 32);
+    let schema = Schema::compile(aon::server::corpus::CORPUS_XSD).unwrap();
+    let xp = XPath::compile("//quantity/text()").unwrap();
+    for v in &corpus.variants {
+        let req = parse_request(TBuf::msg(&v.http), &mut NullProbe).expect("valid HTTP");
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.content_length, Some(v.http.len() - v.body_start));
+
+        let body = TBuf::msg(&v.http).slice(req.body_start, v.http.len());
+        let doc = parse_document(body, &mut NullProbe).expect("well-formed body");
+        let payload = payload_root(&doc, &mut NullProbe).expect("SOAP payload");
+
+        let matched = xp.string_equals(&doc, b"1", &mut NullProbe).unwrap();
+        assert_eq!(matched, v.cbr_match, "CBR flag mismatch");
+
+        let valid = schema.validate_node(&doc, payload, &mut NullProbe).is_valid();
+        assert_eq!(valid, v.sv_valid, "SV flag mismatch");
+    }
+}
+
+#[test]
+fn canonical_serialization_revalidates() {
+    // A valid payload, re-serialized by our engine, must reparse and still
+    // validate — the forwarded message is as conformant as the original.
+    let corpus = Corpus::generate(99, 8);
+    let schema = Schema::compile(aon::server::corpus::CORPUS_XSD).unwrap();
+    let mut checked = 0;
+    for v in corpus.variants.iter().filter(|v| v.sv_valid) {
+        let body = TBuf::msg(&v.http).slice(v.body_start, v.http.len());
+        let doc = parse_document(body, &mut NullProbe).unwrap();
+        let payload = payload_root(&doc, &mut NullProbe).unwrap();
+        let mut out = Vec::new();
+        serialize_node(&doc, payload, &mut out, &mut NullProbe);
+
+        let redoc = parse_document(TBuf::msg(&out), &mut NullProbe).expect("canonical reparses");
+        let validity = schema.validate(&redoc, &mut NullProbe).unwrap();
+        assert!(validity.is_valid(), "canonical form must validate: {:?}", validity.violations());
+        checked += 1;
+    }
+    assert!(checked >= 4, "corpus must contain valid variants");
+}
+
+#[test]
+fn recorded_traces_have_workload_character() {
+    // §3.2: XML content processing is string manipulation — no FP, heavy
+    // branching; work grows FR -> CBR -> SV.
+    let corpus = Corpus::generate(5, 4);
+    let v = &corpus.variants[0];
+    let fr = record_message_trace(UseCase::Fr, &corpus, v, 0);
+    let cbr = record_message_trace(UseCase::Cbr, &corpus, v, 0);
+    let sv = record_message_trace(UseCase::Sv, &corpus, v, 0);
+
+    assert!(fr.stats().ops < cbr.stats().ops);
+    assert!(cbr.stats().ops < sv.stats().ops);
+
+    for t in [&fr, &cbr, &sv] {
+        let m = Mix::of(t);
+        assert!(m.is_normalized());
+        assert!(m.branch > 0.15, "AON workloads are branch-rich: {m}");
+        assert!(m.load + m.store > 0.05, "and move bytes: {m}");
+    }
+}
+
+#[test]
+fn trace_recording_is_reproducible_across_corpus_rebuilds() {
+    let a = Corpus::generate(77, 4);
+    let b = Corpus::generate(77, 4);
+    for (i, (va, vb)) in a.variants.iter().zip(&b.variants).enumerate() {
+        let ta = record_message_trace(UseCase::Sv, &a, va, i as u32);
+        let tb = record_message_trace(UseCase::Sv, &b, vb, i as u32);
+        assert_eq!(ta.ops(), tb.ops(), "variant {i} must trace identically");
+    }
+}
