@@ -1,0 +1,27 @@
+#!/bin/sh
+# The single CI gate. Everything a change must pass, in the order that
+# fails fastest; run locally before pushing — CI runs exactly this file.
+#
+# All cargo invocations are --offline: the workspace is hermetic (the
+# criterion and proptest stand-ins live in third_party/) and CI machines
+# are not assumed to reach crates.io.
+set -eu
+
+say() { printf '\n== %s ==\n' "$1"; }
+
+say "rustfmt (check only)"
+cargo fmt --all -- --check
+
+say "clippy, warnings are errors"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+say "aon-audit static analysis"
+cargo run --offline -q -p aon-audit
+
+say "tests (debug: assertions + counter invariants active)"
+cargo test --offline --workspace -q
+
+say "release build (tier-1)"
+cargo build --offline --release
+
+say "all gates passed"

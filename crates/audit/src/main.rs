@@ -1,0 +1,60 @@
+//! `aon-audit` CLI: run the workspace lint pass and exit nonzero on any
+//! violation. See the crate docs for the rules and the waiver syntax.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Locate the workspace root: the nearest ancestor of the current
+/// directory whose `Cargo.toml` contains a `[workspace]` table.
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match workspace_root() {
+        Some(r) => r,
+        None => {
+            eprintln!("aon-audit: no workspace Cargo.toml found above the current directory");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match aon_audit::audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("aon-audit: I/O error walking {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!(
+        "aon-audit: {} file(s) scanned, {} violation(s), {} waiver line(s), \
+         {} informational cast(s) outside enforced files",
+        report.files_scanned,
+        report.findings.len(),
+        report.waivers.len(),
+        report.informational_casts,
+    );
+    for (file, line) in &report.waivers {
+        println!("aon-audit: waiver at {}:{line}", file.display());
+    }
+
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

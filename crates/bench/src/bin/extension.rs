@@ -4,7 +4,7 @@
 //! the extension study the authors propose.
 
 use aon_bench::experiment_config;
-use aon_core::experiment::{run_grid, find};
+use aon_core::experiment::{find, run_grid};
 use aon_core::metrics::{throughput_scaling, MetricKind, ScalingPair};
 use aon_core::report::metric_row;
 use aon_core::workload::WorkloadKind;
@@ -12,8 +12,7 @@ use aon_sim::config::Platform;
 
 fn main() {
     let cfg = experiment_config();
-    let loads =
-        [WorkloadKind::Fr, WorkloadKind::Sv, WorkloadKind::Dpi, WorkloadKind::Crypto];
+    let loads = [WorkloadKind::Fr, WorkloadKind::Sv, WorkloadKind::Dpi, WorkloadKind::Crypto];
     eprintln!("running extension grid (4 workloads x 5 platforms)...");
     let ms = run_grid(&Platform::ALL, &loads, &cfg, true);
 
@@ -27,7 +26,12 @@ fn main() {
         }
         println!(
             "{:<10}{:>9.0}{:>9.0}{:>9.0}{:>9.0}{:>9.0}",
-            w.label(), row[0], row[1], row[2], row[3], row[4]
+            w.label(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4]
         );
     }
     println!();
@@ -42,7 +46,12 @@ fn main() {
             let row = metric_row(&ms, w, metric);
             println!(
                 "{:<10}{:>9.2}{:>9.2}{:>9.2}{:>9.2}{:>9.2}",
-                w.label(), row[0], row[1], row[2], row[3], row[4]
+                w.label(),
+                row[0],
+                row[1],
+                row[2],
+                row[3],
+                row[4]
             );
         }
         println!();

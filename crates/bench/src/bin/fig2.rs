@@ -2,9 +2,9 @@
 //! configurations (loopback and end-to-end).
 
 use aon_bench::{experiment_config, header, paper_vs_measured, run_netperf_grid};
+use aon_core::metrics::MetricKind;
 use aon_core::paper;
 use aon_core::report::metric_row;
-use aon_core::metrics::MetricKind;
 use aon_core::workload::WorkloadKind;
 
 fn main() {

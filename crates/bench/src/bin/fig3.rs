@@ -14,13 +14,19 @@ fn main() {
     for w in [WorkloadKind::Sv, WorkloadKind::Cbr, WorkloadKind::Fr] {
         let paper: Vec<f64> = ScalingPair::ALL
             .iter()
-            .map(|&p| fig3_scaling(p, w).unwrap())
+            .map(|&p| fig3_scaling(p, w).expect("paper table covers every pair"))
             .collect();
         let sim: Vec<f64> = ScalingPair::ALL
             .iter()
             .map(|&p| throughput_scaling(&ms, p, w).unwrap_or(f64::NAN))
             .collect();
-        println!("{:<14}{:>18.2}{:>18.2}{:>18.2}", format!("{w} (paper)"), paper[0], paper[1], paper[2]);
+        println!(
+            "{:<14}{:>18.2}{:>18.2}{:>18.2}",
+            format!("{w} (paper)"),
+            paper[0],
+            paper[1],
+            paper[2]
+        );
         println!("{:<14}{:>18.2}{:>18.2}{:>18.2}", format!("{w} (sim)"), sim[0], sim[1], sim[2]);
     }
 }

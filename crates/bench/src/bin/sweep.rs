@@ -12,7 +12,6 @@
 //!    headroom; at saturation it flat-tops.
 
 use aon_bench::experiment_config;
-use aon_core::workload::WorkloadKind;
 use aon_server::app::{build_server, ServerConfig};
 use aon_server::corpus::Corpus;
 use aon_server::usecase::UseCase;
@@ -75,7 +74,7 @@ fn main() {
             pct,
             s.units_per_sec(),
             s.throughput_mbps(),
-            idle as f64 / total.max(1) as f64 * 100.0
+            aon_sim::convert::ratio(idle, total.max(1)) * 100.0
         );
     }
 }

@@ -17,10 +17,26 @@ fn main() {
         println!("Table 3. Performance metrics for {mode}.");
         print!("{}", header());
         print!("{}", paper_vs_measured("CPI", &rows.cpi, &metric_row(&ms, w, MetricKind::Cpi)));
-        print!("{}", paper_vs_measured("L2MPI", &rows.l2mpi, &metric_row(&ms, w, MetricKind::L2Mpi)));
-        print!("{}", paper_vs_measured("BTPI %", &rows.btpi, &metric_row(&ms, w, MetricKind::Btpi)));
-        print!("{}", paper_vs_measured("Branch freq %", &rows.branch_freq, &metric_row(&ms, w, MetricKind::BranchFreq)));
-        print!("{}", paper_vs_measured("BrMPR %", &rows.brmpr, &metric_row(&ms, w, MetricKind::BrMpr)));
+        print!(
+            "{}",
+            paper_vs_measured("L2MPI", &rows.l2mpi, &metric_row(&ms, w, MetricKind::L2Mpi))
+        );
+        print!(
+            "{}",
+            paper_vs_measured("BTPI %", &rows.btpi, &metric_row(&ms, w, MetricKind::Btpi))
+        );
+        print!(
+            "{}",
+            paper_vs_measured(
+                "Branch freq %",
+                &rows.branch_freq,
+                &metric_row(&ms, w, MetricKind::BranchFreq)
+            )
+        );
+        print!(
+            "{}",
+            paper_vs_measured("BrMPR %", &rows.brmpr, &metric_row(&ms, w, MetricKind::BrMpr))
+        );
         println!();
     }
 }

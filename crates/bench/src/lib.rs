@@ -8,9 +8,6 @@
 //!
 //! Set `AON_QUICK=1` to run with short measurement windows (CI-sized).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use aon_core::experiment::{run_grid, ExperimentConfig, Measurement};
 use aon_core::workload::WorkloadKind;
 use aon_sim::config::Platform;
@@ -35,23 +32,29 @@ pub fn run_server_grid(cfg: &ExperimentConfig) -> Vec<Measurement> {
 
 /// Run the netperf grid (loopback + e2e × 5 platforms).
 pub fn run_netperf_grid(cfg: &ExperimentConfig) -> Vec<Measurement> {
-    run_grid(
-        &Platform::ALL,
-        &[WorkloadKind::NetperfLoopback, WorkloadKind::NetperfE2E],
-        cfg,
-        true,
-    )
+    run_grid(&Platform::ALL, &[WorkloadKind::NetperfLoopback, WorkloadKind::NetperfE2E], cfg, true)
 }
 
 /// Render one paper-vs-measured block.
 pub fn paper_vs_measured(label: &str, paper: &[f64; 5], measured: &[f64; 5]) -> String {
     let mut out = String::new();
-    out.push_str(&format!("{:<22}{:>9}{:>9}{:>9}{:>9}{:>9}\n", format!("{label} (paper)"),
-        paper[0], paper[1], paper[2], paper[3], paper[4]));
+    out.push_str(&format!(
+        "{:<22}{:>9}{:>9}{:>9}{:>9}{:>9}\n",
+        format!("{label} (paper)"),
+        paper[0],
+        paper[1],
+        paper[2],
+        paper[3],
+        paper[4]
+    ));
     out.push_str(&format!(
         "{:<22}{:>9.2}{:>9.2}{:>9.2}{:>9.2}{:>9.2}\n",
         format!("{label} (sim)"),
-        measured[0], measured[1], measured[2], measured[3], measured[4]
+        measured[0],
+        measured[1],
+        measured[2],
+        measured[3],
+        measured[4]
     ));
     out
 }

@@ -11,10 +11,9 @@ use aon_server::corpus::Corpus;
 use aon_sim::config::Platform;
 use aon_sim::machine::Machine;
 use aon_sim::stats::MachineStats;
-use serde::{Deserialize, Serialize};
 
 /// Sweep parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExperimentConfig {
     /// Warm-up cycles before counters reset.
     pub warmup_cycles: u64,
@@ -50,7 +49,7 @@ impl ExperimentConfig {
 }
 
 /// One measured cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// The platform measured.
     pub platform: Platform,
@@ -79,25 +78,22 @@ pub fn run_grid(
     cfg: &ExperimentConfig,
     parallel: bool,
 ) -> Vec<Measurement> {
-    let cells: Vec<(Platform, WorkloadKind)> = workloads
-        .iter()
-        .flat_map(|&w| platforms.iter().map(move |&p| (p, w)))
-        .collect();
+    let cells: Vec<(Platform, WorkloadKind)> =
+        workloads.iter().flat_map(|&w| platforms.iter().map(move |&p| (p, w))).collect();
     if !parallel {
         return cells.iter().map(|&(p, w)| run_cell(p, w, cfg)).collect();
     }
     let mut out: Vec<Option<Measurement>> = (0..cells.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, &(p, w)) in cells.iter().enumerate() {
             let cfg = *cfg;
-            handles.push((i, scope.spawn(move |_| run_cell(p, w, &cfg))));
+            handles.push((i, scope.spawn(move || run_cell(p, w, &cfg))));
         }
         for (i, h) in handles {
             out[i] = Some(h.join().expect("experiment thread panicked"));
         }
-    })
-    .expect("scope");
+    });
     out.into_iter().map(|m| m.expect("filled")).collect()
 }
 

@@ -15,9 +15,6 @@
 //! * [`paper`] — the published values of Figure 2–5 and Table 3–6;
 //! * [`report`] — ASCII rendering and shape checks.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod experiment;
 pub mod metrics;
 pub mod paper;

@@ -3,10 +3,9 @@
 use crate::experiment::{find, Measurement};
 use crate::workload::WorkloadKind;
 use aon_sim::config::Platform;
-use serde::{Deserialize, Serialize};
 
 /// The microarchitectural metrics the paper reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MetricKind {
     /// Cycles per retired instruction.
     Cpi,
@@ -64,7 +63,7 @@ impl core::fmt::Display for MetricKind {
 }
 
 /// The three dual-processing transitions of Figure 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScalingPair {
     /// 1CPm → 2CPm (single core → dual core).
     PmDualCore,

@@ -12,6 +12,34 @@ use crate::metrics::{throughput_scaling, MetricKind, ScalingPair};
 use crate::paper;
 use crate::workload::WorkloadKind;
 use aon_sim::config::Platform;
+use aon_sim::invariants::check_counters;
+
+/// Validate the counter blocks behind a set of measurements.
+///
+/// Runs the structural invariants from [`aon_sim::invariants`] over every
+/// measurement's aggregate and per-CPU counters and returns one diagnostic
+/// string per violation, tagged with the (platform, workload) cell it came
+/// from. The report pipeline calls this before extracting any metric — a
+/// malformed counter block would otherwise flow silently into every table.
+///
+/// Width/window bounds are skipped here: a [`Measurement`] records counter
+/// values, not the per-pipeline accrual spans the time-dependent bounds
+/// need (those are asserted inside the machine itself).
+pub fn validate_measurements(ms: &[Measurement]) -> Vec<String> {
+    let mut out = Vec::new();
+    for m in ms {
+        let cell = format!("{}/{}", m.stats.platform, m.workload.label());
+        for v in check_counters(&m.stats.total, None, None) {
+            out.push(format!("{cell} total: {v}"));
+        }
+        for (i, c) in m.stats.per_cpu.iter().enumerate() {
+            for v in check_counters(c, None, None) {
+                out.push(format!("{cell} cpu{i}: {v}"));
+            }
+        }
+    }
+    out
+}
 
 /// Render a fixed-width table: one row label + five platform columns.
 pub fn format_table(title: &str, rows: &[(String, [f64; 5])]) -> String {
@@ -38,6 +66,13 @@ pub fn metric_row(
     workload: WorkloadKind,
     metric: MetricKind,
 ) -> [f64; 5] {
+    // Every table row passes through here, so this is the choke point for
+    // refusing to render from inconsistent counters.
+    debug_assert!(
+        validate_measurements(measurements).is_empty(),
+        "counter invariants violated: {:?}",
+        validate_measurements(measurements)
+    );
     let mut row = [f64::NAN; 5];
     for (i, p) in Platform::ALL.iter().enumerate() {
         if let Some(m) = find(measurements, *p, workload) {
@@ -86,12 +121,18 @@ pub fn check_fig3_shapes(ms: &[Measurement]) -> Vec<ShapeCheck> {
         ShapeCheck::new(
             "Fig3/§5.1: PM dual-core scaling rises FR -> SV",
             pm.0 < pm.2,
-            format!("1CPm->2CPm FR {:.2} CBR {:.2} SV {:.2} (paper 1.51/1.84/1.91)", pm.0, pm.1, pm.2),
+            format!(
+                "1CPm->2CPm FR {:.2} CBR {:.2} SV {:.2} (paper 1.51/1.84/1.91)",
+                pm.0, pm.1, pm.2
+            ),
         ),
         ShapeCheck::new(
             "Fig3/§5.1: Hyperthreading scaling *falls* FR -> SV (reverse trend)",
             ht.0 > ht.2,
-            format!("1LPx->2LPx FR {:.2} CBR {:.2} SV {:.2} (paper 1.49/1.32/1.12)", ht.0, ht.1, ht.2),
+            format!(
+                "1LPx->2LPx FR {:.2} CBR {:.2} SV {:.2} (paper 1.49/1.32/1.12)",
+                ht.0, ht.1, ht.2
+            ),
         ),
         ShapeCheck::new(
             "Fig3/§5.1: two physical Xeons scale well for all three use cases",
@@ -101,7 +142,10 @@ pub fn check_fig3_shapes(ms: &[Measurement]) -> Vec<ShapeCheck> {
         ShapeCheck::new(
             "Fig3/§5.1: dual physical Xeon beats Hyperthreading for every use case",
             pp.0 > ht.0 && pp.1 > ht.1 && pp.2 > ht.2,
-            format!("2PPx ({:.2},{:.2},{:.2}) vs 2LPx ({:.2},{:.2},{:.2})", pp.0, pp.1, pp.2, ht.0, ht.1, ht.2),
+            format!(
+                "2PPx ({:.2},{:.2},{:.2}) vs 2LPx ({:.2},{:.2},{:.2})",
+                pp.0, pp.1, pp.2, ht.0, ht.1, ht.2
+            ),
         ),
     ]
 }
@@ -121,18 +165,32 @@ pub fn check_table4_shapes(ms: &[Measurement]) -> Vec<ShapeCheck> {
         ShapeCheck::new(
             "Tbl4/§5.2: Pentium M CPI below Xeon CPI for the same workload",
             fr[0] < fr[2] && cbr[0] < cbr[2] && sv[0] < sv[2],
-            format!("1CPm vs 1LPx: FR {:.2}/{:.2} CBR {:.2}/{:.2} SV {:.2}/{:.2}", fr[0], fr[2], cbr[0], cbr[2], sv[0], sv[2]),
+            format!(
+                "1CPm vs 1LPx: FR {:.2}/{:.2} CBR {:.2}/{:.2} SV {:.2}/{:.2}",
+                fr[0], fr[2], cbr[0], cbr[2], sv[0], sv[2]
+            ),
         ),
         ShapeCheck::new(
             "Tbl4/§5.2: Hyperthreading (2LPx) shows the highest CPI of the Xeon configs",
-            (0..3).all(|_| true) && fr[3] > fr[2] && fr[3] > fr[4] && sv[3] > sv[2] && sv[3] > sv[4],
-            format!("FR: 1LPx {:.2} 2LPx {:.2} 2PPx {:.2}; SV: {:.2}/{:.2}/{:.2}", fr[2], fr[3], fr[4], sv[2], sv[3], sv[4]),
+            (0..3).all(|_| true)
+                && fr[3] > fr[2]
+                && fr[3] > fr[4]
+                && sv[3] > sv[2]
+                && sv[3] > sv[4],
+            format!(
+                "FR: 1LPx {:.2} 2LPx {:.2} 2PPx {:.2}; SV: {:.2}/{:.2}/{:.2}",
+                fr[2], fr[3], fr[4], sv[2], sv[3], sv[4]
+            ),
         ),
     ];
     checks.push(ShapeCheck::new(
         "Tbl4/§5.2: 2PPx CPI close to 1LPx (private resources), unlike 2LPx",
         (fr[4] - fr[2]).abs() < (fr[3] - fr[2]).abs(),
-        format!("FR deltas: |2PPx-1LPx| {:.2} < |2LPx-1LPx| {:.2}", (fr[4] - fr[2]).abs(), (fr[3] - fr[2]).abs()),
+        format!(
+            "FR deltas: |2PPx-1LPx| {:.2} < |2LPx-1LPx| {:.2}",
+            (fr[4] - fr[2]).abs(),
+            (fr[3] - fr[2]).abs()
+        ),
     ));
     checks
 }
@@ -206,25 +264,21 @@ pub fn check_table6_shapes(ms: &[Measurement]) -> Vec<ShapeCheck> {
         ShapeCheck::new(
             "Tbl6/§5.5: BrMPR largely unaffected by 1CPm->2CPm and 1LPx->2PPx",
             (fr[1] - fr[0]).abs() / fr[0] < 0.3 && (fr[4] - fr[2]).abs() / fr[2] < 0.3,
-            format!("FR: 1CPm {:.2}% 2CPm {:.2}%; 1LPx {:.2}% 2PPx {:.2}%", fr[0], fr[1], fr[2], fr[4]),
+            format!(
+                "FR: 1CPm {:.2}% 2CPm {:.2}%; 1LPx {:.2}% 2PPx {:.2}%",
+                fr[0], fr[1], fr[2], fr[4]
+            ),
         ),
     ]
 }
 
 /// Evaluate the Figure 2 / Table 3 (netperf baseline) shape claims.
 pub fn check_netperf_shapes(ms: &[Measurement]) -> Vec<ShapeCheck> {
-    let tput = |p, w| {
-        find(ms, p, w).map(|m| m.stats.throughput_mbps()).unwrap_or(f64::NAN)
-    };
+    let tput = |p, w| find(ms, p, w).map(|m| m.stats.throughput_mbps()).unwrap_or(f64::NAN);
     use Platform::*;
-    let lb: Vec<f64> = Platform::ALL
-        .iter()
-        .map(|&p| tput(p, WorkloadKind::NetperfLoopback))
-        .collect();
-    let e2e: Vec<f64> = Platform::ALL
-        .iter()
-        .map(|&p| tput(p, WorkloadKind::NetperfE2E))
-        .collect();
+    let lb: Vec<f64> =
+        Platform::ALL.iter().map(|&p| tput(p, WorkloadKind::NetperfLoopback)).collect();
+    let e2e: Vec<f64> = Platform::ALL.iter().map(|&p| tput(p, WorkloadKind::NetperfE2E)).collect();
     vec![
         ShapeCheck::new(
             "Fig2/§4: every configuration saturates the gigabit link end-to-end",
@@ -286,7 +340,12 @@ pub fn check_all_shapes(ms: &[Measurement]) -> Vec<ShapeCheck> {
 pub fn format_checks(checks: &[ShapeCheck]) -> String {
     let mut out = String::new();
     for c in checks {
-        out.push_str(&format!("[{}] {}\n      {}\n", if c.pass { "PASS" } else { "MISS" }, c.name, c.detail));
+        out.push_str(&format!(
+            "[{}] {}\n      {}\n",
+            if c.pass { "PASS" } else { "MISS" },
+            c.name,
+            c.detail
+        ));
     }
     let passed = checks.iter().filter(|c| c.pass).count();
     out.push_str(&format!("shape checks: {passed}/{} reproduced\n", checks.len()));
@@ -335,5 +394,18 @@ mod tests {
     #[test]
     fn empty_measurements_yield_no_checks() {
         assert!(check_all_shapes(&[]).is_empty());
+    }
+
+    #[test]
+    fn validation_tags_the_offending_cell() {
+        use crate::experiment::{run_cell, ExperimentConfig};
+        let mut m =
+            run_cell(Platform::OneCorePentiumM, WorkloadKind::Fr, &ExperimentConfig::quick());
+        assert!(validate_measurements(std::slice::from_ref(&m)).is_empty());
+        m.stats.total.branch_mispredicts = m.stats.total.branches_retired + 1;
+        let diags = validate_measurements(std::slice::from_ref(&m));
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].contains("1CPm/FR total"), "got: {}", diags[0]);
+        assert!(diags[0].contains("branch-retirement"));
     }
 }

@@ -5,10 +5,9 @@ use aon_server::app::{build_server, ServerConfig};
 use aon_server::corpus::Corpus;
 use aon_server::usecase::UseCase;
 use aon_sim::machine::Machine;
-use serde::{Deserialize, Serialize};
 
 /// A workload the paper measures (§3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// Netperf TCP_STREAM, both processes on the SUT (CPU-intensive
     /// baseline).

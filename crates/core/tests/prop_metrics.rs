@@ -1,0 +1,108 @@
+//! Property tests for metric extraction: every [`MetricKind`] must
+//! produce a finite, non-negative value for *any* structurally valid
+//! measurement — the same predicate `aon_sim::invariants` asserts on real
+//! counter blocks, checked here over the whole generated input space.
+
+use aon_core::experiment::Measurement;
+use aon_core::metrics::MetricKind;
+use aon_core::workload::WorkloadKind;
+use aon_sim::config::Platform;
+use aon_sim::counters::PerfCounters;
+use aon_sim::invariants::check_counters;
+use aon_sim::stats::MachineStats;
+use proptest::prelude::*;
+
+/// All metric kinds, counter-derived plus throughput.
+const ALL_KINDS: [MetricKind; 6] = [
+    MetricKind::Cpi,
+    MetricKind::L2Mpi,
+    MetricKind::Btpi,
+    MetricKind::BranchFreq,
+    MetricKind::BrMpr,
+    MetricKind::ThroughputMbps,
+];
+
+/// Strategy for a structurally valid counter block. Subordinate counts
+/// are derived from their parents (mispredicts ⊆ branches ⊆ ops,
+/// l2 ⊆ l1, …) so every generated block satisfies the simulator's
+/// counter invariants by construction — including the all-zero block a
+/// freshly reset machine reports.
+fn counters() -> impl Strategy<Value = PerfCounters> {
+    (
+        0u64..=10_000_000_000,                                  // clockticks
+        0u64..=2_000_000_000,                                   // abstract ops
+        (0u64..=100, 0u64..=100, 0u64..=100),                   // branch/load/store shares (%)
+        (0u64..=100, 0u64..=100, 0u64..=100),                   // mispredict / l1 / l2 shares
+        0u64..=1_000_000,                                       // l1i misses
+        (0u64..=1_000_000, 0u64..=1_000_000, 0u64..=1_000_000), // cycle accounts
+    )
+        .prop_map(|(ticks, ops, (br, ld, st), (mp, l1, l2), l1i, (idle, flush, stall))| {
+            let branches = ops * br / 300; // the three shares sum ≤ 100%
+            let loads = ops * ld / 300;
+            let stores = ops * st / 300;
+            let l1d = loads * l1 / 100;
+            let l2m = (l1d + l1i) * l2 / 100;
+            PerfCounters {
+                clockticks: ticks,
+                // Retired instructions track ops loosely (cracking factor).
+                inst_retired_milli: ops * 1_700,
+                abstract_ops: ops,
+                branches_retired: branches,
+                branch_mispredicts: branches * mp / 100,
+                l1d_misses: l1d,
+                l1i_misses: l1i,
+                l2_misses: l2m,
+                bus_txns: l2m,
+                loads,
+                stores,
+                idle_cycles: idle.min(ticks),
+                flush_cycles: flush.min(ticks),
+                mem_stall_cycles: stall.min(ticks),
+            }
+        })
+}
+
+/// Strategy for a valid measurement wrapping a generated counter block.
+fn measurement() -> impl Strategy<Value = Measurement> {
+    (counters(), 0u64..=100_000, 0u32..=3, 0u32..=4).prop_map(
+        |(total, units, mhz_sel, platform_sel)| {
+            let platform = Platform::ALL[platform_sel as usize];
+            let cpu_mhz = [600, 1_600, 2_800, 3_800][mhz_sel as usize];
+            Measurement {
+                platform,
+                workload: WorkloadKind::Sv,
+                stats: MachineStats {
+                    platform: platform.notation().to_string(),
+                    cpu_mhz,
+                    cycles: total.clockticks,
+                    completed_units: units,
+                    completed_bytes: units * 5_120,
+                    per_cpu: vec![total],
+                    total,
+                },
+            }
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn generated_counters_satisfy_the_invariants(c in counters()) {
+        let v = check_counters(&c, None, None);
+        prop_assert!(v.is_empty(), "generator produced an invalid block: {v:?}");
+    }
+
+    #[test]
+    fn every_metric_is_finite_and_non_negative(m in measurement()) {
+        for kind in ALL_KINDS {
+            let value = kind.extract(&m);
+            prop_assert!(
+                value.is_finite() && value >= 0.0,
+                "{kind} = {value} for counters {:?} over {} cycles at {} MHz",
+                m.stats.total,
+                m.stats.cycles,
+                m.stats.cpu_mhz
+            );
+        }
+    }
+}

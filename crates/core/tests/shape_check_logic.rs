@@ -10,8 +10,19 @@ use aon_core::report::{
 };
 use aon_core::workload::WorkloadKind;
 use aon_sim::config::Platform;
+use aon_sim::convert::exact_f64;
 use aon_sim::counters::PerfCounters;
 use aon_sim::stats::MachineStats;
+
+/// Truncating `f64` → `u64` for synthesizing counter values from target
+/// ratios. Inputs are small positive magnitudes, so the narrowing is the
+/// intended rounding, not data loss.
+fn trunc_u64(v: f64) -> u64 {
+    debug_assert!(v.is_finite() && v >= 0.0);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let out = v as u64;
+    out
+}
 
 /// Build a synthetic measurement with chosen derived metrics.
 fn synth(
@@ -24,12 +35,15 @@ fn synth(
 ) -> Measurement {
     // Choose counters that produce the requested metrics at 1 GHz over 1 s.
     let cycles: u64 = 1_000_000_000;
-    let inst = (cycles as f64 / cpi) as u64;
-    let branches = (inst as f64 * brf_pct / 100.0) as u64;
-    let mispredicts = (branches as f64 * brmpr_pct / 100.0) as u64;
+    let inst = trunc_u64(exact_f64(cycles) / cpi);
+    let branches = trunc_u64(exact_f64(inst) * brf_pct / 100.0);
+    let mispredicts = trunc_u64(exact_f64(branches) * brmpr_pct / 100.0);
     let total = PerfCounters {
         clockticks: cycles,
         inst_retired_milli: inst * 1000,
+        // Synthetic blocks must still satisfy the counter invariants the
+        // report validates (branches are a subset of abstract ops).
+        abstract_ops: inst,
         branches_retired: branches,
         branch_mispredicts: mispredicts,
         ..Default::default()
@@ -41,8 +55,8 @@ fn synth(
             platform: platform.notation().to_string(),
             cpu_mhz: 1000,
             cycles,
-            completed_units: units_per_sec as u64,
-            completed_bytes: units_per_sec as u64 * 5120,
+            completed_units: trunc_u64(units_per_sec),
+            completed_bytes: trunc_u64(units_per_sec) * 5120,
             total,
             per_cpu: vec![total],
         },
@@ -53,13 +67,13 @@ fn synth(
 fn paper_grid() -> Vec<Measurement> {
     let mut out = Vec::new();
     for w in WorkloadKind::SERVER {
-        let cpi = paper::table4_cpi(w).unwrap();
-        let brf = paper::table5_branch_freq(w).unwrap();
-        let brmpr = paper::table6_brmpr(w).unwrap();
+        let cpi = paper::table4_cpi(w).expect("paper table covers every server workload");
+        let brf = paper::table5_branch_freq(w).expect("paper table covers every server workload");
+        let brmpr = paper::table6_brmpr(w).expect("paper table covers every server workload");
         // Synthesize absolute throughputs consistent with Figure 3's
         // scaling factors.
         let base = 10_000.0;
-        let s3 = |pair| paper::fig3_scaling(pair, w).unwrap();
+        let s3 = |pair| paper::fig3_scaling(pair, w).expect("paper figure covers every pair");
         use aon_core::metrics::ScalingPair::*;
         let tput = [
             base,
@@ -101,10 +115,7 @@ fn inverted_scaling_fails_fig3_checks() {
         }
     }
     let checks = check_fig3_shapes(&ms);
-    assert!(
-        checks.iter().any(|c| !c.pass),
-        "inverted data must fail at least one Figure 3 check"
-    );
+    assert!(checks.iter().any(|c| !c.pass), "inverted data must fail at least one Figure 3 check");
 }
 
 #[test]
@@ -112,15 +123,11 @@ fn flat_brmpr_fails_table6_ht_check() {
     // Make every platform's BrMPR identical: the HT-inflation claim fails.
     let ms: Vec<Measurement> = WorkloadKind::SERVER
         .iter()
-        .flat_map(|&w| {
-            Platform::ALL.iter().map(move |&p| synth(p, w, 2.0, 20.0, 2.0, 10_000.0))
-        })
+        .flat_map(|&w| Platform::ALL.iter().map(move |&p| synth(p, w, 2.0, 20.0, 2.0, 10_000.0)))
         .collect();
     let checks = check_table6_shapes(&ms);
-    let ht_check = checks
-        .iter()
-        .find(|c| c.name.contains("Hyperthreading inflates"))
-        .expect("check exists");
+    let ht_check =
+        checks.iter().find(|c| c.name.contains("Hyperthreading inflates")).expect("check exists");
     assert!(!ht_check.pass, "flat BrMPR must fail the HT claim");
 }
 
@@ -128,13 +135,8 @@ fn flat_brmpr_fails_table6_ht_check() {
 fn equal_branch_freq_fails_table5_check() {
     let ms: Vec<Measurement> = WorkloadKind::SERVER
         .iter()
-        .flat_map(|&w| {
-            Platform::ALL.iter().map(move |&p| synth(p, w, 2.0, 20.0, 2.0, 10_000.0))
-        })
+        .flat_map(|&w| Platform::ALL.iter().map(move |&p| synth(p, w, 2.0, 20.0, 2.0, 10_000.0)))
         .collect();
     let checks = check_table5_shapes(&ms);
-    assert!(
-        checks.iter().any(|c| !c.pass),
-        "identical branch fractions must fail the 2x claim"
-    );
+    assert!(checks.iter().any(|c| !c.pass), "identical branch fractions must fail the 2x claim");
 }

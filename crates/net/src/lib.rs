@@ -16,9 +16,6 @@
 //!   sharing a kernel socket buffer — the extreme CPU/memory-intensive
 //!   case).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod link;
 pub mod netperf;
 pub mod tcpcost;

@@ -18,7 +18,8 @@ pub const MSS: u32 = 1460;
 /// a CPU running at `cpu_mhz`.
 pub fn bytes_per_kcycle(bytes_per_sec: u64, cpu_mhz: u32) -> u32 {
     // rate[B/s] * 1024[cycles] / (mhz * 1e6)[cycles/s]
-    ((bytes_per_sec * 1024) / (cpu_mhz as u64 * 1_000_000)).max(1) as u32
+    let rate = ((bytes_per_sec * 1024) / (u64::from(cpu_mhz) * 1_000_000)).max(1);
+    u32::try_from(rate).expect("per-kilocycle rates are small")
 }
 
 /// Gigabit link rate in the simulator's channel unit.
@@ -49,10 +50,11 @@ mod tests {
     #[test]
     fn round_trip_rate_is_gigabit() {
         // Converting back: rate * mhz * 1e6 / 1024 ≈ original.
-        let r = gige_per_kcycle(1830) as u64;
+        use aon_trace::num::exact_f64;
+        let r = u64::from(gige_per_kcycle(1830));
         let back = r * 1830 * 1_000_000 / 1024;
-        let err = (back as f64 - GIGE_PAYLOAD_BYTES_PER_SEC as f64).abs()
-            / GIGE_PAYLOAD_BYTES_PER_SEC as f64;
+        let err = (exact_f64(back) - exact_f64(GIGE_PAYLOAD_BYTES_PER_SEC)).abs()
+            / exact_f64(GIGE_PAYLOAD_BYTES_PER_SEC);
         assert!(err < 0.02, "rate conversion error {err}");
     }
 

@@ -170,7 +170,7 @@ mod tests {
     fn rx_mirrors_tx_volume() {
         let tx = tx_trace(8 * 1024).stats();
         let rx = rx_trace(8 * 1024).stats();
-        let ratio = tx.ops as f64 / rx.ops as f64;
+        let ratio = aon_trace::num::ratio(tx.ops, rx.ops);
         assert!((0.8..1.25).contains(&ratio), "tx/rx op ratio {ratio}");
     }
 
@@ -188,7 +188,7 @@ mod tests {
     fn per_segment_costs_scale() {
         let one = tx_trace(MSS).stats().ops;
         let twelve = tx_trace(12 * MSS).stats().ops;
-        let ratio = twelve as f64 / one as f64;
+        let ratio = aon_trace::num::ratio(twelve, one);
         assert!((9.0..13.0).contains(&ratio), "12 segments ≈ 12x one: {ratio}");
     }
 

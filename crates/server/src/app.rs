@@ -159,7 +159,8 @@ impl Workload for ServerWorker {
                 self.next(ctx)
             }
             WorkerState::Process(m, phase) => {
-                let variant = (m.tag as usize) % self.traces.len();
+                let n = u64::try_from(self.traces.len()).expect("trace count fits u64");
+                let variant = usize::try_from(m.tag % n).expect("index below len");
                 let segments = &self.traces[variant];
                 if phase < segments.len() {
                     let rx = self.rx_addr(m.tag);
@@ -175,13 +176,11 @@ impl Workload for ServerWorker {
                     // cache that wants them).
                     b.bind(
                         RegionSlot::KERNEL2,
-                        KERNEL2_BASE
-                            .offset((m.tag % KERNEL2_SLOTS as u64) * KERNEL2_WINDOW as u64),
+                        KERNEL2_BASE.offset((m.tag % KERNEL2_SLOTS as u64) * KERNEL2_WINDOW as u64),
                     );
                     b.bind(
                         RegionSlot::KERNEL3,
-                        KERNEL3_BASE
-                            .offset((m.tag % KERNEL3_SLOTS as u64) * KERNEL3_WINDOW as u64),
+                        KERNEL3_BASE.offset((m.tag % KERNEL3_SLOTS as u64) * KERNEL3_WINDOW as u64),
                     );
                     let trace = Arc::clone(&segments[phase]);
                     self.state = WorkerState::Process(m, phase + 1);
@@ -215,9 +214,10 @@ pub fn build_server(
     cfg: &ServerConfig,
 ) -> ServerHandles {
     let mhz = machine.config().cpu_mhz;
-    let msg_len = corpus.max_http_len() as u32;
-    let gige = gige_per_kcycle(mhz) as u64;
-    let ingress_rate = ((gige * cfg.offered_load_pct as u64) / 100).max(1) as u32;
+    let msg_len = u32::try_from(corpus.max_http_len()).expect("HTTP messages are KiB-sized");
+    let gige = u64::from(gige_per_kcycle(mhz));
+    let ingress_rate = u32::try_from(((gige * u64::from(cfg.offered_load_pct)) / 100).max(1))
+        .expect("scaled-down link rate fits u32");
 
     let listen = machine.add_channel(ChannelConfig {
         capacity: cfg.listen_capacity,
@@ -227,7 +227,7 @@ pub fn build_server(
     });
     let egress = machine.add_channel(ChannelConfig {
         capacity: cfg.egress_capacity,
-        drain_per_kcycle: gige as u32,
+        drain_per_kcycle: u32::try_from(gige).expect("per-kilocycle rates are small"),
         buf_base: TX_RING_BASE,
         fill: None,
     });
@@ -297,10 +297,7 @@ mod tests {
         let one = run(Platform::OneCorePentiumM, UseCase::Sv, 12_000_000).units_per_sec();
         let two = run(Platform::TwoCorePentiumM, UseCase::Sv, 12_000_000).units_per_sec();
         let scaling = two / one;
-        assert!(
-            scaling > 1.4 && scaling < 2.1,
-            "SV dual-core scaling out of range: {scaling:.2}"
-        );
+        assert!(scaling > 1.4 && scaling < 2.1, "SV dual-core scaling out of range: {scaling:.2}");
     }
 
     #[test]

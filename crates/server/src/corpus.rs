@@ -7,9 +7,8 @@
 //! several *variants* so consecutive requests differ in content (and
 //! therefore in trace), like real traffic.
 
+use crate::rng::CorpusRng;
 use aon_xml::schema::Schema;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The AONBench message size target (body, pre-HTTP).
 pub const MESSAGE_SIZE: usize = 5 * 1024;
@@ -103,7 +102,7 @@ impl Corpus {
     pub fn generate_sized(seed: u64, n: usize, body_size: usize) -> Corpus {
         assert!(n > 0);
         assert!(body_size >= 1024, "need room for the envelope and one item");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = CorpusRng::seed_from_u64(seed);
         let schema = Schema::compile(CORPUS_XSD).expect("corpus schema compiles");
         let variants = (0..n)
             .map(|i| {
@@ -117,7 +116,8 @@ impl Corpus {
 
     /// The variant for an arrival index.
     pub fn variant(&self, arrival: u64) -> &Variant {
-        &self.variants[(arrival % self.variants.len() as u64) as usize]
+        let n = u64::try_from(self.variants.len()).expect("variant count fits u64");
+        &self.variants[usize::try_from(arrival % n).expect("index below len")]
     }
 
     /// Number of variants.
@@ -136,7 +136,7 @@ impl Corpus {
     }
 }
 
-fn make_variant(rng: &mut StdRng, cbr_match: bool, sv_valid: bool, body_size: usize) -> Variant {
+fn make_variant(rng: &mut CorpusRng, cbr_match: bool, sv_valid: bool, body_size: usize) -> Variant {
     let payload = make_payload(rng, cbr_match, sv_valid, body_size);
     let body = wrap_soap(&payload);
     let http = wrap_http(&body);
@@ -144,11 +144,11 @@ fn make_variant(rng: &mut StdRng, cbr_match: bool, sv_valid: bool, body_size: us
     Variant { http, body_start, cbr_match, sv_valid }
 }
 
-fn rand_word(rng: &mut StdRng, len: usize) -> String {
+fn rand_word(rng: &mut CorpusRng, len: usize) -> String {
     (0..len).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect()
 }
 
-fn make_payload(rng: &mut StdRng, cbr_match: bool, sv_valid: bool, body_size: usize) -> Vec<u8> {
+fn make_payload(rng: &mut CorpusRng, cbr_match: bool, sv_valid: bool, body_size: usize) -> Vec<u8> {
     let id = rng.gen_range(1..100_000u32);
     let currency = ["USD", "EUR", "JPY"][rng.gen_range(0..3usize)];
     let mut xml = format!(
@@ -200,7 +200,10 @@ fn make_payload(rng: &mut StdRng, cbr_match: bool, sv_valid: bool, body_size: us
     const CLOSE: &str = "</purchaseOrder>\n";
     while xml.len() + CLOSE.len() + 64 < body_size {
         let fill_len = (body_size - CLOSE.len() - xml.len() - 16).min(120);
-        xml.push_str(&format!("  <fill>{}</fill>\n", rand_word(rng, fill_len.saturating_sub(17).max(4))));
+        xml.push_str(&format!(
+            "  <fill>{}</fill>\n",
+            rand_word(rng, fill_len.saturating_sub(17).max(4))
+        ));
     }
     xml.push_str(CLOSE);
     xml.into_bytes()

@@ -36,7 +36,8 @@ pub fn sha1_traced<P: Probe>(
         // Message schedule: 16 word loads from the buffer...
         let mut w = [0u32; 80];
         for (i, word) in block.chunks_exact(4).enumerate() {
-            p.load(Addr::new(slot, base + (blk_idx * 64 + i * 4) as u32), 4);
+            let off = u32::try_from(blk_idx * 64 + i * 4).expect("digest input is KiB-sized");
+            p.load(Addr::new(slot, base + off), 4);
             w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
         }
         // ...then 64 expansion steps (3 xors + rotate each).
@@ -53,12 +54,8 @@ pub fn sha1_traced<P: Probe>(
                 40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
                 _ => (b ^ c ^ d, 0xCA62_C1D6),
             };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
+            let tmp =
+                a.rotate_left(5).wrapping_add(f).wrapping_add(e).wrapping_add(k).wrapping_add(wi);
             e = d;
             d = c;
             c = b.rotate_left(30);

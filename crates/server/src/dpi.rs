@@ -74,7 +74,10 @@ impl RuleSet {
         let mut hits = Vec::new();
         for rule in &self.rules {
             // The engine's input fetch: one load per 8 scanned bytes.
-            p.stream_read(buf.addr(0), buf.len() as u32);
+            p.stream_read(
+                buf.addr(0),
+                u32::try_from(buf.len()).expect("scanned messages are KiB-sized"),
+            );
             if rule.pattern.find(buf.raw(), p).is_some() {
                 hits.push(rule.name);
             }
@@ -111,10 +114,7 @@ mod tests {
         assert_eq!(scan(b"GET /../../etc/passwd"), vec!["path-traversal"]);
         assert_eq!(scan(b"<script>alert(1)</script>"), vec!["script-inject"]);
         assert_eq!(scan(b"a=b%00c"), vec!["null-byte"]);
-        assert_eq!(
-            scan(b"<!DOCTYPE a SYSTEM \"http://evil/dtd\">"),
-            vec!["external-dtd"]
-        );
+        assert_eq!(scan(b"<!DOCTYPE a SYSTEM \"http://evil/dtd\">"), vec!["external-dtd"]);
         assert_eq!(scan(b"<x><x><x><x><x><x><x><x>deep"), vec!["oversize-depth"]);
     }
 
@@ -133,7 +133,9 @@ mod tests {
         rules.scan(TBuf::new(&body, RegionSlot::MSG), &mut t);
         let s = t.finish().stats();
         // One input pass per rule at minimum.
-        assert!(s.loads as usize >= rules.len() * (2048 / 8));
+        assert!(
+            usize::try_from(s.loads).expect("load count fits usize") >= rules.len() * (2048 / 8)
+        );
         assert!(s.ops > 10_000, "NFA simulation is the work: {}", s.ops);
     }
 }

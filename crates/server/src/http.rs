@@ -191,7 +191,7 @@ pub fn parse_request<P: Probe>(buf: TBuf<'_>, p: &mut P) -> Result<Request, Http
 
         if header_name_is(buf, name, b"content-length", p) {
             let text = buf.span(value.start, value.end);
-            p.alu(text.len() as u32);
+            p.alu(u32::try_from(text.len()).expect("header values are short"));
             let parsed: Option<usize> =
                 std::str::from_utf8(text).ok().and_then(|s| s.trim().parse().ok());
             content_length = Some(parsed.ok_or(HttpError::BadContentLength)?);
@@ -233,8 +233,9 @@ pub fn build_response<P: Probe>(status: u16, body_len: usize, p: &mut P) -> Vec<
         "HTTP/1.1 {status} {reason}\r\nContent-Type: text/xml\r\nContent-Length: {body_len}\r\nConnection: close\r\n\r\n"
     );
     // Formatting cost + header stores.
-    p.alu(head.len() as u32 * 2);
-    let words = (head.len() as u32).div_ceil(8);
+    let head_len = u32::try_from(head.len()).expect("response heads are short");
+    p.alu(head_len * 2);
+    let words = head_len.div_ceil(8);
     for w in 0..words {
         p.store(Addr::new(RegionSlot::OUT, w * 8), 8);
     }
@@ -294,8 +295,8 @@ mod tests {
         parse_request(TBuf::msg(REQ), &mut t).unwrap();
         let s = t.finish().stats();
         // The head (everything before the body) is scanned byte-by-byte.
-        assert!(s.loads as usize >= REQ.len() - 11);
-        assert!(s.branches as usize > REQ.len() / 2);
+        assert!(usize::try_from(s.loads).expect("load count fits usize") >= REQ.len() - 11);
+        assert!(usize::try_from(s.branches).expect("branch count fits usize") > REQ.len() / 2);
     }
 
     #[test]
@@ -312,6 +313,6 @@ mod tests {
         let mut t = Tracer::new();
         let head = build_response(502, 0, &mut t);
         let s = t.finish().stats();
-        assert!(s.stores as usize >= head.len() / 8);
+        assert!(usize::try_from(s.stores).expect("store count fits usize") >= head.len() / 8);
     }
 }

@@ -1,0 +1,112 @@
+//! Small deterministic PRNG for corpus generation.
+//!
+//! The corpus only needs a seeded, reproducible stream of small integers
+//! (letters, quantities, SKU digits). A SplitMix64 generator is more than
+//! adequate, keeps the workspace dependency-free, and — unlike an external
+//! crate — can never change its stream between versions, so corpora are
+//! stable across toolchains.
+
+use std::ops::Range;
+
+/// SplitMix64: 64 bits of state, full-period, passes BigCrush. Used here
+/// purely as a deterministic corpus stream; not for cryptography.
+#[derive(Debug, Clone)]
+pub struct CorpusRng {
+    state: u64,
+}
+
+impl CorpusRng {
+    /// Seeded constructor (same role as `SeedableRng::seed_from_u64`).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        CorpusRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample from `range` (half-open, like `rand::Rng::gen_range`).
+    pub fn gen_range<T: RangeSample>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+}
+
+/// Types samplable from a half-open range with a [`CorpusRng`].
+pub trait RangeSample: Sized {
+    /// Draw a uniform value in `range`.
+    fn sample(rng: &mut CorpusRng, range: Range<Self>) -> Self;
+}
+
+fn sample_u64(rng: &mut CorpusRng, lo: u64, hi: u64) -> u64 {
+    assert!(lo < hi, "empty range");
+    // Multiply-shift bounded sampling; the tiny modulo bias of plain `%`
+    // is irrelevant for corpus text but this is exact enough either way.
+    let span = hi - lo;
+    lo + rng.next_u64() % span
+}
+
+macro_rules! impl_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample(rng: &mut CorpusRng, range: Range<Self>) -> Self {
+                let v = sample_u64(rng, u64::from(range.start), u64::from(range.end));
+                // The sampled value is within the requested `$t` range by
+                // construction, so the narrowing always succeeds.
+                <$t>::try_from(v).expect("sample within range")
+            }
+        }
+    )*};
+}
+
+impl_range_sample!(u8, u16, u32);
+
+impl RangeSample for usize {
+    fn sample(rng: &mut CorpusRng, range: Range<Self>) -> Self {
+        let v = sample_u64(rng, range.start as u64, range.end as u64);
+        usize::try_from(v).expect("sample within range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = CorpusRng::seed_from_u64(7);
+        let mut b = CorpusRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = CorpusRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = CorpusRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(0..26u8);
+            assert!(w < 26);
+            let z = r.gen_range(0..3usize);
+            assert!(z < 3);
+        }
+    }
+
+    #[test]
+    fn spread_covers_range() {
+        let mut r = CorpusRng::seed_from_u64(2);
+        let mut seen = [false; 26];
+        for _ in 0..2000 {
+            seen[r.gen_range(0..26usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all letters reachable");
+    }
+}

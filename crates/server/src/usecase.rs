@@ -99,7 +99,7 @@ pub fn record_message_segments(
     variant: &Variant,
     seed: u32,
 ) -> Vec<Trace> {
-    let msg_len = variant.http.len() as u32;
+    let msg_len = u32::try_from(variant.http.len()).expect("HTTP messages are KiB-sized");
     let mut segs = Vec::with_capacity(5);
 
     let mut t = Tracer::with_label("kernel:softirq-rx");
@@ -133,7 +133,7 @@ pub fn emit_message_work<P: Probe>(
     seed: u32,
     p: &mut P,
 ) {
-    let msg_len = variant.http.len() as u32;
+    let msg_len = u32::try_from(variant.http.len()).expect("HTTP messages are KiB-sized");
 
     // 1. softirq RX of the DMA'd request.
     emit_softirq_rx(msg_len, p);
@@ -181,7 +181,7 @@ pub fn emit_content_phase<P: Probe>(
             let digest = crate::crypto::hmac_sha1_traced(
                 b"aon-device-shared-key",
                 buf.span(req.body_start, variant.http.len()),
-                req.body_start as u32,
+                u32::try_from(req.body_start).expect("bodies start within a KiB-sized head"),
                 p,
             );
             // Constant-time-style tag compare against the (synthetic)
@@ -230,13 +230,20 @@ fn digest_bytes<P: Probe>(bytes: &[u8], p: &mut P) -> u64 {
         word[..end - i].copy_from_slice(&bytes[i..end]);
         // The canonical bytes were just stored to OUT; the digest re-reads
         // them (warm) and mixes.
-        p.load(aon_trace::Addr::new(aon_trace::RegionSlot::OUT, i as u32), 8);
+        let off = u32::try_from(i).expect("canonical output is KiB-sized");
+        p.load(aon_trace::Addr::new(aon_trace::RegionSlot::OUT, off), 8);
         p.alu(4);
         h ^= u64::from_le_bytes(word);
         h = h.wrapping_mul(0x1000_0000_01b3);
         i = end;
     }
     h
+}
+
+/// Per-variant seed: corpora hold a handful of variants, so the index
+/// narrows exactly.
+fn seed_of(i: usize) -> u32 {
+    u32::try_from(i).expect("variant count fits u32")
 }
 
 /// Record traces for every variant of a corpus (single concatenated trace
@@ -246,7 +253,7 @@ pub fn record_all_variants(use_case: UseCase, corpus: &Corpus) -> Vec<Trace> {
         .variants
         .iter()
         .enumerate()
-        .map(|(i, v)| record_message_trace(use_case, corpus, v, i as u32))
+        .map(|(i, v)| record_message_trace(use_case, corpus, v, seed_of(i)))
         .collect()
 }
 
@@ -256,7 +263,7 @@ pub fn record_all_variant_segments(use_case: UseCase, corpus: &Corpus) -> Vec<Ve
         .variants
         .iter()
         .enumerate()
-        .map(|(i, v)| record_message_segments(use_case, corpus, v, i as u32))
+        .map(|(i, v)| record_message_segments(use_case, corpus, v, seed_of(i)))
         .collect()
 }
 

@@ -41,7 +41,7 @@ impl Gshare {
         let entries = 1usize << cfg.table_bits;
         Gshare {
             table: vec![WEAK_T; entries],
-            mask: (entries - 1) as u32,
+            mask: u32::try_from(entries - 1).expect("table_bits is far below 32"),
             history_mask: if cfg.history_bits >= 32 {
                 u32::MAX
             } else {
@@ -62,6 +62,9 @@ impl Gshare {
     }
 
     #[inline]
+    // Keeping only the low PC bits is the gshare indexing scheme itself,
+    // not an accident, so the truncating cast is allowed here.
+    #[allow(clippy::cast_possible_truncation)]
     fn index(&self, pc: u64, sibling: usize) -> usize {
         // Classic gshare: PC (shifted past the instruction alignment) XOR
         // global history.

@@ -95,13 +95,9 @@ impl BusyTimeline {
         self.busy_total
     }
 
-    /// Utilization over `elapsed` cycles.
+    /// Utilization over `elapsed` cycles (0.0 when `elapsed` is 0).
     pub fn utilization(&self, elapsed: u64) -> f64 {
-        if elapsed == 0 {
-            0.0
-        } else {
-            self.busy_total as f64 / elapsed as f64
-        }
+        crate::convert::ratio(self.busy_total, elapsed)
     }
 }
 

@@ -5,10 +5,8 @@
 //! L2 uses it as a directory of which L1s above it hold the line). Timing
 //! and coherence policy live in [`crate::hier`]; this module is pure state.
 
-use serde::{Deserialize, Serialize};
-
 /// MESI coherence states.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mesi {
     /// Modified: exclusive and dirty.
     Modified,
@@ -77,7 +75,8 @@ impl CacheArray {
 
     #[inline]
     fn set_of(&self, line_addr: u64) -> u32 {
-        (line_addr as u32) & (self.sets - 1)
+        // Mask in u64 first; the result then converts exactly.
+        u32::try_from(line_addr & u64::from(self.sets - 1)).expect("masked to set index range")
     }
 
     #[inline]

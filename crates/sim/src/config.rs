@@ -8,10 +8,9 @@
 //! the corresponding `MachineConfig`s.
 
 use crate::isa::CrackModel;
-use serde::{Deserialize, Serialize};
 
 /// Geometry and latency of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total size in bytes.
     pub size: u32,
@@ -31,7 +30,7 @@ impl CacheConfig {
 }
 
 /// Branch predictor geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PredictorConfig {
     /// log2 of the pattern-history-table entries.
     pub table_bits: u32,
@@ -40,7 +39,7 @@ pub struct PredictorConfig {
 }
 
 /// Hardware prefetcher knobs (the Pentium M "Smart Memory Access" model).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrefetchConfig {
     /// Stride prefetcher enabled (fills L2 ahead of detected streams).
     pub stride: bool,
@@ -60,7 +59,7 @@ impl PrefetchConfig {
 }
 
 /// Per-microarchitecture parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreArch {
     /// Human-readable name.
     pub name: &'static str,
@@ -87,7 +86,7 @@ pub struct CoreArch {
 }
 
 /// How L2 caches map onto cores.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum L2Topology {
     /// One L2 shared by every core in the machine (dual-core Pentium M).
     SharedAll,
@@ -96,7 +95,7 @@ pub enum L2Topology {
 }
 
 /// A complete platform description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Configuration label (`1CPm`, `2LPx`, …).
     pub name: &'static str,
@@ -179,7 +178,7 @@ impl MachineConfig {
 
     /// Convert a cycle count on this machine to seconds.
     pub fn cycles_to_secs(&self, cycles: u64) -> f64 {
-        cycles as f64 / (self.cpu_mhz as f64 * 1e6)
+        crate::convert::exact_f64(cycles) / (f64::from(self.cpu_mhz) * 1e6)
     }
 }
 
@@ -215,7 +214,7 @@ pub fn xeon_arch() -> CoreArch {
 }
 
 /// The five configurations of Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Platform {
     /// Pentium M, one of two cores enabled (`maxcpus=1`).
     OneCorePentiumM,

@@ -1,0 +1,31 @@
+//! Checked numeric conversions for counter and metric arithmetic.
+//!
+//! Derived metrics divide 64-bit event counts, so counters must reach
+//! `f64` without silent precision loss. The conversions live in
+//! [`aon_trace::num`] (the workspace's base crate) so every layer shares
+//! one implementation; this module re-exports them under the simulator's
+//! established path. Simulated runs stay far below the 2^53 exactness
+//! bound (a 2^53-cycle run at the paper's 3.2 GHz clock would model a
+//! month of wall time), so the bound is debug-asserted rather than
+//! handled.
+
+pub use aon_trace::num::{exact_f64, ratio};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_across_the_u32_boundary() {
+        assert_eq!(exact_f64(u64::from(u32::MAX)), 4_294_967_295.0);
+        assert_eq!(exact_f64(u64::from(u32::MAX) + 1), 4_294_967_296.0);
+        // 10^15 cycles ≈ 4 simulated days at 3.2 GHz — far past any run.
+        assert_eq!(exact_f64(1_000_000_000_000_000), 1e15);
+    }
+
+    #[test]
+    fn ratio_is_zero_on_empty_denominator() {
+        assert_eq!(ratio(5, 0), 0.0);
+        assert!((ratio(1, 4) - 0.25).abs() < 1e-12);
+    }
+}

@@ -4,10 +4,10 @@
 //! milli-instruction units because per-architecture cracking is fractional
 //! (see [`crate::isa`]); everything else is exact event counts.
 
-use serde::{Deserialize, Serialize};
+use crate::convert::{exact_f64, ratio};
 
 /// Event counters for one logical CPU.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct PerfCounters {
     /// Wall cycles this logical CPU was enabled (idle included — VTune's
     /// whole-system clocktick sampling counts idle loops too, which is why
@@ -23,6 +23,8 @@ pub struct PerfCounters {
     pub branch_mispredicts: u64,
     /// L1D misses.
     pub l1d_misses: u64,
+    /// L1I (instruction fetch) misses.
+    pub l1i_misses: u64,
     /// L2 misses attributed to this CPU.
     pub l2_misses: u64,
     /// Front-side-bus transactions attributed to this CPU.
@@ -42,59 +44,42 @@ pub struct PerfCounters {
 impl PerfCounters {
     /// Retired instructions as a float.
     pub fn inst_retired(&self) -> f64 {
-        self.inst_retired_milli as f64 / 1000.0
+        exact_f64(self.inst_retired_milli) / 1000.0
     }
 
-    /// Cycles per retired instruction.
+    /// Cycles per retired instruction. Milli-instruction units cancel:
+    /// `ticks / (milli / 1000)` equals `ticks * 1000 / milli`.
     pub fn cpi(&self) -> f64 {
-        let inst = self.inst_retired();
-        if inst == 0.0 {
-            0.0
-        } else {
-            self.clockticks as f64 / inst
-        }
+        ratio(self.clockticks, self.inst_retired_milli) * 1000.0
     }
 
     /// L2 misses per retired instruction, as a percentage (the paper's
     /// L2MPI axis).
     pub fn l2mpi_pct(&self) -> f64 {
-        let inst = self.inst_retired();
-        if inst == 0.0 {
-            0.0
-        } else {
-            self.l2_misses as f64 / inst * 100.0
-        }
+        self.per_kilo_inst(self.l2_misses) / 10.0
     }
 
     /// Bus transactions per retired instruction, as a percentage (BTPI).
     pub fn btpi_pct(&self) -> f64 {
-        let inst = self.inst_retired();
-        if inst == 0.0 {
-            0.0
-        } else {
-            self.bus_txns as f64 / inst * 100.0
-        }
+        self.per_kilo_inst(self.bus_txns) / 10.0
     }
 
     /// Branch instructions retired per instruction retired, as a percentage
     /// (Table 5's branch frequency).
     pub fn branch_freq_pct(&self) -> f64 {
-        let inst = self.inst_retired();
-        if inst == 0.0 {
-            0.0
-        } else {
-            self.branches_retired as f64 / inst * 100.0
-        }
+        self.per_kilo_inst(self.branches_retired) / 10.0
     }
 
     /// Branch misprediction ratio: mispredicts per retired branch, as a
     /// percentage (BrMPR).
     pub fn brmpr_pct(&self) -> f64 {
-        if self.branches_retired == 0 {
-            0.0
-        } else {
-            self.branch_mispredicts as f64 / self.branches_retired as f64 * 100.0
-        }
+        ratio(self.branch_mispredicts, self.branches_retired) * 100.0
+    }
+
+    /// Events per 1000 retired instructions: `count / (milli / 1000) * 1000`
+    /// equals `count * 10^6 / milli`.
+    fn per_kilo_inst(&self, count: u64) -> f64 {
+        ratio(count, self.inst_retired_milli) * 1_000_000.0
     }
 
     /// Merge another counter block (aggregating across CPUs).
@@ -105,6 +90,7 @@ impl PerfCounters {
         self.branches_retired += o.branches_retired;
         self.branch_mispredicts += o.branch_mispredicts;
         self.l1d_misses += o.l1d_misses;
+        self.l1i_misses += o.l1i_misses;
         self.l2_misses += o.l2_misses;
         self.bus_txns += o.bus_txns;
         self.loads += o.loads;

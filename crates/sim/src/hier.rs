@@ -115,10 +115,10 @@ impl MemorySystem {
 
     /// Which presence bit a core occupies within its L2 domain.
     #[inline]
-    fn presence_bit(&self, core: u32) -> u8 {
+    fn presence_bit(&self, core: usize) -> u8 {
         match self.l2_topology {
             L2Topology::SharedAll => 1u8 << core,
-            L2Topology::PerPackage => 1u8 << (core % self.cores_per_package),
+            L2Topology::PerPackage => 1u8 << (core % self.cores_per_package as usize),
         }
     }
 
@@ -186,7 +186,7 @@ impl MemorySystem {
                             // inside this package via the snoop machinery.
                             ev.latency += self.upgrade(core, dom, line, now, &mut ev);
                             let pres = self.l2[dom].presence(line);
-                            let my_bit = self.presence_bit(core as u32);
+                            let my_bit = self.presence_bit(core);
                             if pres & !my_bit != 0 {
                                 self.invalidate_l1s_in_domain(dom, line, pres & !my_bit);
                                 self.l2[dom].add_presence(line, my_bit);
@@ -208,7 +208,7 @@ impl MemorySystem {
                 if let Some(v) = self.l1d[core].fill(line, l1_state) {
                     self.l1_victim(core, dom, v);
                 }
-                let bit = self.presence_bit(core as u32);
+                let bit = self.presence_bit(core);
                 self.l2[dom].add_presence(line, bit);
                 // Train the stride prefetcher on L1 misses.
                 if !write && self.prefetch_depth > 0 {
@@ -223,7 +223,7 @@ impl MemorySystem {
 
     /// Handle an L1 victim: dirty data goes back to L2; presence bit clears.
     fn l1_victim(&mut self, core: usize, dom: usize, v: Victim) {
-        let bit = self.presence_bit(core as u32);
+        let bit = self.presence_bit(core);
         let pres = self.l2[dom].presence(v.line_addr);
         self.l2[dom].set_presence(v.line_addr, pres & !bit);
         if v.state == Mesi::Modified {
@@ -267,7 +267,7 @@ impl MemorySystem {
                 // in-package snoop round-trip is tens of cycles — the cost
                 // behind the paper's 1CPm -> 2CPm loopback degradation.
                 let pres = self.l2[dom].presence(line);
-                let my_bit = self.presence_bit(core as u32);
+                let my_bit = self.presence_bit(core);
                 if pres & !my_bit != 0 {
                     let transfer = if write {
                         self.invalidate_l1s_in_domain(dom, line, pres & !my_bit);
@@ -293,7 +293,8 @@ impl MemorySystem {
             Lookup::Miss => {
                 ev.l2_miss = true;
                 // One bus transaction for the line fetch.
-                let (bus_start, bus_end) = self.fsb.book(now + queue + self.l2_latency, self.line_bus_cycles);
+                let (bus_start, bus_end) =
+                    self.fsb.book(now + queue + self.l2_latency, self.line_bus_cycles);
                 ev.bus_txns += 1;
                 let _ = bus_start;
 
@@ -389,7 +390,7 @@ impl MemorySystem {
     /// Invalidate a line from the L1s of a domain per presence mask.
     fn invalidate_l1s_in_domain(&mut self, dom: usize, line: u64, pres: u8) {
         for c in self.domain_cores(dom) {
-            let bit = self.presence_bit(c as u32);
+            let bit = self.presence_bit(c);
             if pres & bit != 0 {
                 self.l1d[c].invalidate(line);
             }
@@ -428,7 +429,7 @@ impl MemorySystem {
 
     fn invalidate_l1s_in_domain_victim(&mut self, dom: usize, line: u64, pres: u8) {
         for c in self.domain_cores(dom) {
-            let bit = self.presence_bit(c as u32);
+            let bit = self.presence_bit(c);
             if pres & bit != 0 {
                 self.l1d[c].invalidate(line);
             }
@@ -682,8 +683,8 @@ mod tests {
     #[test]
     fn dirty_l2_eviction_writes_back() {
         let mut m = mem(Platform::OneLogicalXeon); // 1MB L2, 8 ways, 2048 sets
-        // Write a line, then stream enough conflicting lines through the
-        // same L2 set to evict it; the eviction must cost a write-back txn.
+                                                   // Write a line, then stream enough conflicting lines through the
+                                                   // same L2 set to evict it; the eviction must cost a write-back txn.
         m.access_data(0, 0, 8, true, 0);
         let set_stride = 2048u64 * 64; // lines that alias into set 0
         let mut txns = 0;

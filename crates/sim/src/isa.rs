@@ -12,11 +12,10 @@
 //! integer arithmetic stays exact and deterministic.
 
 use aon_trace::op::OpClass;
-use serde::{Deserialize, Serialize};
 
 /// Retired-instruction expansion per abstract op class, in hundredths
 /// (100 = one retired instruction per abstract op).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrackModel {
     /// ALU expansion.
     pub alu_x100: u32,
@@ -34,13 +33,25 @@ impl CrackModel {
     /// Pentium M: close to 1:1 for this op mix (its "wide dynamic
     /// execution" fuses rather than cracks).
     pub fn pentium_m() -> CrackModel {
-        CrackModel { alu_x100: 100, load_x100: 100, store_x100: 100, branch_x100: 100, jump_x100: 100 }
+        CrackModel {
+            alu_x100: 100,
+            load_x100: 100,
+            store_x100: 100,
+            branch_x100: 100,
+            jump_x100: 100,
+        }
     }
 
     /// Netburst: loads/stores crack into address-generation + access uops,
     /// ALU ops average ~1.6 uops; branches stay single instructions.
     pub fn netburst() -> CrackModel {
-        CrackModel { alu_x100: 160, load_x100: 200, store_x100: 300, branch_x100: 100, jump_x100: 100 }
+        CrackModel {
+            alu_x100: 160,
+            load_x100: 200,
+            store_x100: 300,
+            branch_x100: 100,
+            jump_x100: 100,
+        }
     }
 
     /// Expansion factor for an op class (hundredths).
@@ -71,9 +82,10 @@ impl CrackModel {
         if total == 0 {
             return 0.0;
         }
-        (self.retired_milli(OpClass::Branch, branch) + self.retired_milli(OpClass::Jump, jump))
-            as f64
-            / total as f64
+        crate::convert::ratio(
+            self.retired_milli(OpClass::Branch, branch) + self.retired_milli(OpClass::Jump, jump),
+            total,
+        )
     }
 }
 

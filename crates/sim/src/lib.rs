@@ -37,15 +37,14 @@
 //!   mispredictions per logical CPU — the exact event set the paper reads
 //!   via VTune (§3.3).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod branch;
 pub mod bus;
 pub mod cache;
 pub mod config;
+pub mod convert;
 pub mod counters;
 pub mod hier;
+pub mod invariants;
 pub mod isa;
 pub mod machine;
 pub mod prefetch;

@@ -18,6 +18,7 @@ use crate::bus::SlotTimeline;
 use crate::config::MachineConfig;
 use crate::counters::PerfCounters;
 use crate::hier::MemorySystem;
+use crate::invariants::{self, Violation};
 use crate::sync::{ChannelConfig, ChannelId, Msg, SimChannel};
 use crate::thread::{Step, ThreadId, Workload, WorkloadCtx};
 use aon_trace::code::site_pc;
@@ -119,6 +120,15 @@ pub struct Machine {
     completed_bytes: u64,
     measure_start: u64,
     end_time: u64,
+    /// Per-CPU clock value at the last counter reset: the origin of each
+    /// CPU's counter-accrual window (a lagging CPU's window starts behind
+    /// `measure_start`, and its events accrue from there).
+    window_start: Vec<u64>,
+    /// When set, scheduler selection loops scan threads/CPUs in an order
+    /// permuted by this seed (see [`Machine::set_scan_permutation`]). The
+    /// selections themselves are (key, index)-lexicographic minima, so the
+    /// outcome must not depend on this — it exists so tests can prove that.
+    scan_seed: Option<u64>,
     /// VTune-style sampling picture: cycles attributed per trace label
     /// (§3.3 — "sampling based VTune profiling to get a global picture of
     /// processor utilization for both system and application level
@@ -152,6 +162,8 @@ impl Machine {
             completed_bytes: 0,
             measure_start: 0,
             end_time: 0,
+            window_start: vec![0; cpus as usize],
+            scan_seed: None,
             profile: std::collections::HashMap::new(),
             cfg,
         }
@@ -162,9 +174,47 @@ impl Machine {
         &self.cfg
     }
 
+    /// Permute the order in which scheduler selection loops scan threads
+    /// and CPUs, seeded deterministically.
+    ///
+    /// Every scheduling decision (which thread to place, which CPU to give
+    /// it, which blocked thread a channel wakes) is defined as a
+    /// (key, index)-lexicographic minimum, so it is independent of the
+    /// order candidates are examined in. This knob shuffles that
+    /// examination order so a stress test can assert the independence
+    /// actually holds: any seed must produce byte-identical counters.
+    pub fn set_scan_permutation(&mut self, seed: u64) {
+        self.scan_seed = Some(seed);
+    }
+
+    /// The order in which a selection loop visits `0..n`: natural order,
+    /// or a Fisher–Yates shuffle of it driven by the scan seed. The
+    /// permutation is a pure function of `(seed, n)` — determinism of the
+    /// simulation itself is never at stake, only the scan order.
+    fn scan_order(&self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        if let Some(seed) = self.scan_seed {
+            let mut s = seed ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut next = move || {
+                // SplitMix64 step.
+                s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            for i in (1..n).rev() {
+                let j = usize::try_from(next() % (i as u64 + 1))
+                    .expect("shuffle index bounded by i < n");
+                idx.swap(i, j);
+            }
+        }
+        idx
+    }
+
     /// Create a channel.
     pub fn add_channel(&mut self, cfg: ChannelConfig) -> ChannelId {
-        let id = ChannelId(self.channels.len() as u32);
+        let id = ChannelId(u32::try_from(self.channels.len()).expect("channel count fits u32"));
         self.channels.push(SimChannel::new(cfg));
         id
     }
@@ -177,8 +227,8 @@ impl Machine {
     /// Spawn a workload thread (runnable at time 0, affine to a CPU chosen
     /// round-robin).
     pub fn spawn(&mut self, workload: Box<dyn Workload>) -> ThreadId {
-        let id = ThreadId(self.threads.len() as u32);
-        let affinity = (self.threads.len() as u32) % self.cfg.logical_cpus();
+        let id = ThreadId(u32::try_from(self.threads.len()).expect("thread count fits u32"));
+        let affinity = id.0 % self.cfg.logical_cpus();
         self.threads.push(ThreadState {
             workload,
             status: Status::Ready(0),
@@ -207,6 +257,37 @@ impl Machine {
         total
     }
 
+    /// Check every counter block against the structural invariants in
+    /// [`crate::invariants`]: each per-CPU block with its core's issue
+    /// bandwidth and true accrual window, plus the cross-CPU aggregate.
+    /// Returns every violation found (empty means consistent); the report
+    /// pipeline calls this before emitting tables, and debug builds assert
+    /// it after every run.
+    pub fn validate(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let width = self.cfg.arch.issue_width_x100;
+        for (i, c) in self.counters.iter().enumerate() {
+            // The window runs from this CPU's clock at the counter reset to
+            // wherever its clock stopped — or to the run's end time if it
+            // sat idle while the rest of the machine advanced.
+            let end = self.end_time.max(self.cpus[i].time);
+            let window = end.saturating_sub(self.window_start[i].min(self.measure_start));
+            for v in invariants::check_counters(c, Some(width), Some(window)) {
+                out.push(Violation {
+                    invariant: v.invariant,
+                    detail: format!("cpu{i}: {}", v.detail),
+                });
+            }
+        }
+        for v in invariants::check_counters(&self.counters_total(), None, None) {
+            out.push(Violation {
+                invariant: v.invariant,
+                detail: format!("aggregate: {}", v.detail),
+            });
+        }
+        out
+    }
+
     /// Direct access to the memory system (the network substrate uses it
     /// for DMA).
     pub fn mem(&mut self) -> &mut MemorySystem {
@@ -226,8 +307,9 @@ impl Machine {
     pub fn reset_counters(&mut self) {
         let now = self.cpus.iter().map(|c| c.time).max().unwrap_or(0);
         self.measure_start = now;
-        for c in &mut self.counters {
+        for (i, c) in self.counters.iter_mut().enumerate() {
             *c = PerfCounters::default();
+            self.window_start[i] = self.cpus[i].time;
         }
         self.completed_units = 0;
         self.completed_bytes = 0;
@@ -238,17 +320,15 @@ impl Machine {
     /// Run until every CPU's clock passes `deadline` (or nothing is left to
     /// run).
     pub fn run(&mut self, deadline: u64) -> RunOutcome {
+        #[cfg(debug_assertions)]
+        let snapshots: Vec<invariants::CounterSnapshot> =
+            self.counters.iter().map(invariants::CounterSnapshot::capture).collect();
         let mut deadlocked = false;
         loop {
             // Promote timed waiters whose wake time the execution frontier
             // (the earliest busy CPU) has reached — they must be able to
             // run on idle CPUs even while other CPUs stay busy.
-            let frontier = self
-                .cpus
-                .iter()
-                .filter(|c| c.thread.is_some())
-                .map(|c| c.time)
-                .min();
+            let frontier = self.cpus.iter().filter(|c| c.thread.is_some()).map(|c| c.time).min();
             if let Some(f) = frontier {
                 for t in &mut self.threads {
                     if let Status::Waiting(at) = t.status {
@@ -259,20 +339,22 @@ impl Machine {
                 }
             }
             self.assign_ready_threads();
-            let active = self
-                .cpus
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.thread.is_some())
-                .min_by_key(|(_, c)| c.time)
-                .map(|(i, _)| i);
+            // Busy CPU with the least (time, index) — scan-order-free.
+            let mut pick: Option<(u64, usize)> = None;
+            for i in self.scan_order(self.cpus.len()) {
+                let c = &self.cpus[i];
+                if c.thread.is_some() && pick.is_none_or(|p| (c.time, i) < p) {
+                    pick = Some((c.time, i));
+                }
+            }
+            let active = pick.map(|(_, i)| i);
 
             match active {
                 Some(cpu) => {
                     if self.cpus[cpu].time >= deadline {
                         break;
                     }
-                    self.step_cpu(cpu as u32);
+                    self.step_cpu(u32::try_from(cpu).expect("cpu index fits u32"));
                 }
                 None => {
                     // Nothing on a CPU. Timed waiters can advance the clock.
@@ -293,10 +375,8 @@ impl Machine {
                                 }
                             }
                             // Ready threads are assigned on the next pass.
-                            let any_ready = self
-                                .threads
-                                .iter()
-                                .any(|t| matches!(t.status, Status::Ready(_)));
+                            let any_ready =
+                                self.threads.iter().any(|t| matches!(t.status, Status::Ready(_)));
                             if !any_ready {
                                 deadlocked = true;
                                 break;
@@ -304,10 +384,8 @@ impl Machine {
                         }
                         Some(_) => break,
                         None => {
-                            deadlocked = self
-                                .threads
-                                .iter()
-                                .any(|t| !matches!(t.status, Status::Done));
+                            deadlocked =
+                                self.threads.iter().any(|t| !matches!(t.status, Status::Done));
                             break;
                         }
                     }
@@ -315,6 +393,15 @@ impl Machine {
             }
         }
         self.finalize(deadline);
+        #[cfg(debug_assertions)]
+        {
+            for (i, snap) in snapshots.iter().enumerate() {
+                let v = snap.check_monotonic(&self.counters[i]);
+                debug_assert!(v.is_empty(), "cpu{i} counters moved backward across run: {v:?}");
+            }
+            let violations = self.validate();
+            debug_assert!(violations.is_empty(), "counter invariants violated: {violations:?}");
+        }
         RunOutcome {
             end_time: self.end_time,
             completed_units: self.completed_units,
@@ -324,8 +411,7 @@ impl Machine {
     }
 
     fn finalize(&mut self, deadline: u64) {
-        let max_time =
-            self.cpus.iter().map(|c| c.time).max().unwrap_or(0).max(self.measure_start);
+        let max_time = self.cpus.iter().map(|c| c.time).max().unwrap_or(0).max(self.measure_start);
         let end = max_time.min(deadline.max(self.measure_start));
         self.end_time = end.max(self.measure_start);
         let elapsed = self.end_time - self.measure_start;
@@ -342,44 +428,47 @@ impl Machine {
     /// ready time).
     fn assign_ready_threads(&mut self) {
         loop {
-            // Earliest ready thread.
-            let mut best: Option<(usize, u64)> = None;
-            for (i, t) in self.threads.iter().enumerate() {
-                if let Status::Ready(at) = t.status {
-                    if best.is_none() || at < best.unwrap().1 {
-                        best = Some((i, at));
+            // Ready thread with the least (ready time, id) — scan-order-free.
+            let mut best: Option<(u64, usize)> = None;
+            for i in self.scan_order(self.threads.len()) {
+                if let Status::Ready(at) = self.threads[i].status {
+                    if best.is_none_or(|b| (at, i) < b) {
+                        best = Some((at, i));
                     }
                 }
             }
-            let Some((tid, ready_at)) = best else { return };
+            let Some((ready_at, tid)) = best else { return };
 
-            // Prefer the thread's previous CPU if idle, else any idle CPU
-            // (earliest-idle first).
+            // Prefer the thread's previous CPU if idle, else the idle CPU
+            // with the least (idle-since time, index).
             let affinity = self.threads[tid].affinity as usize;
             let cpu = if self.cpus[affinity].thread.is_none() {
                 Some(affinity)
             } else {
-                self.cpus
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| c.thread.is_none())
-                    .min_by_key(|(_, c)| c.time)
-                    .map(|(i, _)| i)
+                let mut pick: Option<(u64, usize)> = None;
+                for i in self.scan_order(self.cpus.len()) {
+                    let c = &self.cpus[i];
+                    if c.thread.is_none() && pick.is_none_or(|p| (c.time, i) < p) {
+                        pick = Some((c.time, i));
+                    }
+                }
+                pick.map(|(_, i)| i)
             };
             let Some(cpu) = cpu else { return };
+            let tid32 = u32::try_from(tid).expect("thread index fits u32");
+            let cpu32 = u32::try_from(cpu).expect("cpu index fits u32");
 
             let c = &mut self.cpus[cpu];
             let start = c.time.max(ready_at);
             if c.thread.is_none() && start > c.idle_since {
                 self.counters[cpu].idle_cycles += start - c.idle_since;
             }
-            let switch_cost =
-                if c.last_thread == Some(tid as u32) { 0 } else { CTX_SWITCH };
+            let switch_cost = if c.last_thread == Some(tid32) { 0 } else { CTX_SWITCH };
             c.time = start + switch_cost;
-            c.thread = Some(tid as u32);
-            c.last_thread = Some(tid as u32);
-            self.threads[tid].status = Status::Running(cpu as u32);
-            self.threads[tid].affinity = cpu as u32;
+            c.thread = Some(tid32);
+            c.last_thread = Some(tid32);
+            self.threads[tid].status = Status::Running(cpu32);
+            self.threads[tid].affinity = cpu32;
         }
     }
 
@@ -390,23 +479,27 @@ impl Machine {
         c.idle_since = c.time;
     }
 
-    /// Wake one thread blocked receiving on `chan`.
+    /// Wake the lowest-id thread blocked receiving on `chan`.
     fn wake_recv_waiter(&mut self, chan: ChannelId, now: u64) {
-        for t in &mut self.threads {
-            if t.status == Status::BlockedRecv(chan) {
-                t.status = Status::Ready(now + WAKE_LATENCY);
-                return;
-            }
-        }
+        self.wake_waiter(Status::BlockedRecv(chan), now);
     }
 
-    /// Wake one thread blocked sending on `chan`.
+    /// Wake the lowest-id thread blocked sending on `chan`.
     fn wake_send_waiter(&mut self, chan: ChannelId, now: u64) {
-        for t in &mut self.threads {
-            if t.status == Status::BlockedSend(chan) {
-                t.status = Status::Ready(now + WAKE_LATENCY);
-                return;
+        self.wake_waiter(Status::BlockedSend(chan), now);
+    }
+
+    /// Wake the lowest-id thread whose status matches — the minimum over
+    /// ids, not the first hit, so the choice survives scan permutation.
+    fn wake_waiter(&mut self, blocked: Status, now: u64) {
+        let mut pick: Option<usize> = None;
+        for i in self.scan_order(self.threads.len()) {
+            if self.threads[i].status == blocked && pick.is_none_or(|p| i < p) {
+                pick = Some(i);
             }
+        }
+        if let Some(i) = pick {
+            self.threads[i].status = Status::Ready(now + WAKE_LATENCY);
         }
     }
 
@@ -437,7 +530,7 @@ impl Machine {
         let mut ctx = WorkloadCtx {
             now: self.cpus[cpu as usize].time,
             last_recv: self.threads[tid].mailbox.take(),
-            thread: ThreadId(tid as u32),
+            thread: ThreadId(u32::try_from(tid).expect("thread index fits u32")),
             complete_units: 0,
             complete_bytes: 0,
         };
@@ -448,8 +541,7 @@ impl Machine {
         match step {
             Step::Run { trace, binding } => {
                 if !trace.is_empty() {
-                    self.threads[tid].exec =
-                        Some(ExecState { trace, binding, pos: 0, accum: 0 });
+                    self.threads[tid].exec = Some(ExecState { trace, binding, pos: 0, accum: 0 });
                 }
             }
             Step::Send { chan, msg } => self.do_send(cpu, tid, chan, msg),
@@ -595,6 +687,7 @@ impl Machine {
                     let ctr = &mut self.counters[cpu as usize];
                     if iev.l1_miss {
                         t += iev.latency;
+                        ctr.l1i_misses += 1;
                     }
                     if iev.l2_miss {
                         ctr.l2_misses += 1;
@@ -616,6 +709,7 @@ impl Machine {
                     let ctr = &mut self.counters[cpu as usize];
                     if iev.l1_miss {
                         t += iev.latency;
+                        ctr.l1i_misses += 1;
                     }
                     if iev.l2_miss {
                         ctr.l2_misses += 1;
@@ -766,7 +860,7 @@ mod tests {
         };
         let one = elapsed(Platform::OneCorePentiumM, 2);
         let two = elapsed(Platform::TwoCorePentiumM, 2);
-        let scaling = one as f64 / two as f64;
+        let scaling = crate::convert::ratio(one, two);
         assert!(scaling > 1.6, "two cores should nearly halve wall time: {scaling}");
     }
 
@@ -788,8 +882,8 @@ mod tests {
         };
         let ht = elapsed(Platform::TwoLogicalXeon);
         let pp = elapsed(Platform::TwoPhysicalXeon);
-        let ht_scaling = one as f64 / ht as f64;
-        let pp_scaling = one as f64 / pp as f64;
+        let ht_scaling = crate::convert::ratio(one, ht);
+        let pp_scaling = crate::convert::ratio(one, pp);
         assert!(
             pp_scaling > ht_scaling + 0.3,
             "physical CPUs must beat HT for CPU-bound: HT {ht_scaling:.2} vs PP {pp_scaling:.2}"

@@ -42,7 +42,7 @@ impl StridePrefetcher {
         }
         self.stamp += 1;
         let region = line >> 6; // 64 lines = 4 KiB regions
-        // Find the stream for this region.
+                                // Find the stream for this region.
         let mut found: Option<usize> = None;
         for (i, s) in self.streams.iter().enumerate() {
             if s.valid && s.region == region {

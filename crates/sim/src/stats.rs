@@ -1,11 +1,11 @@
 //! Run-level statistics derived from machine counters.
 
+use crate::convert::{exact_f64, ratio};
 use crate::counters::PerfCounters;
 use crate::machine::{Machine, RunOutcome};
-use serde::{Deserialize, Serialize};
 
 /// Everything an experiment reports about one machine run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MachineStats {
     /// Platform notation (`1CPm`, …).
     pub platform: String,
@@ -31,11 +31,7 @@ impl MachineStats {
         MachineStats {
             platform: machine.config().name.to_string(),
             cpu_mhz: machine.config().cpu_mhz,
-            cycles: machine
-                .counters()
-                .first()
-                .map(|c| c.clockticks)
-                .unwrap_or(outcome.end_time),
+            cycles: machine.counters().first().map(|c| c.clockticks).unwrap_or(outcome.end_time),
             completed_units: outcome.completed_units,
             completed_bytes: outcome.completed_bytes,
             total: machine.counters_total(),
@@ -45,27 +41,22 @@ impl MachineStats {
 
     /// Wall-clock seconds of the simulated run.
     pub fn seconds(&self) -> f64 {
-        self.cycles as f64 / (self.cpu_mhz as f64 * 1e6)
+        exact_f64(self.cycles) / (f64::from(self.cpu_mhz) * 1e6)
     }
 
     /// Payload throughput in megabits per second.
     pub fn throughput_mbps(&self) -> f64 {
-        let secs = self.seconds();
-        if secs == 0.0 {
+        if self.cycles == 0 {
             0.0
         } else {
-            self.completed_bytes as f64 * 8.0 / 1e6 / secs
+            exact_f64(self.completed_bytes) * 8.0 / 1e6 / self.seconds()
         }
     }
 
     /// Completed units per second.
     pub fn units_per_sec(&self) -> f64 {
-        let secs = self.seconds();
-        if secs == 0.0 {
-            0.0
-        } else {
-            self.completed_units as f64 / secs
-        }
+        // cycles / (mhz * 1e6) cancels to units * mhz * 1e6 / cycles.
+        ratio(self.completed_units * u64::from(self.cpu_mhz), self.cycles) * 1e6
     }
 }
 

@@ -322,7 +322,10 @@ mod tests {
         // 1024 bytes/kcycle = 1 byte/cycle.
         let mut c = chan(100, 1024);
         assert!(c.try_send(Msg { bytes: 100, tag: 0 }, 0));
-        assert!(!c.try_send(Msg { bytes: 50, tag: 1 }, 10), "only 10 bytes drained... message-granular");
+        assert!(
+            !c.try_send(Msg { bytes: 50, tag: 1 }, 10),
+            "only 10 bytes drained... message-granular"
+        );
         // After enough time the whole first message has drained.
         assert_eq!(c.occupied(200), 0);
         assert!(c.try_send(Msg { bytes: 50, tag: 1 }, 200));

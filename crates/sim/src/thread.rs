@@ -123,7 +123,7 @@ impl Workload for LoopWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aon_trace::{Op, RegionSlot, Addr};
+    use aon_trace::{Addr, Op, RegionSlot};
 
     #[test]
     fn loop_workload_counts_down() {

@@ -1,0 +1,46 @@
+//! The five paper platforms expose consistent, deterministic topology
+//! data (machine descriptions are recorded next to experiment results, so
+//! they must be stable from call to call and distinguishable by name).
+
+use aon_sim::config::Platform;
+
+#[test]
+fn configs_are_deterministic() {
+    for p in Platform::ALL {
+        assert_eq!(p.config(), p.config(), "{p} config must be stable across calls");
+    }
+}
+
+#[test]
+fn platform_notations_are_unique() {
+    let notations: Vec<&str> = Platform::ALL.iter().map(|p| p.notation()).collect();
+    for (i, a) in notations.iter().enumerate() {
+        assert!(!a.is_empty());
+        for b in &notations[i + 1..] {
+            assert_ne!(a, b, "platform notations must distinguish the configs");
+        }
+    }
+}
+
+#[test]
+fn core_and_package_maps_are_consistent() {
+    for p in Platform::ALL {
+        let cfg = p.config();
+        for cpu in 0..cfg.logical_cpus() {
+            assert!(cfg.core_of(cpu) < cfg.physical_cores());
+            assert!(cfg.package_of(cpu) < cfg.packages);
+            assert!(cfg.l2_domain_of(cpu) < cfg.l2_domains());
+        }
+    }
+}
+
+#[test]
+fn xeon_is_faster_clocked_but_smaller_cached() {
+    let pm = Platform::OneCorePentiumM.config();
+    let xe = Platform::OneLogicalXeon.config();
+    assert!(xe.cpu_mhz > pm.cpu_mhz);
+    assert!(xe.l2.size < pm.l2.size);
+    assert!(xe.arch.l1d.size < pm.arch.l1d.size);
+    assert!(xe.arch.mispredict_penalty > pm.arch.mispredict_penalty);
+    assert!(xe.dram_cycles() > pm.dram_cycles(), "same DRAM is more cycles at higher clock");
+}

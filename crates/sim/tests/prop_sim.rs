@@ -21,7 +21,7 @@ impl RefCache {
     }
 
     fn set_of(&self, line: u64) -> usize {
-        (line % self.sets) as usize
+        usize::try_from(line % self.sets).expect("set count fits usize")
     }
 
     fn lookup(&mut self, line: u64) -> bool {

@@ -2,6 +2,7 @@
 //! observations, isolated with synthetic workloads.
 
 use aon_sim::config::Platform;
+use aon_sim::convert::ratio;
 use aon_sim::machine::Machine;
 use aon_sim::thread::LoopWorkload;
 use aon_trace::code::site_hash;
@@ -97,8 +98,8 @@ fn smt_throughput_gain_depends_on_stall_fraction() {
         m.run(5_000_000_000).end_time
     };
 
-    let alu_gain = elapsed(&alu_trace, 1) as f64 * 2.0 / elapsed(&alu_trace, 2) as f64;
-    let mem_gain = elapsed(&mem_trace, 1) as f64 * 2.0 / elapsed(&mem_trace, 2) as f64;
+    let alu_gain = ratio(elapsed(&alu_trace, 1), elapsed(&alu_trace, 2)) * 2.0;
+    let mem_gain = ratio(elapsed(&mem_trace, 1), elapsed(&mem_trace, 2)) * 2.0;
     assert!(
         mem_gain > alu_gain + 0.2,
         "SMT must help stall-heavy work more: mem {mem_gain:.2}x vs alu {alu_gain:.2}x"

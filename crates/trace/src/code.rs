@@ -25,6 +25,9 @@ pub struct SiteId(pub u32);
 
 /// FNV-1a over the site coordinates. `const fn` so sites can be computed at
 /// compile time by the [`site!`](crate::site) macro.
+// Truncation is the point of the final fold (it's a hash), and `try_from`
+// is not callable in a `const fn`.
+#[allow(clippy::cast_possible_truncation)]
 pub const fn site_hash(file: &str, line: u32, column: u32) -> u32 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let bytes = file.as_bytes();

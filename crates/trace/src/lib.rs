@@ -30,11 +30,9 @@
 //! algorithms on real bytes*. Locality, branch bias, and instruction mix are
 //! emergent properties of the workload implementation, not knobs.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod code;
 pub mod mix;
+pub mod num;
 pub mod op;
 pub mod probe;
 pub mod trace;

@@ -8,11 +8,11 @@
 //! the workloads we generate have the documented character — e.g. that the
 //! network-I/O-heavy FR trace is ~25 % richer in branches than SV/CBR.
 
+use crate::num::ratio;
 use crate::trace::{Trace, TraceStats};
-use serde::{Deserialize, Serialize};
 
 /// Fractional instruction mix of a trace, at abstract-op granularity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mix {
     /// ALU fraction.
     pub alu: f64,
@@ -38,18 +38,14 @@ impl Mix {
 
     /// Compute the mix from precomputed stats.
     pub fn of_stats(s: &TraceStats) -> Mix {
-        let total = s.ops.max(1) as f64;
+        let total = s.ops.max(1);
         Mix {
-            alu: s.alus as f64 / total,
-            load: s.loads as f64 / total,
-            store: s.stores as f64 / total,
-            branch: s.branches as f64 / total,
-            jump: s.jumps as f64 / total,
-            taken_ratio: if s.branches == 0 {
-                0.0
-            } else {
-                s.taken_branches as f64 / s.branches as f64
-            },
+            alu: ratio(s.alus, total),
+            load: ratio(s.loads, total),
+            store: ratio(s.stores, total),
+            branch: ratio(s.branches, total),
+            jump: ratio(s.jumps, total),
+            taken_ratio: ratio(s.taken_branches, s.branches),
             total_ops: s.ops,
         }
     }

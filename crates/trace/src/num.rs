@@ -1,0 +1,48 @@
+//! Lossless numeric conversions for counter arithmetic.
+//!
+//! `u64 as f64` silently rounds above 2^53, so counter math across the
+//! workspace goes through these helpers instead of raw casts: conversion
+//! through two `u32` halves is exact for every value the simulator and
+//! trace statistics can produce, and the debug assertion documents the
+//! bound instead of hiding it.
+
+/// Exact `u64` → `f64` conversion for counter-sized values.
+///
+/// Splits into 32-bit halves so each part converts exactly; asserts (in
+/// debug builds) that the value sits below 2^53, where `f64` is exact.
+pub fn exact_f64(v: u64) -> f64 {
+    debug_assert!(v <= (1u64 << 53), "counter value {v} exceeds f64's exact integer range");
+    let hi = u32::try_from(v >> 32).expect("upper half fits u32");
+    let lo = u32::try_from(v & 0xffff_ffff).expect("lower half fits u32");
+    f64::from(hi) * 4_294_967_296.0 + f64::from(lo)
+}
+
+/// `num / den` as `f64`, defined as 0.0 when `den == 0`.
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        exact_f64(num) / exact_f64(den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_large_counters() {
+        assert_eq!(exact_f64(0), 0.0);
+        assert_eq!(exact_f64(1), 1.0);
+        assert_eq!(exact_f64(u64::from(u32::MAX)), 4_294_967_295.0);
+        assert_eq!(exact_f64((1 << 53) - 1), 9_007_199_254_740_991.0);
+        assert_eq!(exact_f64(1 << 53), 9_007_199_254_740_992.0);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(ratio(5, 0), 0.0);
+        assert_eq!(ratio(1, 2), 0.5);
+        assert_eq!(ratio(0, 7), 0.0);
+    }
+}

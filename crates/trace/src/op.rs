@@ -14,11 +14,9 @@
 //! which is what makes streaming network payloads miss in the cache while
 //! static data (schemas, routing tables, code) stays warm.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies one of the (at most [`RegionSlot::MAX`]) relocatable memory
 /// regions a trace references.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RegionSlot(pub u8);
 
 impl RegionSlot {
@@ -60,7 +58,7 @@ impl RegionSlot {
 }
 
 /// A relocatable address: `base(slot) + offset`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Addr {
     /// Which relocatable region this access falls in.
     pub slot: RegionSlot,
@@ -82,7 +80,7 @@ impl Addr {
 /// integer/logic work into a single `Alu(n)` record, which keeps traces
 /// compact (XML parsing emits on the order of 10^5–10^6 abstract ops per
 /// 5 KB message).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// `n` integer / logic / address-arithmetic operations.
     Alu(u16),
@@ -116,7 +114,7 @@ pub enum Op {
 
 /// Coarse classification of abstract ops, used by instruction-mix statistics
 /// and by per-architecture cracking models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
     /// Integer/logic work.
     Alu,
@@ -167,10 +165,7 @@ mod tests {
     #[test]
     fn weight_counts_alu_runs() {
         assert_eq!(Op::Alu(7).weight(), 7);
-        assert_eq!(
-            Op::Load { addr: Addr::new(RegionSlot::MSG, 0), size: 8 }.weight(),
-            1
-        );
+        assert_eq!(Op::Load { addr: Addr::new(RegionSlot::MSG, 0), size: 8 }.weight(), 1);
     }
 
     #[test]

@@ -7,12 +7,12 @@
 //! `STATIC` slot pinned, so temporal-reuse differences between workloads
 //! (the paper's FR vs. SV axis, §5.3) are emergent rather than configured.
 
+use crate::num::ratio;
 use crate::op::{Addr, Op, OpClass, RegionSlot};
 use crate::vaddr::VAddr;
-use serde::{Deserialize, Serialize};
 
 /// Aggregate counts over a trace (abstract-op granularity, pre-cracking).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TraceStats {
     /// Total abstract operations (ALU runs expanded).
     pub ops: u64,
@@ -81,25 +81,17 @@ impl TraceStats {
 
     /// Fraction of abstract ops that are conditional branches.
     pub fn branch_fraction(&self) -> f64 {
-        if self.ops == 0 {
-            0.0
-        } else {
-            self.branches as f64 / self.ops as f64
-        }
+        ratio(self.branches, self.ops)
     }
 
     /// Fraction of abstract ops that touch memory.
     pub fn memory_fraction(&self) -> f64 {
-        if self.ops == 0 {
-            0.0
-        } else {
-            (self.loads + self.stores) as f64 / self.ops as f64
-        }
+        ratio(self.loads + self.stores, self.ops)
     }
 }
 
 /// A recorded, replayable op sequence.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     ops: Vec<Op>,
     stats: TraceStats,
@@ -117,9 +109,8 @@ impl Trace {
     pub fn push(&mut self, op: Op) {
         self.stats.record(&op);
         if let (Some(Op::Alu(prev)), Op::Alu(n)) = (self.ops.last_mut(), &op) {
-            let sum = *prev as u32 + *n as u32;
-            if sum <= u16::MAX as u32 {
-                *prev = sum as u16;
+            if let Ok(sum) = u16::try_from(u32::from(*prev) + u32::from(*n)) {
+                *prev = sum;
                 return;
             }
         }

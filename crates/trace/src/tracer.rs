@@ -48,7 +48,7 @@ impl Probe for Tracer {
     fn alu(&mut self, n: u32) {
         let mut rem = n;
         while rem > 0 {
-            let chunk = rem.min(u16::MAX as u32) as u16;
+            let chunk = u16::try_from(rem.min(u32::from(u16::MAX))).expect("clamped to u16 range");
             self.trace.push(Op::Alu(chunk));
             rem -= chunk as u32;
         }

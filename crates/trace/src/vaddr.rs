@@ -18,10 +18,8 @@
 //! with no temporal reuse) allocate from a rotating window instead of
 //! reusing one allocation — see `aon-sim`'s buffer pools.
 
-use serde::{Deserialize, Serialize};
-
 /// A virtual address in the simulated address space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VAddr(pub u64);
 
 impl VAddr {
@@ -65,7 +63,7 @@ pub const STACK_BASE: u64 = 0x7f00_0000;
 /// (e.g. `netperf` and `netserver` in loopback mode) may use distinct
 /// `AddrSpace`s offset from each other, or share one when they share kernel
 /// buffers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AddrSpace {
     next_static: u64,
     next_heap: u64,
@@ -81,11 +79,7 @@ impl Default for AddrSpace {
 impl AddrSpace {
     /// A fresh address space with canonical segment bases.
     pub fn new() -> Self {
-        AddrSpace {
-            next_static: STATIC_BASE,
-            next_heap: HEAP_BASE,
-            next_stack: STACK_BASE,
-        }
+        AddrSpace { next_static: STATIC_BASE, next_heap: HEAP_BASE, next_stack: STACK_BASE }
     }
 
     fn bump(cursor: &mut u64, len: u64, align: u64) -> VAddr {

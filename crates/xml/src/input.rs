@@ -88,11 +88,7 @@ impl<'a> TBuf<'a> {
     /// A sub-buffer view of `start..end` that keeps region addressing
     /// consistent with the parent buffer.
     pub fn slice(&self, start: usize, end: usize) -> TBuf<'a> {
-        TBuf {
-            data: &self.data[start..end],
-            slot: self.slot,
-            base: self.base + start as u32,
-        }
+        TBuf { data: &self.data[start..end], slot: self.slot, base: self.base + start as u32 }
     }
 }
 

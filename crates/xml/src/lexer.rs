@@ -145,9 +145,7 @@ impl<'a> Lexer<'a> {
 
     #[inline]
     fn peek<P: Probe>(&self, p: &mut P) -> XmlResult<u8> {
-        self.buf
-            .try_get(self.pos, p)
-            .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))
+        self.buf.try_get(self.pos, p).ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))
     }
 
     #[inline]
@@ -203,7 +201,13 @@ impl<'a> Lexer<'a> {
 
     /// Scan until the two-byte terminator `t0 t1` (e.g. `?>`); returns the
     /// content span (exclusive of the terminator).
-    fn scan_until2<P: Probe>(&mut self, t0: u8, t1: u8, kind: XmlErrorKind, p: &mut P) -> XmlResult<Span> {
+    fn scan_until2<P: Probe>(
+        &mut self,
+        t0: u8,
+        t1: u8,
+        kind: XmlErrorKind,
+        p: &mut P,
+    ) -> XmlResult<Span> {
         let start = self.pos;
         loop {
             if self.at_end(p) {
@@ -226,8 +230,7 @@ impl<'a> Lexer<'a> {
     fn scan_attr<P: Probe>(&mut self, p: &mut P) -> XmlResult<RawAttr> {
         let name = self.scan_name(p)?;
         self.skip_ws(p);
-        self.expect(b'=', p)
-            .map_err(|e| XmlError::at(XmlErrorKind::BadAttribute, e.offset))?;
+        self.expect(b'=', p).map_err(|e| XmlError::at(XmlErrorKind::BadAttribute, e.offset))?;
         self.skip_ws(p);
         let quote = self.bump(p)?;
         p.alu(1);
@@ -292,13 +295,13 @@ impl<'a> Lexer<'a> {
             self.pos += 1;
             let name = self.scan_name(p)?;
             self.skip_ws(p);
-            self.expect(b'>', p)
-                .map_err(|e| XmlError::at(XmlErrorKind::MalformedTag, e.offset))?;
+            self.expect(b'>', p).map_err(|e| XmlError::at(XmlErrorKind::MalformedTag, e.offset))?;
             return Ok(Token::EndTag { name });
         }
         if br!(p, b == b'?') {
             self.pos += 1;
-            let target = self.scan_name(p).map_err(|e| XmlError::at(XmlErrorKind::BadPi, e.offset))?;
+            let target =
+                self.scan_name(p).map_err(|e| XmlError::at(XmlErrorKind::BadPi, e.offset))?;
             let target_bytes = self.buf.span(target.start, target.end);
             self.scan_until2(b'?', b'>', XmlErrorKind::BadPi, p)?;
             p.alu(2);

@@ -273,10 +273,7 @@ mod tests {
 
     #[test]
     fn mismatched_tags_error() {
-        assert!(matches!(
-            parse(b"<a><b></a></b>").unwrap_err().kind,
-            XmlErrorKind::MismatchedTag
-        ));
+        assert!(matches!(parse(b"<a><b></a></b>").unwrap_err().kind, XmlErrorKind::MismatchedTag));
     }
 
     #[test]
@@ -323,8 +320,7 @@ mod tests {
     #[test]
     fn parse_is_store_heavy_in_trace() {
         let mut t = Tracer::new();
-        parse_document(TBuf::msg(b"<order><item qty=\"3\">widget</item></order>"), &mut t)
-            .unwrap();
+        parse_document(TBuf::msg(b"<order><item qty=\"3\">widget</item></order>"), &mut t).unwrap();
         let s = t.finish().stats();
         assert!(s.stores > 10, "DOM building must emit stores, got {}", s.stores);
         assert!(s.loads > 40, "scanning must emit loads, got {}", s.loads);

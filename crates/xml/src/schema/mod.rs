@@ -143,10 +143,7 @@ mod tests {
         let s = po_schema();
         let v = s.validate_bytes(b"<mystery/>", &mut NullProbe).unwrap();
         assert!(!v.is_valid());
-        assert!(matches!(
-            v.violations()[0].kind,
-            ViolationKind::UnknownElement
-        ));
+        assert!(matches!(v.violations()[0].kind, ViolationKind::UnknownElement));
     }
 
     #[test]

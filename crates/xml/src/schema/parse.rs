@@ -87,11 +87,8 @@ pub fn compile_from_doc(doc: &Document) -> XmlResult<Schema> {
         return Err(err(0));
     }
 
-    let types: Vec<TypeDef> = c
-        .types
-        .into_iter()
-        .map(|t| t.ok_or_else(|| err(0)))
-        .collect::<XmlResult<_>>()?;
+    let types: Vec<TypeDef> =
+        c.types.into_iter().map(|t| t.ok_or_else(|| err(0))).collect::<XmlResult<_>>()?;
     let record_count = elements.len() as u32
         + types
             .iter()
@@ -151,11 +148,7 @@ impl SchemaCompiler<'_> {
         if let Some(bt) = BuiltinType::by_local_name(local) {
             return Ok(TypeRef::Builtin(bt));
         }
-        self.by_name
-            .get(local)
-            .copied()
-            .map(TypeRef::Def)
-            .ok_or_else(|| err(0))
+        self.by_name.get(local).copied().map(TypeRef::Def).ok_or_else(|| err(0))
     }
 
     /// `<xs:complexType>` body.
@@ -355,11 +348,8 @@ mod tests {
 
     #[test]
     fn occurs_defaults() {
-        let doc = crate::parser::parse_document(
-            crate::input::TBuf::msg(b"<e/>"),
-            &mut NullProbe,
-        )
-        .unwrap();
+        let doc = crate::parser::parse_document(crate::input::TBuf::msg(b"<e/>"), &mut NullProbe)
+            .unwrap();
         let root = doc.root().unwrap();
         assert_eq!(occurs(&doc, root).unwrap(), (1, 1));
     }

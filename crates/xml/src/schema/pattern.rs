@@ -352,7 +352,7 @@ impl<'s> Compiler<'s> {
             return Err(self.err());
         }
         std::str::from_utf8(&self.src[start..self.pos])
-            .unwrap()
+            .expect("span contains only ASCII digits, checked above")
             .parse()
             .map_err(|_| self.err())
     }

@@ -198,7 +198,10 @@ mod tests {
     #[test]
     fn builtin_lookup() {
         assert_eq!(BuiltinType::by_local_name(b"string"), Some(BuiltinType::String));
-        assert_eq!(BuiltinType::by_local_name(b"positiveInteger"), Some(BuiltinType::PositiveInteger));
+        assert_eq!(
+            BuiltinType::by_local_name(b"positiveInteger"),
+            Some(BuiltinType::PositiveInteger)
+        );
         assert_eq!(BuiltinType::by_local_name(b"nosuch"), None);
     }
 
@@ -206,7 +209,12 @@ mod tests {
     fn particle_record_count() {
         let p = Particle::Sequence {
             items: vec![
-                Particle::Element { name: b"a".to_vec(), ty: TypeRef::Builtin(BuiltinType::String), min: 1, max: 1 },
+                Particle::Element {
+                    name: b"a".to_vec(),
+                    ty: TypeRef::Builtin(BuiltinType::String),
+                    min: 1,
+                    max: 1,
+                },
                 Particle::Choice {
                     items: vec![Particle::Element {
                         name: b"b".to_vec(),

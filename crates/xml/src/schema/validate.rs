@@ -316,9 +316,7 @@ impl<P: Probe> Validator<'_, '_, P> {
         for d in decls {
             self.touch();
             if d.required {
-                let present = recs
-                    .iter()
-                    .any(|r| self.doc.name_bytes(r.name) == d.name.as_slice());
+                let present = recs.iter().any(|r| self.doc.name_bytes(r.name) == d.name.as_slice());
                 self.probe.alu(recs.len().max(1) as u32);
                 if !br!(self.probe, present) {
                     self.violate(ViolationKind::MissingAttribute, node, &d.name);
@@ -498,7 +496,8 @@ mod tests {
 
     #[test]
     fn sequence_order() {
-        let p = Particle::Sequence { items: vec![elem("a", 1, 1), elem("b", 1, 1)], min: 1, max: 1 };
+        let p =
+            Particle::Sequence { items: vec![elem("a", 1, 1), elem("b", 1, 1)], min: 1, max: 1 };
         assert!(run(&p, &["a", "b"]));
         assert!(!run(&p, &["b", "a"]));
         assert!(!run(&p, &["a"]));

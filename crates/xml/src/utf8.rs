@@ -57,8 +57,8 @@ pub fn validate_utf8<P: Probe>(buf: TBuf<'_>, p: &mut P) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aon_trace::{NullProbe, Tracer};
     use aon_trace::RegionSlot;
+    use aon_trace::{NullProbe, Tracer};
 
     fn check(bytes: &[u8]) -> Option<usize> {
         validate_utf8(TBuf::new(bytes, RegionSlot::MSG), &mut NullProbe)

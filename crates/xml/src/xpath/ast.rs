@@ -201,7 +201,11 @@ mod tests {
             CmpOp::Eq,
             Box::new(Expr::Path {
                 absolute: false,
-                steps: vec![Step { axis: Axis::Child, test: NodeTest::AnyName, predicates: vec![] }],
+                steps: vec![Step {
+                    axis: Axis::Child,
+                    test: NodeTest::AnyName,
+                    predicates: vec![],
+                }],
             }),
             Box::new(Expr::Literal(b"1".to_vec())),
         );

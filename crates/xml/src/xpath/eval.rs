@@ -47,7 +47,13 @@ impl XPathValue {
             },
             XPathValue::Str(s) => s.clone(),
             XPathValue::Num(n) => format_number(*n).into_bytes(),
-            XPathValue::Bool(b) => if *b { b"true".to_vec() } else { b"false".to_vec() },
+            XPathValue::Bool(b) => {
+                if *b {
+                    b"true".to_vec()
+                } else {
+                    b"false".to_vec()
+                }
+            }
         }
     }
 
@@ -123,10 +129,13 @@ fn collect_text<P: Probe>(doc: &Document, n: NodeId, out: &mut Vec<u8>, p: &mut 
 
 /// XPath string → number ("NaN" on failure, per spec).
 fn parse_number(s: &[u8]) -> f64 {
-    std::str::from_utf8(s)
-        .ok()
-        .and_then(|t| t.trim().parse::<f64>().ok())
-        .unwrap_or(f64::NAN)
+    std::str::from_utf8(s).ok().and_then(|t| t.trim().parse::<f64>().ok()).unwrap_or(f64::NAN)
+}
+
+/// An XPath number for a position, node-set size or string length. All of
+/// these are bounded by the u32 DOM arena, so the conversion is exact.
+fn usize_num(n: usize) -> f64 {
+    f64::from(u32::try_from(n).expect("XPath cardinalities fit u32"))
 }
 
 /// XPath number → string (integer formatting when integral).
@@ -264,7 +273,7 @@ fn eval_path<P: Probe>(
                 let v = eval(pred, doc, n, i + 1, size, ctx, p);
                 let keep = match v {
                     // A numeric predicate selects by position.
-                    XPathValue::Num(want) => (i + 1) as f64 == want,
+                    XPathValue::Num(want) => usize_num(i + 1) == want,
                     other => other.boolean_value(doc, p),
                 };
                 if br!(p, keep) {
@@ -296,11 +305,8 @@ fn collect_axis<P: Probe>(
     }
     match axis {
         Axis::Child => {
-            let mut cur = if node.is_document() {
-                doc.root().ok()
-            } else {
-                doc.first_child_t(node, p)
-            };
+            let mut cur =
+                if node.is_document() { doc.root().ok() } else { doc.first_child_t(node, p) };
             while let Some(c) = cur {
                 out.push(c);
                 cur = if node.is_document() { None } else { doc.next_sibling_t(c, p) };
@@ -376,7 +382,7 @@ fn eval_call<P: Probe>(
                 XPathValue::NodeSet(ns) => ns.len(),
                 _ => 0,
             };
-            XPathValue::Num(n as f64)
+            XPathValue::Num(usize_num(n))
         }
         Func::Contains => {
             let hay = vals[0].string_value(doc, p);
@@ -394,13 +400,10 @@ fn eval_call<P: Probe>(
         Func::Not => XPathValue::Bool(!vals[0].boolean_value(doc, p)),
         Func::True => XPathValue::Bool(true),
         Func::False => XPathValue::Bool(false),
-        Func::Position => XPathValue::Num(position as f64),
-        Func::Last => XPathValue::Num(size as f64),
+        Func::Position => XPathValue::Num(usize_num(position)),
+        Func::Last => XPathValue::Num(usize_num(size)),
         Func::String => {
-            let v = vals
-                .first()
-                .cloned()
-                .unwrap_or_else(|| XPathValue::NodeSet(vec![ctx_node]));
+            let v = vals.first().cloned().unwrap_or_else(|| XPathValue::NodeSet(vec![ctx_node]));
             XPathValue::Str(v.string_value(doc, p))
         }
         Func::StringLength => {
@@ -408,7 +411,7 @@ fn eval_call<P: Probe>(
                 Some(v) => v.string_value(doc, p),
                 None => node_string_value(doc, ctx_node, p),
             };
-            XPathValue::Num(s.len() as f64)
+            XPathValue::Num(usize_num(s.len()))
         }
         Func::NormalizeSpace => {
             let s = match vals.first() {
@@ -598,7 +601,7 @@ fn xpath_substring(s: &[u8], start: f64, len: Option<f64>) -> Vec<u8> {
     s.iter()
         .enumerate()
         .filter(|(i, _)| {
-            let pos = (*i + 1) as f64;
+            let pos = usize_num(*i + 1);
             pos >= begin && pos < end
         })
         .map(|(_, &b)| b)

@@ -142,11 +142,10 @@ pub fn tokenize(src: &str) -> XmlResult<Vec<Tok>> {
                 out.push(Tok::Eq);
                 i += 1;
             }
-            '!'
-                if bytes.get(i + 1) == Some(&'=') => {
-                    out.push(Tok::Ne);
-                    i += 2;
-                }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Tok::Ne);
+                i += 2;
+            }
             '<' => {
                 if bytes.get(i + 1) == Some(&'=') {
                     out.push(Tok::Le);

@@ -132,15 +132,27 @@ mod tests {
     #[test]
     fn child_axis_paths() {
         let d = doc(PO);
-        assert_eq!(XPath::compile("/order/item").unwrap().select(&d, &mut NullProbe).unwrap().len(), 2);
-        assert_eq!(XPath::compile("item/name").unwrap().select(&d, &mut NullProbe).unwrap().len(), 2);
-        assert_eq!(XPath::compile("/wrong/item").unwrap().select(&d, &mut NullProbe).unwrap().len(), 0);
+        assert_eq!(
+            XPath::compile("/order/item").unwrap().select(&d, &mut NullProbe).unwrap().len(),
+            2
+        );
+        assert_eq!(
+            XPath::compile("item/name").unwrap().select(&d, &mut NullProbe).unwrap().len(),
+            2
+        );
+        assert_eq!(
+            XPath::compile("/wrong/item").unwrap().select(&d, &mut NullProbe).unwrap().len(),
+            0
+        );
     }
 
     #[test]
     fn wildcard_and_node_tests() {
         let d = doc(PO);
-        assert_eq!(XPath::compile("/order/*").unwrap().select(&d, &mut NullProbe).unwrap().len(), 3);
+        assert_eq!(
+            XPath::compile("/order/*").unwrap().select(&d, &mut NullProbe).unwrap().len(),
+            3
+        );
         // text() under note
         let xp = XPath::compile("/order/note/text()").unwrap();
         let v = xp.eval(&d, &mut NullProbe).unwrap();

@@ -149,8 +149,14 @@ impl Parser {
                     Ok(Expr::Call(func, args))
                 }
             }
-            Tok::Slash | Tok::DoubleSlash | Tok::Dot | Tok::DotDot | Tok::At | Tok::Star
-            | Tok::Name(_) | Tok::AxisName(_) => self.location_path(),
+            Tok::Slash
+            | Tok::DoubleSlash
+            | Tok::Dot
+            | Tok::DotDot
+            | Tok::At
+            | Tok::Star
+            | Tok::Name(_)
+            | Tok::AxisName(_) => self.location_path(),
             _ => Err(self.err()),
         }
     }

@@ -97,10 +97,7 @@ fn keep_comments_option() {
     // Comment node + element node under the root.
     let root = doc.root().unwrap();
     let first = doc.first_child_t(root, &mut NullProbe).unwrap();
-    assert!(matches!(
-        doc.kind_t(first, &mut NullProbe),
-        aon_xml::NodeKind::Comment
-    ));
+    assert!(matches!(doc.kind_t(first, &mut NullProbe), aon_xml::NodeKind::Comment));
 }
 
 #[test]

@@ -32,11 +32,16 @@ fn arb_text() -> impl Strategy<Value = String> {
 fn arb_node() -> impl Strategy<Value = Node> {
     let leaf = prop_oneof![
         arb_text().prop_map(Node::Text),
-        (arb_name(), prop::collection::vec((arb_name(), arb_text()), 0..3))
-            .prop_map(|(name, attrs)| Node::Element { name, attrs: dedup_attrs(attrs), children: vec![] }),
+        (arb_name(), prop::collection::vec((arb_name(), arb_text()), 0..3)).prop_map(
+            |(name, attrs)| Node::Element { name, attrs: dedup_attrs(attrs), children: vec![] }
+        ),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
-        (arb_name(), prop::collection::vec((arb_name(), arb_text()), 0..3), prop::collection::vec(inner, 0..4))
+        (
+            arb_name(),
+            prop::collection::vec((arb_name(), arb_text()), 0..3),
+            prop::collection::vec(inner, 0..4),
+        )
             .prop_map(|(name, attrs, children)| Node::Element {
                 name,
                 attrs: dedup_attrs(attrs),
@@ -168,7 +173,11 @@ fn arb_pat() -> impl Strategy<Value = Pat> {
             inner.clone().prop_map(|a| Pat::Star(Box::new(a))),
             inner.clone().prop_map(|a| Pat::Plus(Box::new(a))),
             inner.clone().prop_map(|a| Pat::Opt(Box::new(a))),
-            (inner, 0u32..3, 0u32..3).prop_map(|(a, m, extra)| Pat::Counted(Box::new(a), m, m + extra)),
+            (inner, 0u32..3, 0u32..3).prop_map(|(a, m, extra)| Pat::Counted(
+                Box::new(a),
+                m,
+                m + extra
+            )),
         ]
     })
 }
@@ -227,7 +236,11 @@ fn render_pat(p: &Pat, out: &mut String) {
 
 /// Reference matcher: set of reachable positions after consuming input.
 fn ref_match(p: &Pat, input: &[u8]) -> bool {
-    fn step(p: &Pat, input: &[u8], starts: &std::collections::BTreeSet<usize>) -> std::collections::BTreeSet<usize> {
+    fn step(
+        p: &Pat,
+        input: &[u8],
+        starts: &std::collections::BTreeSet<usize>,
+    ) -> std::collections::BTreeSet<usize> {
         let mut ends = std::collections::BTreeSet::new();
         for &s in starts {
             match p {

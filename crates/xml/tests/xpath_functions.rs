@@ -14,11 +14,14 @@ fn doc() -> Document {
         ),
         &mut NullProbe,
     )
-    .unwrap()
+    .expect("fixture parses")
 }
 
 fn eval(expr: &str) -> XPathValue {
-    XPath::compile(expr).unwrap().eval(&doc(), &mut NullProbe).unwrap()
+    XPath::compile(expr)
+        .expect("expr compiles")
+        .eval(&doc(), &mut NullProbe)
+        .expect("expr evaluates")
 }
 
 fn num(expr: &str) -> f64 {
@@ -30,7 +33,7 @@ fn boolean(expr: &str) -> bool {
 }
 
 fn string(expr: &str) -> String {
-    String::from_utf8(eval(expr).string_value(&doc(), &mut NullProbe)).unwrap()
+    String::from_utf8(eval(expr).string_value(&doc(), &mut NullProbe)).expect("utf-8")
 }
 
 #[test]

@@ -6,10 +6,11 @@
 //! Platforms: 1CPm 2CPm 1LPx 2LPx 2PPx
 //! Workloads: FR CBR SV netperf netperf-loopback
 
-use aon::core::workload::WorkloadKind;
 use aon::core::experiment::ExperimentConfig;
+use aon::core::workload::WorkloadKind;
 use aon::server::corpus::Corpus;
 use aon::sim::config::Platform;
+use aon::sim::convert::ratio;
 use aon::sim::machine::Machine;
 use aon::sim::stats::MachineStats;
 
@@ -43,7 +44,11 @@ fn main() {
     let s = &stats;
     let t = &s.total;
 
-    println!("=== {workload} on {platform} ({} logical CPUs @ {} MHz) ===", s.per_cpu.len(), s.cpu_mhz);
+    println!(
+        "=== {workload} on {platform} ({} logical CPUs @ {} MHz) ===",
+        s.per_cpu.len(),
+        s.cpu_mhz
+    );
     println!("simulated window      : {:.1} ms", s.seconds() * 1e3);
     println!("completed work units  : {} ({:.0}/s)", s.completed_units, s.units_per_sec());
     println!("payload throughput    : {:.0} Mbps", s.throughput_mbps());
@@ -73,7 +78,7 @@ fn main() {
             "{:<28}{:>12}  ({:>4.1}%)",
             label,
             cycles,
-            cycles as f64 / total_prof.max(1) as f64 * 100.0
+            ratio(cycles, total_prof.max(1)) * 100.0
         );
     }
     println!();
@@ -82,9 +87,9 @@ fn main() {
         println!(
             "cpu{i}: retired {:>12.0}  idle {:>5.1}%  mem-stall {:>5.1}%  flush {:>4.1}%",
             c.inst_retired(),
-            c.idle_cycles as f64 / c.clockticks.max(1) as f64 * 100.0,
-            c.mem_stall_cycles as f64 / c.clockticks.max(1) as f64 * 100.0,
-            c.flush_cycles as f64 / c.clockticks.max(1) as f64 * 100.0,
+            ratio(c.idle_cycles, c.clockticks.max(1)) * 100.0,
+            ratio(c.mem_stall_cycles, c.clockticks.max(1)) * 100.0,
+            ratio(c.flush_cycles, c.clockticks.max(1)) * 100.0,
         );
     }
 }

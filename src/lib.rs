@@ -15,8 +15,6 @@
 //! * [`server`] (`aon-server`) — the XML AON server application.
 //! * [`core`] (`aon-core`) — platforms, experiments, metrics, reporting.
 
-#![forbid(unsafe_code)]
-
 pub use aon_core as core;
 pub use aon_net as net;
 pub use aon_server as server;

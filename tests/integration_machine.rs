@@ -4,6 +4,7 @@
 use aon::core::experiment::{run_cell, ExperimentConfig};
 use aon::core::workload::WorkloadKind;
 use aon::sim::config::Platform;
+use aon::sim::convert::exact_f64;
 
 fn quick() -> ExperimentConfig {
     ExperimentConfig {
@@ -22,7 +23,7 @@ fn counters_are_internally_consistent() {
         // Mispredicts cannot exceed branches; L2 misses cannot exceed L1
         // misses + instruction fetch misses; branches are part of retired.
         assert!(t.branch_mispredicts <= t.branches_retired);
-        assert!(t.branches_retired as f64 <= t.inst_retired());
+        assert!(exact_f64(t.branches_retired) <= t.inst_retired());
         assert!(t.loads + t.stores <= t.abstract_ops);
         // Clockticks are wall cycles per enabled CPU: identical across CPUs.
         let clk: Vec<u64> = m.stats.per_cpu.iter().map(|c| c.clockticks).collect();
@@ -45,10 +46,7 @@ fn all_platform_workload_cells_run_without_deadlock() {
     for p in Platform::ALL {
         for w in WorkloadKind::ALL {
             let m = run_cell(p, w, &cfg);
-            assert!(
-                m.stats.completed_units > 0,
-                "{w} on {p} completed nothing in the window"
-            );
+            assert!(m.stats.completed_units > 0, "{w} on {p} completed nothing in the window");
             assert!(m.stats.total.inst_retired() > 0.0);
         }
     }
@@ -86,8 +84,8 @@ fn xeon_reports_more_retired_instructions_than_pm_for_same_work() {
     let cfg = quick();
     let pm = run_cell(Platform::OneCorePentiumM, WorkloadKind::Sv, &cfg);
     let xe = run_cell(Platform::OneLogicalXeon, WorkloadKind::Sv, &cfg);
-    let pm_per_msg = pm.stats.total.inst_retired() / pm.stats.completed_units as f64;
-    let xe_per_msg = xe.stats.total.inst_retired() / xe.stats.completed_units as f64;
+    let pm_per_msg = pm.stats.total.inst_retired() / exact_f64(pm.stats.completed_units);
+    let xe_per_msg = xe.stats.total.inst_retired() / exact_f64(xe.stats.completed_units);
     assert!(
         xe_per_msg / pm_per_msg > 1.4,
         "Xeon should retire ~1.8x instructions per message: {xe_per_msg:.0} vs {pm_per_msg:.0}"

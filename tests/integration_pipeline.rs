@@ -84,8 +84,9 @@ fn trace_recording_is_reproducible_across_corpus_rebuilds() {
     let a = Corpus::generate(77, 4);
     let b = Corpus::generate(77, 4);
     for (i, (va, vb)) in a.variants.iter().zip(&b.variants).enumerate() {
-        let ta = record_message_trace(UseCase::Sv, &a, va, i as u32);
-        let tb = record_message_trace(UseCase::Sv, &b, vb, i as u32);
+        let seed = u32::try_from(i).expect("few variants");
+        let ta = record_message_trace(UseCase::Sv, &a, va, seed);
+        let tb = record_message_trace(UseCase::Sv, &b, vb, seed);
         assert_eq!(ta.ops(), tb.ops(), "variant {i} must trace identically");
     }
 }

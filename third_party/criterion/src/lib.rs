@@ -1,0 +1,218 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This workspace builds hermetically with no access to crates.io, so the
+//! real criterion cannot be vendored. This crate keeps the workspace's
+//! `[[bench]]` targets compiling and runnable by reimplementing the subset
+//! of the API they use: `Criterion::benchmark_group`, group-level
+//! `throughput`/`sample_size`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — warm-up plus a fixed number of
+//! timed samples reporting the median iteration time. There is no
+//! statistical outlier analysis, HTML report, or baseline comparison.
+//! Numbers from this harness are for coarse, same-machine comparisons.
+
+use std::time::{Duration, Instant};
+
+/// Lossy-by-design conversion for reporting: bench timings and element
+/// counts sit far below 2^52, where `f64` is exact anyway.
+#[allow(clippy::cast_precision_loss)]
+fn lossy_f64(v: u128) -> f64 {
+    v as f64
+}
+
+/// Units for per-iteration throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// Benchmark identifier with a function name and a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter value into one label.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId { name: format!("{function}/{parameter}") }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: u32,
+    last_median_ns: f64,
+}
+
+impl Bencher {
+    /// Run `body` repeatedly and record the median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up: let caches/branch predictors settle and estimate cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        while warm_start.elapsed() < Duration::from_millis(20) && warm_iters < 1_000_000 {
+            std::hint::black_box(body());
+            warm_iters += 1;
+        }
+        // Batch so each timed sample is long enough for the clock.
+        let batch = warm_iters.clamp(1, 10_000);
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(body());
+            }
+            let ns = lossy_f64(t0.elapsed().as_nanos());
+            per_iter_ns.push(ns / f64::from(batch));
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.last_median_ns = per_iter_ns[per_iter_ns.len() / 2];
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work so results report a rate too.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Number of timed samples per benchmark (default 50).
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = u32::try_from(n.clamp(2, 1_000)).expect("clamped to u32 range");
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut body: F) {
+        let mut b = Bencher { samples: self.sample_size, last_median_ns: 0.0 };
+        body(&mut b);
+        self.report(id, b.last_median_ns);
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: self.sample_size, last_median_ns: 0.0 };
+        body(&mut b, input);
+        self.report(&id.to_string(), b.last_median_ns);
+    }
+
+    /// Finish the group (exists for API compatibility; reporting is
+    /// immediate in this harness).
+    pub fn finish(self) {}
+
+    fn report(&mut self, id: &str, median_ns: f64) {
+        if self.criterion.quiet {
+            return;
+        }
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median_ns > 0.0 => {
+                format!("  {:>12.1} Kelem/s", lossy_f64(u128::from(n)) / median_ns * 1e6)
+            }
+            Some(Throughput::Bytes(n)) if median_ns > 0.0 => {
+                format!(
+                    "  {:>12.1} MiB/s",
+                    lossy_f64(u128::from(n)) / median_ns * 1e9 / (1024.0 * 1024.0)
+                )
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id:<40} {median_ns:>12.1} ns/iter{rate}", self.name);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    quiet: bool,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        let sample_size = 50;
+        BenchmarkGroup { criterion: self, name, throughput: None, sample_size }
+    }
+
+    /// Run one ungrouped benchmark (top-level `bench_function`).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut body: F) {
+        let mut b = Bencher { samples: 50, last_median_ns: 0.0 };
+        body(&mut b);
+        if !self.quiet {
+            println!("{id:<40} {:>12.1} ns/iter", b.last_median_ns);
+        }
+    }
+}
+
+/// Mirrors `criterion_group!`: bundle bench functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: a `main` that runs the groups. Passing
+/// `--test` (as `cargo test --benches` does) skips measurement so test
+/// runs stay fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_positive_median() {
+        let mut c = Criterion { quiet: true };
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut acc = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                acc
+            })
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("run", "2P/2T").to_string(), "run/2P/2T");
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! This workspace builds in a hermetic environment with no access to
+//! crates.io, so the real proptest cannot be vendored. This crate
+//! reimplements exactly the subset of proptest's API the workspace's
+//! property tests use — `proptest!`, `prop_assert*!`, `prop_oneof!`,
+//! strategies over ranges/tuples/collections, `prop_map`,
+//! `prop_recursive`, `any::<T>()`, `Just`, `prop::sample::select` — on a
+//! deterministic SplitMix64 generator.
+//!
+//! Differences from the real crate (acceptable for these tests):
+//!
+//! * **No shrinking.** A failing case reports its generated inputs via the
+//!   normal panic message (tests embed the inputs in their assertions).
+//! * **Deterministic seeding.** Each test derives its seed from its own
+//!   name, so failures reproduce exactly across runs and machines.
+//! * Only the strategy combinators listed above are provided.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The `proptest::prelude` equivalent: everything the tests import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The `proptest::prop` module path (`prop::collection::vec`,
+/// `prop::sample::select`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Sampling strategies.
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// Define property tests. Mirrors `proptest::proptest!` for the
+/// `#[test] fn name(pat in strategy, ...) { body }` form, with an optional
+/// leading `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            config = $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $($(#[$meta:meta])+ fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        // audit:allow(panic): expands inside #[test] fns, where panicking reports the failing case
+                        panic!("proptest case {case} of {}: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!`: fail the current case without aborting the process
+/// (the runner turns the error into a panic with case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!` over [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// `prop_assert_ne!` over [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)+);
+    }};
+}
+
+/// `prop_oneof!`: choose uniformly among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_name("bounds");
+        for _ in 0..500 {
+            let v = (1u16..500).generate(&mut rng);
+            assert!((1..500).contains(&v));
+            let (a, b) = (0u8..16, 0u32..100_000).generate(&mut rng);
+            assert!(a < 16 && b < 100_000);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = crate::test_runner::TestRng::from_name("vec");
+        for _ in 0..200 {
+            let v = crate::strategy::vec(0u32..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn union_covers_all_branches() {
+        let mut rng = crate::test_runner::TestRng::from_name("union");
+        let s = prop_oneof![Just(1u8), Just(4), Just(8)];
+        let mut seen = [false; 9];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[4] && seen[8]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf(u8),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(v) => {
+                    assert!(*v < 10, "leaf strategy range is 0..10");
+                    1
+                }
+                T::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = (0u8..10).prop_map(T::Leaf);
+        let tree = leaf
+            .prop_recursive(3, 24, 4, |inner| crate::strategy::vec(inner, 0..4).prop_map(T::Node));
+        let mut rng = crate::test_runner::TestRng::from_name("rec");
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            max_depth = max_depth.max(depth(&tree.generate(&mut rng)));
+        }
+        assert!(max_depth > 1, "recursion must actually nest");
+        assert!(max_depth <= 5, "depth bounded: {max_depth}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u32..10, 0u32..10), v in crate::strategy::vec(any::<bool>(), 0..4)) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(v.len() < 4, true);
+        }
+    }
+}

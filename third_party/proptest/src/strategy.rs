@@ -1,0 +1,443 @@
+//! Value-generation strategies: the subset of proptest's combinator
+//! algebra the workspace's tests use.
+
+use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// A source of random values of one type.
+///
+/// Unlike the real proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `f` receives a strategy for the
+    /// recursive positions and returns the branching level. `depth` bounds
+    /// the nesting; the remaining two parameters (desired size and
+    /// expected branch size in the real API) only shape the distribution
+    /// there and are accepted for compatibility.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            // Each level flips between terminating (leaf) and recursing
+            // (one application of `f` over the previous level), so depth is
+            // bounded by construction and expected depth stays small.
+            let branch = f(level).boxed();
+            level = Union::new(vec![leaf.clone(), branch]).boxed();
+        }
+        level
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { gen: Rc::new(move |rng| self.generate(rng)) }
+    }
+}
+
+/// A type-erased, cheaply-cloneable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { gen: Rc::clone(&self.gen) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among several strategies of the same value type
+/// (`prop_oneof!`).
+pub struct Union<T> {
+    branches: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Choose uniformly among `branches` (must be non-empty).
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        Union { branches }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { branches: self.branches.clone() }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.branches.len() as u64);
+        self.branches[usize::try_from(i).expect("branch index fits usize")].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                let v = (self.start as u64) + rng.below(span);
+                <$t>::try_from(v).expect("value within the requested range")
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                assert!(lo <= hi, "empty range strategy");
+                let v = lo + rng.below(hi - lo + 1);
+                <$t>::try_from(v).expect("value within the requested range")
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, usize);
+
+impl Strategy for core::ops::Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        if lo == 0 && hi == u64::MAX {
+            return rng.next_u64(); // span would overflow below()
+        }
+        lo + rng.below(hi - lo + 1)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, G)
+}
+
+/// `prop::collection::vec`: a vector whose length is drawn from `len` and
+/// whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.clone().generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::sample::select`: choose one of the given values.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select needs at least one value");
+    Select { values }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.values.len() as u64);
+        self.values[usize::try_from(i).expect("index fits usize")].clone()
+    }
+}
+
+/// Types with a canonical "arbitrary" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (`proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(core::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Keeping only the type's low bits makes the whole-domain
+                // sample; after masking the conversion is exact.
+                <$t>::try_from(rng.next_u64() & u64::from(<$t>::MAX))
+                    .expect("masked to the target type's range")
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32);
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Bias toward ASCII, but include multibyte and astral characters so
+        // UTF-8 handling is exercised.
+        match rng.below(4) {
+            0 | 1 => char::from(u8::try_from(rng.below(0x80)).expect("ascii")),
+            2 => char::from_u32(u32::try_from(0x80 + rng.below(0x7ff - 0x80)).expect("bmp"))
+                .unwrap_or('\u{fffd}'),
+            _ => {
+                let v = u32::try_from(rng.below(0x11_0000)).expect("scalar range");
+                char::from_u32(v).unwrap_or('\u{fffd}')
+            }
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> String {
+        let n = rng.below(24);
+        (0..n).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+/// String literals act as regex-shaped generators, e.g.
+/// `"[a-z][a-z0-9]{0,7}"`. Supported syntax: literal characters, `[...]`
+/// classes with ranges, and `{m,n}` / `{n}` counts on the preceding atom —
+/// the subset the workspace's tests use.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PatAtom {
+    Lit(char),
+    Class(Vec<(char, char)>),
+}
+
+fn parse_pattern(pattern: &str) -> Vec<(PatAtom, u32, u32)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((chars[i], chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((chars[i], chars[i]));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // consume ']'
+                PatAtom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = chars.get(i).copied().expect("escape at end of pattern");
+                i += 1;
+                PatAtom::Lit(c)
+            }
+            c => {
+                i += 1;
+                PatAtom::Lit(c)
+            }
+        };
+        // Optional {m,n} / {n} count.
+        let (lo, hi) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..].iter().position(|&c| c == '}').expect("unterminated count") + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => {
+                    (a.trim().parse().expect("count"), b.trim().parse().expect("count"))
+                }
+                None => {
+                    let n: u32 = body.trim().parse().expect("count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, lo, hi) in parse_pattern(pattern) {
+        let reps = u64::from(lo) + rng.below(u64::from(hi) - u64::from(lo) + 1);
+        for _ in 0..reps {
+            match &atom {
+                PatAtom::Lit(c) => out.push(*c),
+                PatAtom::Class(ranges) => {
+                    let (a, b) = ranges[usize::try_from(rng.below(ranges.len() as u64))
+                        .expect("range index fits usize")];
+                    let span = u64::from(b as u32) - u64::from(a as u32) + 1;
+                    let v = u32::try_from(u64::from(a as u32) + rng.below(span))
+                        .expect("class char in scalar range");
+                    out.push(char::from_u32(v).unwrap_or(a));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regex_pattern_generator_obeys_class_and_count() {
+        let mut rng = TestRng::from_name("regex");
+        for _ in 0..300 {
+            let s = "[a-z][a-z0-9]{0,7}".generate(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().expect("nonempty").is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn regex_literal_chars_and_specials() {
+        let mut rng = TestRng::from_name("regex2");
+        for _ in 0..100 {
+            let s = "[ a-zA-Z0-9<>&'\"]{0,24}".generate(&mut rng);
+            assert!(s.chars().count() <= 24);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || " <>&'\"".contains(c)));
+        }
+    }
+}
