@@ -24,4 +24,19 @@ cargo test --offline --workspace -q
 say "release build (tier-1)"
 cargo build --offline --release
 
+say "perf harness smoke (quick windows, JSON validity)"
+# No thresholds yet — the gate is that the harness runs end-to-end and
+# emits structurally valid JSON (python stdlib is the only parser CI
+# machines are guaranteed to have).
+AON_CELL_CACHE=0 ./target/release/perf --quick /tmp/BENCH_sim_smoke.json >/dev/null
+python3 - <<'EOF'
+import json
+with open("/tmp/BENCH_sim_smoke.json") as f:
+    report = json.load(f)
+for key in ("cells", "cells_per_second", "simulated_cycles_per_wall_second"):
+    assert key in report, f"BENCH_sim.json missing {key!r}"
+assert report["cells"] > 0
+print(f"perf smoke ok: {report['cells']} cells")
+EOF
+
 say "all gates passed"

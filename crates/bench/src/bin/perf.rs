@@ -1,0 +1,53 @@
+//! Simulator performance harness: measures the simulator itself.
+//!
+//! Runs the standard 5 × 5 grid with per-phase wall timing (record /
+//! replay / report) and writes `BENCH_sim.json` with cells-per-second and
+//! simulated-cycles-per-wall-second. See [`aon_bench::perf`].
+//!
+//! Usage: `cargo run -p aon-bench --release --bin perf [-- --quick] [<output-path>]`
+
+use aon_bench::perf;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_sim.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => out_path = other.to_string(),
+        }
+    }
+
+    eprintln!("perf harness: full grid, {} windows...", if quick { "quick" } else { "full" });
+    let report = perf::run(quick);
+
+    eprintln!(
+        "phases: record {:.3}s, replay {:.3}s, report {:.3}s (total {:.3}s)",
+        report.wall.record,
+        report.wall.replay,
+        report.wall.report,
+        report.wall.total()
+    );
+    eprintln!(
+        "{} cells -> {:.2} cells/s, {:.0} simulated cycles/wall-s (shape checks {}/{})",
+        report.cells,
+        report.cells_per_second(),
+        report.simulated_cycles_per_wall_second(),
+        report.shape_checks_passed,
+        report.shape_checks_total
+    );
+    eprintln!(
+        "memo: corpus {}h/{}m, server {}h/{}m, netperf {}h/{}m",
+        report.memo.corpus_hits,
+        report.memo.corpus_misses,
+        report.memo.server_hits,
+        report.memo.server_misses,
+        report.memo.netperf_hits,
+        report.memo.netperf_misses
+    );
+
+    let json = report.to_json();
+    std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

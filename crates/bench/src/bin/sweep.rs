@@ -12,8 +12,8 @@
 //!    headroom; at saturation it flat-tops.
 
 use aon_bench::experiment_config;
-use aon_server::app::{build_server, ServerConfig};
-use aon_server::corpus::Corpus;
+use aon_core::memo::{self, CorpusSpec};
+use aon_server::app::{build_server_with_traces, ServerConfig};
 use aon_server::usecase::UseCase;
 use aon_sim::config::Platform;
 use aon_sim::machine::Machine;
@@ -26,12 +26,19 @@ fn run_sized(
     offered_pct: u32,
 ) -> MachineStats {
     let ecfg = experiment_config();
-    let corpus = Corpus::generate_sized(ecfg.corpus_seed, ecfg.corpus_variants, body_size);
+    // Each (use case, body size) records once; the platform × load grid
+    // replays the shared traces.
+    let spec = CorpusSpec {
+        seed: ecfg.corpus_seed,
+        variants: ecfg.corpus_variants,
+        body_size: Some(body_size),
+    };
+    let rec = memo::server_recording(use_case, spec);
     let mut m = Machine::new(platform.config());
-    build_server(
+    build_server_with_traces(
         &mut m,
-        use_case,
-        &corpus,
+        rec.traces,
+        rec.msg_len,
         &ServerConfig { offered_load_pct: offered_pct, ..ServerConfig::default() },
     );
     m.run(ecfg.warmup_cycles);

@@ -12,6 +12,8 @@ use aon_core::experiment::{run_grid, ExperimentConfig, Measurement};
 use aon_core::workload::WorkloadKind;
 use aon_sim::config::Platform;
 
+pub mod perf;
+
 /// The experiment configuration, honoring `AON_QUICK`.
 pub fn experiment_config() -> ExperimentConfig {
     if std::env::var("AON_QUICK").is_ok() {

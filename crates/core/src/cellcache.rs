@@ -1,0 +1,373 @@
+//! Persistent cell-result memoization.
+//!
+//! [`crate::memo`] shares *recordings* within a process; this module
+//! extends the same idea across processes: a finished cell measurement
+//! ([`aon_sim::stats::MachineStats`] is a closed set of exact integer
+//! counters) is written to disk keyed by everything it depends on, and the
+//! next `--bin all` / `--bin perf` run with the same key reads it back
+//! instead of re-simulating ~100 Mcycles. Regenerating EXPERIMENTS.md
+//! after a doc or report change drops from tens of seconds to well under
+//! one.
+//!
+//! **Exactness.** A hit must be byte-identical to a recompute, so the key
+//! covers every input the simulation reads:
+//!
+//! * a fingerprint of the *running executable's bytes* — any rebuild
+//!   (code change, flag change, toolchain change) invalidates the whole
+//!   cache, so stale results cannot leak across simulator versions;
+//! * the platform notation and workload label;
+//! * every [`ExperimentConfig`] field;
+//! * the memoized recording's content fingerprint (see [`crate::memo`]),
+//!   tying the entry to the actual trace bytes that were replayed.
+//!
+//! Values store only exact integers (`u64`/`u32` counters and strings),
+//! so a round-trip cannot introduce drift. A corrupt or truncated entry
+//! parses as a miss and is overwritten. Writes go through a temp file +
+//! rename so a killed run never leaves a half-written entry behind.
+//!
+//! The cache is **opt-in per process** ([`enable`]): the report binaries
+//! turn it on; tests and the equivalence suite never see it unless they
+//! ask. `AON_CELL_CACHE=0` vetoes even an enabled process;
+//! `AON_CELL_CACHE_DIR` overrides the default directory (the system temp
+//! directory, namespaced per user by the OS).
+
+use crate::experiment::{ExperimentConfig, Measurement};
+use crate::memo::{self, CorpusSpec};
+use crate::workload::WorkloadKind;
+use aon_net::netperf::NetperfConfig;
+use aon_sim::config::Platform;
+use aon_sim::counters::PerfCounters;
+use aon_sim::stats::MachineStats;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Bump when the entry format or key derivation changes.
+const FORMAT: &str = "aon-cell-cache v1";
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Turn the cache on for this process (report binaries call this; tests
+/// don't). `AON_CELL_CACHE=0` in the environment still vetoes it.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Whether lookups are active: enabled, not vetoed, and the executable
+/// fingerprint is available.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+        && !matches!(std::env::var("AON_CELL_CACHE").as_deref(), Ok("0") | Ok("off"))
+        && exe_fingerprint().is_some()
+}
+
+/// (hits, misses) so far in this process.
+pub fn stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// The cache directory: `AON_CELL_CACHE_DIR` or `<tmp>/aon-cell-cache`.
+pub fn dir() -> PathBuf {
+    match std::env::var_os("AON_CELL_CACHE_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join("aon-cell-cache"),
+    }
+}
+
+/// FNV-1a over a byte slice, continuing from `h`.
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Content fingerprint of the running executable, computed once per
+/// process. `None` (unreadable binary) disables the cache rather than
+/// risking a stale hit.
+fn exe_fingerprint() -> Option<u64> {
+    static FP: OnceLock<Option<u64>> = OnceLock::new();
+    *FP.get_or_init(|| {
+        let exe = std::env::current_exe().ok()?;
+        let bytes = std::fs::read(exe).ok()?;
+        Some(fnv(fnv(FNV_SEED, FORMAT.as_bytes()), &bytes))
+    })
+}
+
+/// The content fingerprint of the recording this workload replays (the
+/// same value [`crate::memo`] stores at record time).
+fn recording_fingerprint(workload: WorkloadKind, spec: CorpusSpec) -> u64 {
+    match workload.use_case() {
+        Some(uc) => memo::server_recording(uc, spec).fingerprint,
+        None => memo::netperf_recording(&NetperfConfig::default()).fingerprint,
+    }
+}
+
+/// The cache key for one cell. `None` when the executable cannot be
+/// fingerprinted.
+fn cell_key(platform: Platform, workload: WorkloadKind, cfg: &ExperimentConfig) -> Option<u64> {
+    let mut h = exe_fingerprint()?;
+    h = fnv(h, platform.notation().as_bytes());
+    h = fnv(h, workload.label().as_bytes());
+    for v in [
+        cfg.warmup_cycles,
+        cfg.measure_cycles,
+        cfg.corpus_seed,
+        u64::try_from(cfg.corpus_variants).expect("variant count fits u64"),
+        recording_fingerprint(workload, CorpusSpec::of(cfg)),
+    ] {
+        h = fnv(h, &v.to_le_bytes());
+    }
+    Some(h)
+}
+
+fn counters_line(c: &PerfCounters) -> String {
+    format!(
+        "{} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        c.clockticks,
+        c.inst_retired_milli,
+        c.abstract_ops,
+        c.branches_retired,
+        c.branch_mispredicts,
+        c.l1d_misses,
+        c.l1i_misses,
+        c.l2_misses,
+        c.bus_txns,
+        c.loads,
+        c.stores,
+        c.idle_cycles,
+        c.flush_cycles,
+        c.mem_stall_cycles,
+    )
+}
+
+fn parse_counters(line: &str) -> Option<PerfCounters> {
+    let mut it = line.split(' ').map(str::parse::<u64>);
+    let mut next = || it.next()?.ok();
+    let c = PerfCounters {
+        clockticks: next()?,
+        inst_retired_milli: next()?,
+        abstract_ops: next()?,
+        branches_retired: next()?,
+        branch_mispredicts: next()?,
+        l1d_misses: next()?,
+        l1i_misses: next()?,
+        l2_misses: next()?,
+        bus_txns: next()?,
+        loads: next()?,
+        stores: next()?,
+        idle_cycles: next()?,
+        flush_cycles: next()?,
+        mem_stall_cycles: next()?,
+    };
+    if it.next().is_some() {
+        return None; // trailing fields: a different format version
+    }
+    Some(c)
+}
+
+/// Serialize one measurement's stats. Strings are last on their lines, so
+/// platform names with spaces would still round-trip (they don't have
+/// any, but the format shouldn't care).
+fn render(stats: &MachineStats) -> String {
+    let mut s = String::new();
+    s.push_str(FORMAT);
+    s.push('\n');
+    s.push_str(&format!("platform {}\n", stats.platform));
+    s.push_str(&format!("cpu_mhz {}\n", stats.cpu_mhz));
+    s.push_str(&format!("cycles {}\n", stats.cycles));
+    s.push_str(&format!("completed_units {}\n", stats.completed_units));
+    s.push_str(&format!("completed_bytes {}\n", stats.completed_bytes));
+    s.push_str(&format!("total {}\n", counters_line(&stats.total)));
+    for c in &stats.per_cpu {
+        s.push_str(&format!("cpu {}\n", counters_line(c)));
+    }
+    s
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.strip_prefix(key)?.strip_prefix(' ')
+}
+
+fn parse(text: &str) -> Option<MachineStats> {
+    let mut lines = text.lines();
+    if lines.next()? != FORMAT {
+        return None;
+    }
+    let platform = field(lines.next()?, "platform")?.to_string();
+    let cpu_mhz = field(lines.next()?, "cpu_mhz")?.parse().ok()?;
+    let cycles = field(lines.next()?, "cycles")?.parse().ok()?;
+    let completed_units = field(lines.next()?, "completed_units")?.parse().ok()?;
+    let completed_bytes = field(lines.next()?, "completed_bytes")?.parse().ok()?;
+    let total = parse_counters(field(lines.next()?, "total")?)?;
+    let mut per_cpu = Vec::new();
+    for line in lines {
+        per_cpu.push(parse_counters(field(line, "cpu")?)?);
+    }
+    Some(MachineStats {
+        platform,
+        cpu_mhz,
+        cycles,
+        completed_units,
+        completed_bytes,
+        total,
+        per_cpu,
+    })
+}
+
+fn entry_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.cell"))
+}
+
+/// Load a cell from `dir`; any read or parse failure is a miss.
+fn load(dir: &Path, key: u64, platform: Platform, workload: WorkloadKind) -> Option<Measurement> {
+    let text = std::fs::read_to_string(entry_path(dir, key)).ok()?;
+    let stats = parse(&text)?;
+    // The platform name is derived from the key inputs; a mismatch means a
+    // key collision or tampering — treat as a miss.
+    if stats.platform != platform.notation() {
+        return None;
+    }
+    Some(Measurement { platform, workload, stats })
+}
+
+/// Store a cell under `dir`, atomically (temp file + rename). Best-effort:
+/// an unwritable cache directory silently degrades to no caching.
+fn store(dir: &Path, key: u64, m: &Measurement) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let tmp = dir.join(format!("{key:016x}.cell.tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, render(&m.stats)).is_ok() {
+        let _ = std::fs::rename(&tmp, entry_path(dir, key));
+    }
+}
+
+/// The cached-cell front door [`crate::experiment::run_cell`] uses when
+/// the cache is [`enabled`]: look up, else compute via `f` and store.
+pub fn run_or_load(
+    platform: Platform,
+    workload: WorkloadKind,
+    cfg: &ExperimentConfig,
+    f: impl FnOnce() -> Measurement,
+) -> Measurement {
+    let d = dir();
+    let Some(key) = cell_key(platform, workload, cfg) else {
+        return f();
+    };
+    if let Some(m) = load(&d, key, platform, workload) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return m;
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let m = f();
+    store(&d, key, &m);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> MachineStats {
+        MachineStats {
+            platform: "2CPm".into(),
+            cpu_mhz: 2100,
+            cycles: 80_000_000,
+            completed_units: 1234,
+            completed_bytes: 5_678_901,
+            total: PerfCounters {
+                clockticks: 160_000_000,
+                inst_retired_milli: 42_000_500,
+                abstract_ops: 40_000_000,
+                branches_retired: 9_000_001,
+                branch_mispredicts: 123_456,
+                l1d_misses: 7890,
+                l1i_misses: 12,
+                l2_misses: 345,
+                bus_txns: 678,
+                loads: 10_000_000,
+                stores: 3_000_000,
+                idle_cycles: 99,
+                flush_cycles: 1_234_560,
+                mem_stall_cycles: 777_777,
+            },
+            per_cpu: vec![PerfCounters::default(), PerfCounters { loads: 5, ..Default::default() }],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip_is_exact() {
+        let stats = sample_stats();
+        let back = parse(&render(&stats)).expect("round trip");
+        assert_eq!(back.platform, stats.platform);
+        assert_eq!(back.cpu_mhz, stats.cpu_mhz);
+        assert_eq!(back.cycles, stats.cycles);
+        assert_eq!(back.completed_units, stats.completed_units);
+        assert_eq!(back.completed_bytes, stats.completed_bytes);
+        assert_eq!(back.total, stats.total);
+        assert_eq!(back.per_cpu, stats.per_cpu);
+    }
+
+    #[test]
+    fn corrupt_entries_parse_as_misses() {
+        let good = render(&sample_stats());
+        assert!(parse(&good).is_some());
+        assert!(parse("").is_none());
+        assert!(parse("garbage\n").is_none());
+        // Truncation anywhere is a miss, not a partial result.
+        for cut in [10, 40, good.len() - 2] {
+            assert!(parse(&good[..cut]).is_none(), "truncated at {cut}");
+        }
+        // A counter line with extra fields (a future format) is a miss.
+        let extended = good.replace("total ", "total 9 ");
+        assert!(parse(&extended).is_none());
+    }
+
+    #[test]
+    fn store_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("aon-cellcache-test-{}", std::process::id()));
+        let m = Measurement {
+            platform: Platform::TwoCorePentiumM,
+            workload: WorkloadKind::Sv,
+            stats: sample_stats(),
+        };
+        let key = 0xdead_beef_0123_4567u64;
+        store(&dir, key, &m);
+        let back = load(&dir, key, m.platform, m.workload).expect("stored entry loads");
+        assert_eq!(back.stats.total, m.stats.total);
+        assert_eq!(back.stats.per_cpu, m.stats.per_cpu);
+        // A different key misses; a platform mismatch is rejected.
+        assert!(load(&dir, key ^ 1, m.platform, m.workload).is_none());
+        assert!(load(&dir, key, Platform::OneCorePentiumM, m.workload).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_separate_cells_and_configs() {
+        // Keys must differ across platform, workload, and config — same
+        // executable, so any difference comes from the cell inputs.
+        let quick = ExperimentConfig::quick();
+        let mut other = quick;
+        other.measure_cycles += 1;
+        let base = cell_key(Platform::OneCorePentiumM, WorkloadKind::Fr, &quick);
+        if let Some(base) = base {
+            let p = cell_key(Platform::TwoCorePentiumM, WorkloadKind::Fr, &quick).unwrap();
+            let w = cell_key(Platform::OneCorePentiumM, WorkloadKind::Cbr, &quick).unwrap();
+            let c = cell_key(Platform::OneCorePentiumM, WorkloadKind::Fr, &other).unwrap();
+            assert_ne!(base, p);
+            assert_ne!(base, w);
+            assert_ne!(base, c);
+        }
+        // `None` (unreadable executable) is legal: the cache just stays off.
+    }
+
+    #[test]
+    fn cache_disabled_by_default_in_tests() {
+        assert!(!enabled(), "tests must not see a process-wide cache");
+    }
+}

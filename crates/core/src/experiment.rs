@@ -60,18 +60,74 @@ pub struct Measurement {
 }
 
 /// Run one (platform × workload) cell.
+///
+/// Corpus generation and trace recording are memoized (see [`crate::memo`]):
+/// the 5 × 5 grid records each workload once and replays the same
+/// immutable traces on every platform. When the persistent result cache
+/// is on ([`crate::cellcache::enable`] — report binaries only, never
+/// tests), a finished cell is also stored on disk and reused by later
+/// runs of the *same executable*. [`run_cell_fresh`] is the unmemoized
+/// reference; the equivalence suite proves the paths byte-identical.
 pub fn run_cell(platform: Platform, workload: WorkloadKind, cfg: &ExperimentConfig) -> Measurement {
+    if crate::cellcache::enabled() {
+        return crate::cellcache::run_or_load(platform, workload, cfg, || {
+            run_cell_uncached(platform, workload, cfg)
+        });
+    }
+    run_cell_uncached(platform, workload, cfg)
+}
+
+/// [`run_cell`] without the persistent result cache (trace memoization
+/// still applies).
+fn run_cell_uncached(
+    platform: Platform,
+    workload: WorkloadKind,
+    cfg: &ExperimentConfig,
+) -> Measurement {
+    let mut machine = Machine::new(platform.config());
+    workload.build_memoized(&mut machine, crate::memo::CorpusSpec::of(cfg));
+    measure(machine, platform, workload, cfg)
+}
+
+/// [`run_cell`] without memoization: generate the corpus and record the
+/// traces from scratch. Kept as the semantic reference the memoized path
+/// is checked against.
+pub fn run_cell_fresh(
+    platform: Platform,
+    workload: WorkloadKind,
+    cfg: &ExperimentConfig,
+) -> Measurement {
     let corpus = Corpus::generate(cfg.corpus_seed, cfg.corpus_variants);
     let mut machine = Machine::new(platform.config());
     workload.build(&mut machine, &corpus);
+    measure(machine, platform, workload, cfg)
+}
+
+/// Warm up, reset, measure: the shared back half of a cell.
+fn measure(
+    mut machine: Machine,
+    platform: Platform,
+    workload: WorkloadKind,
+    cfg: &ExperimentConfig,
+) -> Measurement {
     machine.run(cfg.warmup_cycles);
     machine.reset_counters();
     let out = machine.run(cfg.warmup_cycles + cfg.measure_cycles);
     Measurement { platform, workload, stats: MachineStats::collect(&machine, &out) }
 }
 
-/// Run the full 5 × 5 grid. `parallel` fans cells out across OS threads
-/// (each machine is independent; determinism is unaffected).
+/// Worker count for a parallel grid: one thread per hardware thread, and
+/// never more threads than cells. A simulated machine is CPU-bound, so
+/// oversubscribing the host (the old thread-per-cell scheme spawned 25 for
+/// a full grid) only adds scheduler churn and peak memory.
+fn pool_size(cells: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1);
+    hw.min(cells).max(1)
+}
+
+/// Run the full 5 × 5 grid. `parallel` fans cells out across a bounded
+/// worker pool (each machine is independent; determinism is unaffected —
+/// results land by cell index, not completion order).
 pub fn run_grid(
     platforms: &[Platform],
     workloads: &[WorkloadKind],
@@ -80,21 +136,26 @@ pub fn run_grid(
 ) -> Vec<Measurement> {
     let cells: Vec<(Platform, WorkloadKind)> =
         workloads.iter().flat_map(|&w| platforms.iter().map(move |&p| (p, w))).collect();
-    if !parallel {
+    if !parallel || cells.len() <= 1 {
         return cells.iter().map(|&(p, w)| run_cell(p, w, cfg)).collect();
     }
-    let mut out: Vec<Option<Measurement>> = (0..cells.len()).map(|_| None).collect();
+    let workers = pool_size(cells.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let out: Vec<std::sync::Mutex<Option<Measurement>>> =
+        (0..cells.len()).map(|_| std::sync::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, &(p, w)) in cells.iter().enumerate() {
-            let cfg = *cfg;
-            handles.push((i, scope.spawn(move || run_cell(p, w, &cfg))));
-        }
-        for (i, h) in handles {
-            out[i] = Some(h.join().expect("experiment thread panicked"));
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(p, w)) = cells.get(i) else { break };
+                let m = run_cell(p, w, cfg);
+                *out[i].lock().expect("result slot lock") = Some(m);
+            });
         }
     });
-    out.into_iter().map(|m| m.expect("filled")).collect()
+    out.into_iter()
+        .map(|slot| slot.into_inner().expect("result slot lock").expect("every cell measured"))
+        .collect()
 }
 
 /// Find a cell in a measurement set.

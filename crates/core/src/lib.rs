@@ -9,18 +9,25 @@
 //!
 //! * [`workload`] — workload enumeration and construction;
 //! * [`experiment`] — run one (platform × workload) cell or sweep the full
-//!   grid (optionally in parallel across OS threads);
+//!   grid (optionally in parallel across a bounded worker pool);
+//! * [`memo`] — process-wide memoization of corpora and recorded traces
+//!   (a recording depends on the workload, never the platform, so sweeps
+//!   share it);
+//! * [`cellcache`] — opt-in persistent memoization of finished cell
+//!   measurements, keyed by executable + config + trace fingerprints;
 //! * [`metrics`] — the derived quantities of §3.3 (CPI, L2MPI, BTPI,
 //!   branch frequency, BrMPR, throughput, scaling);
 //! * [`paper`] — the published values of Figure 2–5 and Table 3–6;
 //! * [`report`] — ASCII rendering and shape checks.
 
+pub mod cellcache;
 pub mod experiment;
+pub mod memo;
 pub mod metrics;
 pub mod paper;
 pub mod report;
 pub mod workload;
 
-pub use experiment::{run_cell, run_grid, ExperimentConfig, Measurement};
+pub use experiment::{run_cell, run_cell_fresh, run_grid, ExperimentConfig, Measurement};
 pub use metrics::MetricKind;
 pub use workload::WorkloadKind;

@@ -1,7 +1,11 @@
 //! The five workloads of the study.
 
-use aon_net::netperf::{build_netperf_e2e, build_netperf_loopback, NetperfConfig};
-use aon_server::app::{build_server, ServerConfig};
+use crate::memo::{self, CorpusSpec};
+use aon_net::netperf::{
+    build_netperf_e2e, build_netperf_e2e_with_traces, build_netperf_loopback,
+    build_netperf_loopback_with_traces, NetperfConfig,
+};
+use aon_server::app::{build_server, build_server_with_traces, ServerConfig};
 use aon_server::corpus::Corpus;
 use aon_server::usecase::UseCase;
 use aon_sim::machine::Machine;
@@ -69,8 +73,12 @@ impl WorkloadKind {
         }
     }
 
-    /// Wire this workload onto a machine. `corpus` feeds the server use
-    /// cases (baselines ignore it).
+    /// Wire this workload onto a machine, recording its traces from
+    /// scratch. `corpus` feeds the server use cases (baselines ignore it).
+    ///
+    /// This is the reference path: [`WorkloadKind::build_memoized`] must
+    /// produce byte-identical counters, and the equivalence suite checks
+    /// the two against each other.
     pub fn build(&self, machine: &mut Machine, corpus: &Corpus) {
         match self {
             WorkloadKind::NetperfLoopback => {
@@ -88,6 +96,38 @@ impl WorkloadKind {
                     machine,
                     self.use_case().expect("server workload"),
                     corpus,
+                    &ServerConfig::default(),
+                );
+            }
+        }
+    }
+
+    /// Wire this workload onto a machine, replaying memoized traces (see
+    /// [`crate::memo`]): the corpus and the use-case recording are made at
+    /// most once per process and shared immutably across every platform
+    /// and sweep point that asks for the same [`CorpusSpec`].
+    pub fn build_memoized(&self, machine: &mut Machine, spec: CorpusSpec) {
+        match self {
+            WorkloadKind::NetperfLoopback => {
+                let cfg = NetperfConfig::default();
+                let rec = memo::netperf_recording(&cfg);
+                build_netperf_loopback_with_traces(machine, &cfg, rec.tx, rec.rx);
+            }
+            WorkloadKind::NetperfE2E => {
+                let cfg = NetperfConfig::default();
+                let rec = memo::netperf_recording(&cfg);
+                build_netperf_e2e_with_traces(machine, &cfg, rec.tx);
+            }
+            WorkloadKind::Fr
+            | WorkloadKind::Cbr
+            | WorkloadKind::Sv
+            | WorkloadKind::Dpi
+            | WorkloadKind::Crypto => {
+                let rec = memo::server_recording(self.use_case().expect("server workload"), spec);
+                build_server_with_traces(
+                    machine,
+                    rec.traces,
+                    rec.msg_len,
                     &ServerConfig::default(),
                 );
             }

@@ -20,4 +20,7 @@ pub mod link;
 pub mod netperf;
 pub mod tcpcost;
 
-pub use netperf::{build_netperf_e2e, build_netperf_loopback, NetperfConfig};
+pub use netperf::{
+    build_netperf_e2e, build_netperf_e2e_with_traces, build_netperf_loopback,
+    build_netperf_loopback_with_traces, record_netperf_traces, NetperfConfig,
+};

@@ -142,12 +142,32 @@ impl Workload for Receiver {
     }
 }
 
+/// Record the transmit and receive traces netperf replays, shared
+/// (`Arc`) for reuse.
+///
+/// The recording depends only on the send size — never on the platform —
+/// so a sweep records once and replays the same immutable traces on every
+/// platform configuration.
+pub fn record_netperf_traces(cfg: &NetperfConfig) -> (Arc<Trace>, Arc<Trace>) {
+    (Arc::new(tx_trace(cfg.send_size)), Arc::new(rx_trace(cfg.send_size)))
+}
+
 /// Wire up netperf **loopback** mode on `machine`: producer + consumer
 /// sharing a bounded kernel socket buffer. Returns the channel.
 pub fn build_netperf_loopback(machine: &mut Machine, cfg: &NetperfConfig) -> ChannelId {
+    let (tx, rx) = record_netperf_traces(cfg);
+    build_netperf_loopback_with_traces(machine, cfg, tx, rx)
+}
+
+/// [`build_netperf_loopback`] with pre-recorded `(tx, rx)` traces (the
+/// memoization seam — byte-identical given the same recording).
+pub fn build_netperf_loopback_with_traces(
+    machine: &mut Machine,
+    cfg: &NetperfConfig,
+    tx: Arc<Trace>,
+    rx: Arc<Trace>,
+) -> ChannelId {
     let chan = machine.add_channel(ChannelConfig::bounded(cfg.sockbuf, SOCKBUF_BASE));
-    let tx = Arc::new(tx_trace(cfg.send_size));
-    let rx = Arc::new(rx_trace(cfg.send_size));
     machine.spawn(Box::new(Sender {
         chan,
         trace: tx,
@@ -165,6 +185,17 @@ pub fn build_netperf_loopback(machine: &mut Machine, cfg: &NetperfConfig) -> Cha
 /// streaming into a NIC queue drained at Gigabit wire rate, with NIC DMA
 /// reads on the bus. Returns the NIC queue channel.
 pub fn build_netperf_e2e(machine: &mut Machine, cfg: &NetperfConfig) -> ChannelId {
+    let (tx, _rx) = record_netperf_traces(cfg);
+    build_netperf_e2e_with_traces(machine, cfg, tx)
+}
+
+/// [`build_netperf_e2e`] with a pre-recorded transmit trace (the
+/// memoization seam — byte-identical given the same recording).
+pub fn build_netperf_e2e_with_traces(
+    machine: &mut Machine,
+    cfg: &NetperfConfig,
+    tx: Arc<Trace>,
+) -> ChannelId {
     let mhz = machine.config().cpu_mhz;
     let chan = machine.add_channel(ChannelConfig {
         capacity: cfg.sockbuf,
@@ -172,7 +203,6 @@ pub fn build_netperf_e2e(machine: &mut Machine, cfg: &NetperfConfig) -> ChannelI
         buf_base: SOCKBUF_BASE,
         fill: None,
     });
-    let tx = Arc::new(tx_trace(cfg.send_size));
     machine.spawn(Box::new(Sender {
         chan,
         trace: tx,

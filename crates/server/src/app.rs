@@ -204,17 +204,52 @@ impl Workload for ServerWorker {
     }
 }
 
+/// Record the per-variant phase traces [`build_server`] replays, in the
+/// shared (`Arc`) shape the workers consume.
+///
+/// The recording depends only on the use case and the corpus — never on
+/// the platform — which is what makes it memoizable: a sweep records each
+/// (use case, corpus) once and replays the same immutable traces on every
+/// platform configuration.
+pub fn record_server_traces(use_case: UseCase, corpus: &Corpus) -> Arc<Vec<Vec<Arc<Trace>>>> {
+    Arc::new(
+        record_all_variant_segments(use_case, corpus)
+            .into_iter()
+            .map(|segs| segs.into_iter().map(Arc::new).collect())
+            .collect(),
+    )
+}
+
 /// Wire an XML server for `use_case` onto `machine`: one worker per
 /// logical CPU, ingress fill at the offered load, egress drained at wire
-/// rate.
+/// rate. Records the use-case traces inline; sweeps that reuse a corpus
+/// should record once with [`record_server_traces`] and call
+/// [`build_server_with_traces`].
 pub fn build_server(
     machine: &mut Machine,
     use_case: UseCase,
     corpus: &Corpus,
     cfg: &ServerConfig,
 ) -> ServerHandles {
-    let mhz = machine.config().cpu_mhz;
+    let traces = record_server_traces(use_case, corpus);
     let msg_len = u32::try_from(corpus.max_http_len()).expect("HTTP messages are KiB-sized");
+    build_server_with_traces(machine, traces, msg_len, cfg)
+}
+
+/// [`build_server`] with pre-recorded traces: the machine-wiring half.
+///
+/// `msg_len` must be the corpus's [`Corpus::max_http_len`] (messages are
+/// padded to the same HTTP length by construction — close enough that a
+/// single length serves the ring arithmetic). Byte-identical to
+/// [`build_server`] given the same recording: the traces are replayed, not
+/// re-derived, so where they came from cannot be observed.
+pub fn build_server_with_traces(
+    machine: &mut Machine,
+    traces: Arc<Vec<Vec<Arc<Trace>>>>,
+    msg_len: u32,
+    cfg: &ServerConfig,
+) -> ServerHandles {
+    let mhz = machine.config().cpu_mhz;
     let gige = u64::from(gige_per_kcycle(mhz));
     let ingress_rate = u32::try_from(((gige * u64::from(cfg.offered_load_pct)) / 100).max(1))
         .expect("scaled-down link rate fits u32");
@@ -231,16 +266,6 @@ pub fn build_server(
         buf_base: TX_RING_BASE,
         fill: None,
     });
-
-    // Record labelled phase traces per corpus variant (messages are padded
-    // to the same HTTP length by construction — close enough that a single
-    // msg_len serves the ring arithmetic).
-    let traces: Arc<Vec<Vec<Arc<Trace>>>> = Arc::new(
-        record_all_variant_segments(use_case, corpus)
-            .into_iter()
-            .map(|segs| segs.into_iter().map(Arc::new).collect())
-            .collect(),
-    );
 
     let workers = machine.config().logical_cpus();
     for w in 0..workers {
@@ -315,5 +340,23 @@ mod tests {
         let a = run(Platform::TwoLogicalXeon, UseCase::Cbr, 6_000_000);
         let b = run(Platform::TwoLogicalXeon, UseCase::Cbr, 6_000_000);
         assert_eq!(a.total, b.total);
+    }
+
+    #[test]
+    fn prerecorded_traces_match_inline_recording() {
+        // The split builder is the memoization seam: replaying a recording
+        // made once up front must be indistinguishable from recording
+        // inline, on a platform the recording never saw.
+        let corpus = Corpus::generate(42, 4);
+        let fresh = run(Platform::TwoCorePentiumM, UseCase::Sv, 6_000_000);
+        let traces = record_server_traces(UseCase::Sv, &corpus);
+        let msg_len = u32::try_from(corpus.max_http_len()).expect("KiB-sized");
+        let mut m = Machine::new(Platform::TwoCorePentiumM.config());
+        build_server_with_traces(&mut m, traces, msg_len, &ServerConfig::default());
+        m.run(1_500_000);
+        m.reset_counters();
+        let out = m.run(1_500_000 + 6_000_000);
+        let replayed = MachineStats::collect(&m, &out);
+        assert_eq!(fresh.total, replayed.total, "recording provenance must be unobservable");
     }
 }

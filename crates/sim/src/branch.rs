@@ -78,7 +78,8 @@ impl Gshare {
     }
 
     /// Update with the actual outcome; returns whether the prediction was
-    /// correct.
+    /// correct. Inlined: this runs once per replayed branch record.
+    #[inline]
     pub fn update(&mut self, pc: u64, sibling: usize, taken: bool) -> bool {
         let idx = self.index(pc, sibling);
         let counter = &mut self.table[idx];

@@ -20,44 +20,60 @@
 /// Issue-slot timeline with fractional slots/cycle.
 ///
 /// Width is given in hundredths of slots per cycle; internally time is kept
-/// in "centislot" units: one cycle supplies `width_x100` centislots.
+/// in "centislot" units: one cycle supplies `width_x100` centislots. The
+/// next-free centislot time is stored decomposed as
+/// `next_cycle * width_x100 + rem_cs` (with `rem_cs < width_x100`) so a
+/// booking needs no 64-bit division — [`SlotTimeline::book`] runs once per
+/// replayed op record, and on that path an integer divide is the single
+/// most expensive instruction. The decomposition is exact: every quantity
+/// below is the same integer the single-`next_free_cs` representation
+/// would produce.
 #[derive(Debug, Clone)]
 pub struct SlotTimeline {
     width_x100: u64,
-    /// Next free time in centislot units.
-    next_free_cs: u64,
+    /// Next free time, whole-cycle part (`next_free_cs / width_x100`).
+    next_cycle: u64,
+    /// Next free time, centislot remainder (`next_free_cs % width_x100`).
+    rem_cs: u64,
 }
 
 impl SlotTimeline {
     /// A timeline providing `width_x100 / 100` slots per cycle.
     pub fn new(width_x100: u32) -> Self {
         assert!(width_x100 > 0);
-        SlotTimeline { width_x100: width_x100 as u64, next_free_cs: 0 }
-    }
-
-    #[inline]
-    fn cycle_to_cs(&self, cycle: u64) -> u64 {
-        cycle * self.width_x100
-    }
-
-    #[inline]
-    fn cs_to_cycle(&self, cs: u64) -> u64 {
-        cs / self.width_x100
+        SlotTimeline { width_x100: width_x100 as u64, next_cycle: 0, rem_cs: 0 }
     }
 
     /// Book `slots` issue slots no earlier than `earliest` (cycles).
     /// Returns the cycle at which the last slot completes.
     pub fn book(&mut self, earliest: u64, slots: u32) -> u64 {
-        let start_cs = self.next_free_cs.max(self.cycle_to_cs(earliest));
+        // max(next_free_cs, earliest * width): since rem_cs < width, the
+        // comparison reduces to the whole-cycle parts.
+        if self.next_cycle < earliest {
+            self.next_cycle = earliest;
+            self.rem_cs = 0;
+        }
         // One slot costs 100 centislots of this resource's capacity.
-        let end_cs = start_cs + slots as u64 * 100;
-        self.next_free_cs = end_cs;
-        self.cs_to_cycle(end_cs)
+        let w = self.width_x100;
+        let mut total = self.rem_cs + slots as u64 * 100;
+        if total < w * 4 {
+            // Single-slot bookings at realistic widths land here: at most
+            // three subtractions replace the divide.
+            while total >= w {
+                total -= w;
+                self.next_cycle += 1;
+            }
+        } else {
+            self.next_cycle += total / w;
+            total %= w;
+        }
+        self.rem_cs = total;
+        self.next_cycle
     }
 
     /// The cycle at which the resource next becomes free.
     pub fn horizon(&self) -> u64 {
-        self.cs_to_cycle(self.next_free_cs)
+        self.next_cycle
     }
 }
 

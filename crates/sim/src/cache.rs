@@ -18,18 +18,28 @@ pub enum Mesi {
     Invalid,
 }
 
-/// One cache line's metadata.
+/// Per-line metadata off the scan path: MESI state, presence mask, LRU
+/// stamp. Only touched once a key compare has already identified the way.
 #[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
+struct Meta {
     state: Mesi,
-    /// LRU stamp (bigger = more recent).
-    lru: u64,
     /// Owner-defined presence mask (directory bits for inclusive L2s).
     presence: u8,
+    /// LRU stamp (bigger = more recent).
+    lru: u64,
 }
 
-const EMPTY: Line = Line { tag: 0, state: Mesi::Invalid, lru: 0, presence: 0 };
+const EMPTY_META: Meta = Meta { state: Mesi::Invalid, presence: 0, lru: 0 };
+
+/// A key that matches no probe: its generation field is [`GEN_LIMIT`],
+/// which the live generation never reaches.
+const KEY_INVALID: u64 = u64::MAX;
+/// Bits of a key holding the line address.
+const KEY_TAG_BITS: u32 = 48;
+const KEY_TAG_MASK: u64 = (1 << KEY_TAG_BITS) - 1;
+/// Generations wrap (via an eager wipe) before colliding with the
+/// invalid-key encoding.
+const GEN_LIMIT: u32 = 0xFFFF;
 
 /// Result of a lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,12 +62,28 @@ pub struct Victim {
 }
 
 /// A set-associative array indexed by line address.
+///
+/// Structure-of-arrays layout: the scan path compares packed
+/// `(generation, tag)` keys — one u64 per way, so an 8-way set scan
+/// touches a single host cache line — while MESI state, presence and LRU
+/// stamps live in a parallel metadata array that is only dereferenced once
+/// a key compare has identified the way. Bulk invalidation stays O(1):
+/// bumping the generation changes the probe key, so every older line stops
+/// matching without being touched.
 #[derive(Debug, Clone)]
 pub struct CacheArray {
     sets: u32,
     ways: u32,
-    lines: Vec<Line>,
+    /// Packed `(generation << 48) | line_addr` per way; [`KEY_INVALID`] for
+    /// empty ways.
+    keys: Vec<u64>,
+    meta: Vec<Meta>,
     stamp: u64,
+    /// Per-set most-recently-used way: the first candidate a lookup checks.
+    /// On the L1-hit common case this turns the set scan into one compare.
+    mru: Vec<u32>,
+    /// Current generation; lines keyed under an older one are invalid.
+    generation: u32,
 }
 
 impl CacheArray {
@@ -65,12 +91,27 @@ impl CacheArray {
     pub fn new(sets: u32, ways: u32) -> Self {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(ways > 0);
-        CacheArray { sets, ways, lines: vec![EMPTY; (sets * ways) as usize], stamp: 0 }
+        CacheArray {
+            sets,
+            ways,
+            keys: vec![KEY_INVALID; (sets * ways) as usize],
+            meta: vec![EMPTY_META; (sets * ways) as usize],
+            stamp: 0,
+            mru: vec![0; sets as usize],
+            generation: 0,
+        }
     }
 
     /// Build from a [`crate::config::CacheConfig`].
     pub fn from_config(cfg: &crate::config::CacheConfig) -> Self {
         Self::new(cfg.sets(), cfg.ways)
+    }
+
+    /// The probe key a line address matches under the current generation.
+    #[inline]
+    fn key(&self, line_addr: u64) -> u64 {
+        debug_assert!(line_addr <= KEY_TAG_MASK, "line address exceeds key tag field");
+        (u64::from(self.generation) << KEY_TAG_BITS) | line_addr
     }
 
     #[inline]
@@ -85,28 +126,72 @@ impl CacheArray {
         base..base + self.ways as usize
     }
 
+    /// A way counts only if its key carries the current generation (empty
+    /// ways carry [`GEN_LIMIT`], which the live generation never reaches).
+    #[inline]
+    fn live(&self, i: usize) -> bool {
+        self.keys[i] >> KEY_TAG_BITS == u64::from(self.generation)
+    }
+
     fn find(&self, line_addr: u64) -> Option<usize> {
+        let want = self.key(line_addr);
         let set = self.set_of(line_addr);
-        self.set_range(set)
-            .find(|&i| self.lines[i].state != Mesi::Invalid && self.lines[i].tag == line_addr)
+        self.set_range(set).find(|&i| self.keys[i] == want)
     }
 
     /// Look up a line, refreshing LRU on a hit.
+    ///
+    /// Fast path: check the set's MRU way first — on the common L1-hit case
+    /// (the workload's warm static/working-set data) the lookup costs a
+    /// single key compare instead of a scan over all ways. Inlined so the
+    /// memory system's hit paths collapse into one compare at the call
+    /// site; the set scan is outlined.
+    #[inline]
     pub fn lookup(&mut self, line_addr: u64) -> Lookup {
         self.stamp += 1;
-        match self.find(line_addr) {
+        let want = self.key(line_addr);
+        let set = self.set_of(line_addr);
+        let mru_idx = (set * self.ways + self.mru[set as usize]) as usize;
+        if self.keys[mru_idx] == want {
+            let m = &mut self.meta[mru_idx];
+            m.lru = self.stamp;
+            return Lookup::Hit(m.state);
+        }
+        self.lookup_scan(set, want)
+    }
+
+    /// The non-MRU half of [`CacheArray::lookup`]: scan the set, refresh
+    /// LRU and retarget the MRU hint on a hit.
+    fn lookup_scan(&mut self, set: u32, want: u64) -> Lookup {
+        match self.set_range(set).find(|&i| self.keys[i] == want) {
             Some(i) => {
-                self.lines[i].lru = self.stamp;
-                Lookup::Hit(self.lines[i].state)
+                self.meta[i].lru = self.stamp;
+                self.mru[set as usize] =
+                    u32::try_from(i).expect("line index fits u32") - set * self.ways;
+                Lookup::Hit(self.meta[i].state)
             }
             None => Lookup::Miss,
+        }
+    }
+
+    /// Invalidate every line in O(1) by advancing the generation. Lines
+    /// keyed under older generations become invisible to every operation;
+    /// LRU stamps keep advancing monotonically, so refilled sets behave
+    /// exactly like a freshly constructed array.
+    pub fn invalidate_all(&mut self) {
+        self.generation += 1;
+        if self.generation == GEN_LIMIT {
+            // Generation field exhausted (needs 2^16 − 1 bulk resets): fall
+            // back to the eager wipe once and restart the epoch counter.
+            self.keys.fill(KEY_INVALID);
+            self.generation = 0;
         }
     }
 
     /// Look up without touching LRU (snoops).
     pub fn probe(&self, line_addr: u64) -> Lookup {
         match self.find(line_addr) {
-            Some(i) => Lookup::Hit(self.lines[i].state),
+            Some(i) => Lookup::Hit(self.meta[i].state),
             None => Lookup::Miss,
         }
     }
@@ -114,7 +199,7 @@ impl CacheArray {
     /// Change the state of a present line. No-op if absent.
     pub fn set_state(&mut self, line_addr: u64, state: Mesi) {
         if let Some(i) = self.find(line_addr) {
-            self.lines[i].state = state;
+            self.meta[i].state = state;
         }
     }
 
@@ -122,8 +207,9 @@ impl CacheArray {
     /// if it was present.
     pub fn invalidate(&mut self, line_addr: u64) -> Option<(Mesi, u8)> {
         self.find(line_addr).map(|i| {
-            let old = (self.lines[i].state, self.lines[i].presence);
-            self.lines[i] = EMPTY;
+            let old = (self.meta[i].state, self.meta[i].presence);
+            self.keys[i] = KEY_INVALID;
+            self.meta[i] = EMPTY_META;
             old
         })
     }
@@ -131,61 +217,65 @@ impl CacheArray {
     /// Insert a line with the given state, evicting LRU if needed.
     pub fn fill(&mut self, line_addr: u64, state: Mesi) -> Option<Victim> {
         self.stamp += 1;
+        let set = self.set_of(line_addr);
         if let Some(i) = self.find(line_addr) {
-            self.lines[i].state = state;
-            self.lines[i].lru = self.stamp;
+            self.meta[i].state = state;
+            self.meta[i].lru = self.stamp;
+            self.mru[set as usize] =
+                u32::try_from(i).expect("line index fits u32") - set * self.ways;
             return None;
         }
-        let set = self.set_of(line_addr);
-        // Prefer an invalid way, else LRU.
+        // Prefer an invalid (or stale-generation) way, else LRU.
         let mut victim_idx = None;
         let mut oldest = u64::MAX;
         for i in self.set_range(set) {
-            if self.lines[i].state == Mesi::Invalid {
+            if !self.live(i) {
                 victim_idx = Some(i);
                 break;
             }
-            if self.lines[i].lru < oldest {
-                oldest = self.lines[i].lru;
+            if self.meta[i].lru < oldest {
+                oldest = self.meta[i].lru;
                 victim_idx = Some(i);
             }
         }
         let i = victim_idx.expect("ways > 0");
-        let victim = if self.lines[i].state != Mesi::Invalid {
+        let victim = if self.live(i) {
             Some(Victim {
-                line_addr: self.lines[i].tag,
-                state: self.lines[i].state,
-                presence: self.lines[i].presence,
+                line_addr: self.keys[i] & KEY_TAG_MASK,
+                state: self.meta[i].state,
+                presence: self.meta[i].presence,
             })
         } else {
             None
         };
-        self.lines[i] = Line { tag: line_addr, state, lru: self.stamp, presence: 0 };
+        self.keys[i] = self.key(line_addr);
+        self.meta[i] = Meta { state, presence: 0, lru: self.stamp };
+        self.mru[set as usize] = u32::try_from(i).expect("line index fits u32") - set * self.ways;
         victim
     }
 
     /// Read the presence mask of a present line (0 if absent).
     pub fn presence(&self, line_addr: u64) -> u8 {
-        self.find(line_addr).map(|i| self.lines[i].presence).unwrap_or(0)
+        self.find(line_addr).map(|i| self.meta[i].presence).unwrap_or(0)
     }
 
     /// Update the presence mask of a present line.
     pub fn set_presence(&mut self, line_addr: u64, mask: u8) {
         if let Some(i) = self.find(line_addr) {
-            self.lines[i].presence = mask;
+            self.meta[i].presence = mask;
         }
     }
 
     /// Or bits into the presence mask.
     pub fn add_presence(&mut self, line_addr: u64, bits: u8) {
         if let Some(i) = self.find(line_addr) {
-            self.lines[i].presence |= bits;
+            self.meta[i].presence |= bits;
         }
     }
 
     /// Number of valid lines (tests / occupancy reporting).
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.state != Mesi::Invalid).count()
+        (0..self.keys.len()).filter(|&i| self.live(i)).count()
     }
 }
 
@@ -260,6 +350,59 @@ mod tests {
         assert_eq!(c.fill(5, Mesi::Modified), None);
         assert_eq!(c.probe(5), Lookup::Hit(Mesi::Modified));
         assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn mru_fast_path_agrees_with_scan() {
+        // Alternate hits between two ways of the same set: every lookup must
+        // hit regardless of which way is MRU, and LRU ordering must be
+        // unchanged by the fast path (the later-touched line survives).
+        let mut c = small();
+        c.fill(0, Mesi::Exclusive);
+        c.fill(4, Mesi::Shared);
+        for _ in 0..10 {
+            assert_eq!(c.lookup(0), Lookup::Hit(Mesi::Exclusive));
+            assert_eq!(c.lookup(4), Lookup::Hit(Mesi::Shared));
+        }
+        c.lookup(0); // 4 is now LRU
+        let v = c.fill(8, Mesi::Exclusive).expect("eviction");
+        assert_eq!(v.line_addr, 4);
+    }
+
+    #[test]
+    fn mru_survives_invalidation_of_the_mru_way() {
+        let mut c = small();
+        c.fill(0, Mesi::Exclusive);
+        c.fill(4, Mesi::Exclusive);
+        c.lookup(4); // MRU points at 4's way
+        c.invalidate(4);
+        // Fast path misses on the stale MRU way; scan still finds 0.
+        assert_eq!(c.lookup(0), Lookup::Hit(Mesi::Exclusive));
+        assert_eq!(c.lookup(4), Lookup::Miss);
+    }
+
+    #[test]
+    fn invalidate_all_empties_in_bulk() {
+        let mut c = small();
+        for addr in 0..8u64 {
+            c.fill(addr, Mesi::Modified);
+        }
+        assert_eq!(c.valid_lines(), 8);
+        c.invalidate_all();
+        assert_eq!(c.valid_lines(), 0);
+        for addr in 0..8u64 {
+            assert_eq!(c.lookup(addr), Lookup::Miss);
+            assert_eq!(c.probe(addr), Lookup::Miss);
+            assert_eq!(c.presence(addr), 0);
+        }
+        // Refilling behaves like a fresh array: no phantom victims from the
+        // old generation.
+        assert_eq!(c.fill(0, Mesi::Exclusive), None);
+        assert_eq!(c.fill(4, Mesi::Exclusive), None);
+        assert_eq!(c.valid_lines(), 2);
+        c.lookup(0);
+        let v = c.fill(8, Mesi::Exclusive).expect("two live ways full");
+        assert_eq!(v.line_addr, 4);
     }
 
     #[test]

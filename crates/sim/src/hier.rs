@@ -45,9 +45,18 @@ pub struct MemEvent {
 #[derive(Debug)]
 pub struct MemorySystem {
     cores: u32,
-    threads_per_core: u32,
     l2_topology: L2Topology,
     cores_per_package: u32,
+
+    /// Physical core of each logical CPU, precomputed: [`core_of`] and
+    /// [`domain_of`] run on every memory access, and the straightforward
+    /// `cpu / threads_per_core` costs an integer divide on that hot path.
+    ///
+    /// [`core_of`]: MemorySystem::core_of
+    /// [`domain_of`]: MemorySystem::domain_of
+    core_lut: Vec<u32>,
+    /// L2 domain of each logical CPU, precomputed (see `core_lut`).
+    domain_lut: Vec<u32>,
 
     l1d: Vec<CacheArray>,
     l1i: Vec<CacheArray>,
@@ -77,9 +86,10 @@ impl MemorySystem {
         let domains = cfg.l2_domains();
         MemorySystem {
             cores,
-            threads_per_core: cfg.threads_per_core,
             l2_topology: cfg.l2_topology,
             cores_per_package: cfg.cores_per_package,
+            core_lut: (0..cfg.logical_cpus()).map(|c| cfg.core_of(c)).collect(),
+            domain_lut: (0..cfg.logical_cpus()).map(|c| cfg.l2_domain_of(c)).collect(),
             l1d: (0..cores).map(|_| CacheArray::from_config(&cfg.arch.l1d)).collect(),
             l1i: (0..cores).map(|_| CacheArray::from_config(&cfg.arch.l1i)).collect(),
             l2: (0..domains).map(|_| CacheArray::from_config(&cfg.l2)).collect(),
@@ -102,15 +112,12 @@ impl MemorySystem {
 
     #[inline]
     fn core_of(&self, cpu: u32) -> u32 {
-        cpu / self.threads_per_core
+        self.core_lut[cpu as usize]
     }
 
     #[inline]
     fn domain_of(&self, cpu: u32) -> u32 {
-        match self.l2_topology {
-            L2Topology::SharedAll => 0,
-            L2Topology::PerPackage => self.core_of(cpu) / self.cores_per_package,
-        }
+        self.domain_lut[cpu as usize]
     }
 
     /// Which presence bit a core occupies within its L2 domain.
@@ -119,6 +126,24 @@ impl MemorySystem {
         match self.l2_topology {
             L2Topology::SharedAll => 1u8 << core,
             L2Topology::PerPackage => 1u8 << (core % self.cores_per_package as usize),
+        }
+    }
+
+    /// Invalidate every cache array in the hierarchy — a cold restart, as
+    /// between repetitions of a perf-harness measurement. Costs O(1) per
+    /// array (generation bump, see [`CacheArray::invalidate_all`]) rather
+    /// than a walk over every line. Dirty lines are dropped without
+    /// write-back: this models starting a fresh measurement, not a flush,
+    /// so it must never be called inside a measured window.
+    pub fn invalidate_all_caches(&mut self) {
+        for c in &mut self.l1d {
+            c.invalidate_all();
+        }
+        for c in &mut self.l1i {
+            c.invalidate_all();
+        }
+        for c in &mut self.l2 {
+            c.invalidate_all();
         }
     }
 
@@ -134,6 +159,14 @@ impl MemorySystem {
 
     /// A data access by logical CPU `cpu` at byte address `addr`, width
     /// `size`, at local time `now`.
+    ///
+    /// Inlined head: a single-line access that hits L1 needing no coherence
+    /// work (any read, or a write to a line already Modified) resolves with
+    /// one MRU tag compare and no [`MemEvent`] merging. Everything else
+    /// takes the outlined general path. The fast path touches exactly the
+    /// state the general path would (the L1 lookup's LRU refresh and the
+    /// disambiguation counter), so the two are observationally identical.
+    #[inline]
     pub fn access_data(
         &mut self,
         cpu: u32,
@@ -142,9 +175,40 @@ impl MemorySystem {
         write: bool,
         now: u64,
     ) -> MemEvent {
-        let mut ev = MemEvent { latency: self.l1d_latency, ..Default::default() };
         let first = addr >> LINE_SHIFT;
         let last = (addr + size.max(1) as u64 - 1) >> LINE_SHIFT;
+        if first == last {
+            let core = self.core_lut[cpu as usize] as usize;
+            if let Lookup::Hit(state) = self.l1d[core].lookup(first) {
+                if !write {
+                    let mut ev = MemEvent { latency: self.l1d_latency, ..Default::default() };
+                    self.disamb_tick(cpu, now, &mut ev);
+                    return ev;
+                }
+                if state == Mesi::Modified {
+                    return MemEvent { latency: self.l1d_latency, ..Default::default() };
+                }
+                // Write hit in Exclusive/Shared: coherence work — fall
+                // through. The general path re-looks-up the line; the extra
+                // LRU-stamp bump is harmless because eviction decisions
+                // depend only on the relative order of stamps, which a
+                // double refresh of the same line preserves.
+            }
+        }
+        self.access_data_general(cpu, first, last, write, now)
+    }
+
+    /// The general multi-line / miss / coherence path of
+    /// [`MemorySystem::access_data`].
+    fn access_data_general(
+        &mut self,
+        cpu: u32,
+        first: u64,
+        last: u64,
+        write: bool,
+        now: u64,
+    ) -> MemEvent {
+        let mut ev = MemEvent { latency: self.l1d_latency, ..Default::default() };
         for line in first..=last {
             let sub = self.access_line(cpu, line, write, now);
             ev.latency = ev.latency.max(sub.latency);
@@ -152,9 +216,17 @@ impl MemorySystem {
             ev.l2_miss |= sub.l2_miss;
             ev.bus_txns += sub.bus_txns;
         }
-        // Memory-disambiguation speculative reloads (Pentium M Smart Memory
-        // Access): periodic extra bus transactions on the load stream.
-        if !write && self.disamb_period > 0 {
+        if !write {
+            self.disamb_tick(cpu, now, &mut ev);
+        }
+        ev
+    }
+
+    /// Memory-disambiguation speculative reloads (Pentium M Smart Memory
+    /// Access): periodic extra bus transactions on the load stream.
+    #[inline]
+    fn disamb_tick(&mut self, cpu: u32, now: u64, ev: &mut MemEvent) {
+        if self.disamb_period > 0 {
             let c = &mut self.disamb_count[cpu as usize];
             *c += 1;
             if *c >= self.disamb_period {
@@ -163,7 +235,6 @@ impl MemorySystem {
                 ev.bus_txns += 1;
             }
         }
-        ev
     }
 
     fn access_line(&mut self, cpu: u32, line: u64, write: bool, now: u64) -> MemEvent {
@@ -457,21 +528,25 @@ impl MemorySystem {
         }
     }
 
-    /// An instruction fetch by `cpu` at synthetic PC `pc`.
+    /// An instruction fetch by `cpu` at synthetic PC `pc`. Inlined head for
+    /// the L1I-hit case (every branch/jump record pays this); the miss walk
+    /// is outlined.
+    #[inline]
     pub fn access_inst(&mut self, cpu: u32, pc: u64, now: u64) -> MemEvent {
-        let core = self.core_of(cpu) as usize;
-        let dom = self.domain_of(cpu) as usize;
+        let core = self.core_lut[cpu as usize] as usize;
         let line = pc >> LINE_SHIFT;
         match self.l1i[core].lookup(line) {
             Lookup::Hit(_) => MemEvent { latency: self.l1i_latency, ..Default::default() },
-            Lookup::Miss => {
-                let mut ev =
-                    MemEvent { latency: self.l1i_latency, l1_miss: true, ..Default::default() };
-                ev.latency += self.l2_and_below(cpu, core, dom, line, false, now, &mut ev);
-                self.l1i[core].fill(line, Mesi::Shared);
-                ev
-            }
+            Lookup::Miss => self.access_inst_miss(cpu, core, line, now),
         }
+    }
+
+    fn access_inst_miss(&mut self, cpu: u32, core: usize, line: u64, now: u64) -> MemEvent {
+        let dom = self.domain_of(cpu) as usize;
+        let mut ev = MemEvent { latency: self.l1i_latency, l1_miss: true, ..Default::default() };
+        ev.latency += self.l2_and_below(cpu, core, dom, line, false, now, &mut ev);
+        self.l1i[core].fill(line, Mesi::Shared);
+        ev
     }
 
     /// DMA write of `len` bytes at `addr` (NIC receive into memory):
@@ -660,6 +735,19 @@ mod tests {
         assert!(m.dma_bus_txns > before);
         let ev = m.access_data(0, 0x7000, 8, false, 5000);
         assert!(ev.l1_miss && ev.l2_miss, "DMA write must invalidate cached copies");
+    }
+
+    #[test]
+    fn invalidate_all_caches_restores_cold_misses() {
+        let mut m = mem(Platform::TwoCorePentiumM);
+        m.access_data(0, 0x3000, 8, false, 0);
+        m.access_inst(1, 0x40_0000, 0);
+        assert!(!m.access_data(0, 0x3000, 8, false, 1000).l1_miss);
+        m.invalidate_all_caches();
+        let d = m.access_data(0, 0x3000, 8, false, 2000);
+        assert!(d.l1_miss && d.l2_miss, "bulk invalidation must cold-start data caches");
+        let i = m.access_inst(1, 0x40_0000, 3000);
+        assert!(i.l1_miss, "bulk invalidation must cold-start instruction caches");
     }
 
     #[test]

@@ -93,6 +93,32 @@ struct CpuState {
     idle_since: u64,
 }
 
+/// The order a scheduler selection loop visits `0..n` in.
+///
+/// The hot path (no scan permutation requested) iterates the natural range
+/// without allocating; the permuted variant exists only so stress tests can
+/// prove scan-order independence. Selection loops run on every scheduling
+/// quantum — millions of times per experiment cell — so this being
+/// allocation-free is a measured, load-bearing property.
+enum ScanOrder {
+    /// Natural `0..n` order (allocation-free).
+    Natural(std::ops::Range<usize>),
+    /// A Fisher–Yates shuffle of `0..n` (tests only).
+    Permuted(std::vec::IntoIter<usize>),
+}
+
+impl Iterator for ScanOrder {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            ScanOrder::Natural(r) => r.next(),
+            ScanOrder::Permuted(it) => it.next(),
+        }
+    }
+}
+
 /// Result of a [`Machine::run`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunOutcome {
@@ -129,6 +155,11 @@ pub struct Machine {
     /// selections themselves are (key, index)-lexicographic minima, so the
     /// outcome must not depend on this — it exists so tests can prove that.
     scan_seed: Option<u64>,
+    /// When set, trace replay uses the straight-line scalar interpreter
+    /// instead of the batched fast path (see
+    /// [`Machine::set_reference_replay`]). Both must produce byte-identical
+    /// counters; the knob exists so tests can prove it.
+    reference_replay: bool,
     /// VTune-style sampling picture: cycles attributed per trace label
     /// (§3.3 — "sampling based VTune profiling to get a global picture of
     /// processor utilization for both system and application level
@@ -164,6 +195,7 @@ impl Machine {
             end_time: 0,
             window_start: vec![0; cpus as usize],
             scan_seed: None,
+            reference_replay: false,
             profile: std::collections::HashMap::new(),
             cfg,
         }
@@ -187,29 +219,44 @@ impl Machine {
         self.scan_seed = Some(seed);
     }
 
-    /// The order in which a selection loop visits `0..n`: natural order,
-    /// or a Fisher–Yates shuffle of it driven by the scan seed. The
-    /// permutation is a pure function of `(seed, n)` — determinism of the
-    /// simulation itself is never at stake, only the scan order.
-    fn scan_order(&self, n: usize) -> Vec<usize> {
+    /// Replay traces with the straight-line scalar interpreter instead of
+    /// the batched fast path.
+    ///
+    /// The batched path hoists per-core resources out of the op loop and
+    /// accrues counter deltas locally, merging once per quantum; the scalar
+    /// path indexes everything through `self` per op. They are defined to
+    /// be observationally identical — byte-identical [`PerfCounters`],
+    /// timing, and profile — and the equivalence suite flips this knob to
+    /// prove it. Production runs leave it off.
+    pub fn set_reference_replay(&mut self, on: bool) {
+        self.reference_replay = on;
+    }
+
+    /// The order in which a selection loop visits `0..n`: natural order
+    /// (allocation-free), or a Fisher–Yates shuffle of it driven by the
+    /// scan seed. The permutation is a pure function of `(seed, n)` —
+    /// determinism of the simulation itself is never at stake, only the
+    /// scan order.
+    fn scan_order(&self, n: usize) -> ScanOrder {
+        let Some(seed) = self.scan_seed else {
+            return ScanOrder::Natural(0..n);
+        };
         let mut idx: Vec<usize> = (0..n).collect();
-        if let Some(seed) = self.scan_seed {
-            let mut s = seed ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let mut next = move || {
-                // SplitMix64 step.
-                s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                let mut z = s;
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                z ^ (z >> 31)
-            };
-            for i in (1..n).rev() {
-                let j = usize::try_from(next() % (i as u64 + 1))
-                    .expect("shuffle index bounded by i < n");
-                idx.swap(i, j);
-            }
+        let mut s = seed ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            // SplitMix64 step.
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..n).rev() {
+            let j =
+                usize::try_from(next() % (i as u64 + 1)).expect("shuffle index bounded by i < n");
+            idx.swap(i, j);
         }
-        idx
+        ScanOrder::Permuted(idx.into_iter())
     }
 
     /// Create a channel.
@@ -508,9 +555,19 @@ impl Machine {
 
         // 1. Continue an in-flight trace replay.
         if let Some(mut exec) = self.threads[tid].exec.take() {
-            let finished = self.exec_ops(cpu, &mut exec);
+            let finished = if self.reference_replay {
+                self.exec_ops_scalar(cpu, &mut exec)
+            } else {
+                self.exec_ops_batched(cpu, &mut exec)
+            };
             if finished {
-                *self.profile.entry(exec.trace.label.clone()).or_insert(0) += exec.accum;
+                // Traces complete millions of times per cell; only a label
+                // the profile has never seen pays for a String clone.
+                if let Some(v) = self.profile.get_mut(&exec.trace.label) {
+                    *v += exec.accum;
+                } else {
+                    self.profile.insert(exec.trace.label.clone(), exec.accum);
+                }
             } else {
                 self.threads[tid].exec = Some(exec);
             }
@@ -608,9 +665,11 @@ impl Machine {
         }
     }
 
-    /// Execute up to [`BATCH`] op records; returns true when the trace is
-    /// done.
-    fn exec_ops(&mut self, cpu: u32, exec: &mut ExecState) -> bool {
+    /// Execute up to [`BATCH`] op records, straight-line reference
+    /// interpreter: every resource is re-indexed through `self` per op.
+    /// Returns true when the trace is done. Kept verbatim as the semantic
+    /// definition the batched path is checked against.
+    fn exec_ops_scalar(&mut self, cpu: u32, exec: &mut ExecState) -> bool {
         let core = self.cfg.core_of(cpu) as usize;
         let sibling = (cpu % self.cfg.threads_per_core) as usize;
         let crack = self.cfg.arch.crack;
@@ -723,6 +782,126 @@ impl Machine {
         }
         exec.accum += t - self.cpus[cpu as usize].time;
         self.cpus[cpu as usize].time = t;
+        exec.pos += executed;
+        exec.pos == exec.trace.len()
+    }
+
+    /// Execute up to [`BATCH`] op records — the production fast path.
+    ///
+    /// Observationally identical to [`Machine::exec_ops_scalar`] (the
+    /// equivalence suite proves byte-identical counters), but structured
+    /// for throughput: the core's issue timeline and predictor are hoisted
+    /// out of the op loop, and counter deltas accrue in a stack-local
+    /// [`PerfCounters`] merged once per quantum instead of re-indexing
+    /// `self.counters[cpu]` per op. The delta's `clockticks`/`idle_cycles`
+    /// stay zero, so the purely additive merge is exact.
+    fn exec_ops_batched(&mut self, cpu: u32, exec: &mut ExecState) -> bool {
+        let Machine { cfg, mem, issue, predictors, counters, cpus, .. } = self;
+        let core = cfg.core_of(cpu) as usize;
+        let sibling = (cpu % cfg.threads_per_core) as usize;
+        let crack = cfg.arch.crack;
+        let penalty = cfg.arch.mispredict_penalty as u64;
+        let store_cost = cfg.arch.store_cost as u64;
+        let l1d_lat = cfg.arch.l1d.latency as u64;
+        let issue = &mut issue[core];
+        let pred = &mut predictors[core];
+
+        let mut t = cpus[cpu as usize].time;
+        let batch_start = t;
+        let end_pos = (exec.pos + BATCH).min(exec.trace.len());
+        let ops = exec.trace.ops();
+        let mut executed = 0usize;
+        let mut d = PerfCounters::default();
+
+        for op in &ops[exec.pos..end_pos] {
+            if t.saturating_sub(batch_start) > SKEW_LIMIT {
+                break;
+            }
+            executed += 1;
+            match *op {
+                Op::Alu(n) => {
+                    // A run-length-compressed ALU run retires in one
+                    // timeline booking and one counter update, however long
+                    // the run is.
+                    t = issue.book(t, n as u32);
+                    d.inst_retired_milli += crack.retired_milli(OpClass::Alu, n as u64);
+                    d.abstract_ops += n as u64;
+                }
+                Op::Load { addr, size } => {
+                    t = issue.book(t, 1);
+                    let a = exec.binding.resolve(addr);
+                    let ev = mem.access_data(cpu, a.0, size as u32, false, t);
+                    // Branchless accounting: the hit/miss flags become 0/1
+                    // multipliers so the mixed hit/miss pattern of a real
+                    // trace costs no data-dependent host branches. On a hit
+                    // every multiplied term is exactly zero, matching the
+                    // scalar path's skipped additions.
+                    let miss = ev.l1_miss as u64;
+                    t += ev.latency * miss;
+                    d.mem_stall_cycles += ev.latency.saturating_sub(l1d_lat) * miss;
+                    d.l1d_misses += miss;
+                    d.l2_misses += ev.l2_miss as u64;
+                    d.bus_txns += ev.bus_txns as u64;
+                    d.loads += 1;
+                    d.inst_retired_milli += crack.retired_milli(OpClass::Load, 1);
+                    d.abstract_ops += 1;
+                }
+                Op::Store { addr, size } => {
+                    t = issue.book(t, 1);
+                    let a = exec.binding.resolve(addr);
+                    let ev = mem.access_data(cpu, a.0, size as u32, true, t);
+                    // Stores retire through the store buffer: the core pays
+                    // a small fixed cost, plus backpressure when the buffer
+                    // drains slowly (a quarter of the miss latency models
+                    // the queue filling under streaming writes).
+                    t += store_cost;
+                    let miss = ev.l1_miss as u64;
+                    let bp = (ev.latency / 4) * miss;
+                    t += bp;
+                    d.mem_stall_cycles += bp;
+                    d.l1d_misses += miss;
+                    d.l2_misses += ev.l2_miss as u64;
+                    d.bus_txns += ev.bus_txns as u64;
+                    d.stores += 1;
+                    d.inst_retired_milli += crack.retired_milli(OpClass::Store, 1);
+                    d.abstract_ops += 1;
+                }
+                Op::Branch { site, taken } => {
+                    t = issue.book(t, 1);
+                    let pc = site_pc(site);
+                    let iev = mem.access_inst(cpu, pc.0, t);
+                    let correct = pred.update(pc.0, sibling, taken);
+                    let imiss = iev.l1_miss as u64;
+                    t += iev.latency * imiss;
+                    d.l1i_misses += imiss;
+                    d.l2_misses += iev.l2_miss as u64;
+                    d.bus_txns += iev.bus_txns as u64;
+                    d.branches_retired += 1;
+                    let wrong = !correct as u64;
+                    d.branch_mispredicts += wrong;
+                    d.flush_cycles += penalty * wrong;
+                    t += penalty * wrong;
+                    d.inst_retired_milli += crack.retired_milli(OpClass::Branch, 1);
+                    d.abstract_ops += 1;
+                }
+                Op::Jump { site } => {
+                    t = issue.book(t, 1);
+                    let pc = site_pc(site);
+                    let iev = mem.access_inst(cpu, pc.0, t);
+                    let imiss = iev.l1_miss as u64;
+                    t += iev.latency * imiss;
+                    d.l1i_misses += imiss;
+                    d.l2_misses += iev.l2_miss as u64;
+                    d.bus_txns += iev.bus_txns as u64;
+                    d.branches_retired += 1;
+                    d.inst_retired_milli += crack.retired_milli(OpClass::Jump, 1);
+                    d.abstract_ops += 1;
+                }
+            }
+        }
+        counters[cpu as usize].merge(&d);
+        exec.accum += t - cpus[cpu as usize].time;
+        cpus[cpu as usize].time = t;
         exec.pos += executed;
         exec.pos == exec.trace.len()
     }
@@ -1023,6 +1202,30 @@ mod tests {
         m.run(20_000_000);
         let measured = m.counters_total().abstract_ops;
         assert!(measured >= 2500 && measured < warm, "only post-reset work counts: {measured}");
+    }
+
+    #[test]
+    fn batched_replay_matches_scalar_reference() {
+        // Mixed compute + streaming load on an SMT config exercises every
+        // op kind, both replay paths on both siblings, misses, mispredicts
+        // and store backpressure. The two interpreters must agree to the
+        // byte — counters, end time, and profile.
+        let run = |reference: bool| {
+            let mut m = Machine::new(Platform::TwoLogicalXeon.config());
+            m.set_reference_replay(reference);
+            m.spawn(Box::new(LoopWorkload::new(cpu_trace(3_000), Binding::new(), 1)));
+            m.spawn(Box::new(LoopWorkload::new(stream_trace(3_000), Binding::new(), 1)));
+            let out = m.run(100_000_000);
+            let mut profile: Vec<(String, u64)> =
+                m.profile().iter().map(|(k, v)| (k.clone(), *v)).collect();
+            profile.sort();
+            (out, m.counters().to_vec(), profile)
+        };
+        let batched = run(false);
+        let scalar = run(true);
+        assert_eq!(batched.0, scalar.0, "run outcome must be identical");
+        assert_eq!(batched.1, scalar.1, "per-CPU counters must be byte-identical");
+        assert_eq!(batched.2, scalar.2, "profile attribution must be identical");
     }
 
     #[test]

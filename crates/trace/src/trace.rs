@@ -138,10 +138,63 @@ impl Trace {
     }
 
     /// Append all ops of `other`.
+    ///
+    /// Goes through [`Trace::push`], so an ALU run at the end of `self` and
+    /// one at the start of `other` coalesce into a single record across the
+    /// concatenation boundary (saturating at `u16::MAX`) — stitching
+    /// memoized phase traces never inflates the record count or the op
+    /// statistics.
     pub fn extend_from(&mut self, other: &Trace) {
         for op in &other.ops {
             self.push(*op);
         }
+    }
+
+    /// Content fingerprint: FNV-1a over every op record and the label.
+    ///
+    /// Two traces with identical op sequences and labels share a
+    /// fingerprint, so a memoization layer can prove that a cache hit
+    /// returned exactly what a fresh recording would have produced.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |word: u64| {
+            h ^= word;
+            h = h.wrapping_mul(PRIME);
+        };
+        for b in self.label.as_bytes() {
+            mix(u64::from(*b));
+        }
+        for op in &self.ops {
+            match *op {
+                Op::Alu(n) => {
+                    mix(1);
+                    mix(u64::from(n));
+                }
+                Op::Load { addr, size } => {
+                    mix(2);
+                    mix(u64::from(addr.slot.0) << 40
+                        | u64::from(addr.offset) << 8
+                        | u64::from(size));
+                }
+                Op::Store { addr, size } => {
+                    mix(3);
+                    mix(u64::from(addr.slot.0) << 40
+                        | u64::from(addr.offset) << 8
+                        | u64::from(size));
+                }
+                Op::Branch { site, taken } => {
+                    mix(4);
+                    mix(u64::from(site) << 1 | u64::from(taken));
+                }
+                Op::Jump { site } => {
+                    mix(5);
+                    mix(u64::from(site));
+                }
+            }
+        }
+        h
     }
 
     /// Per-class op counts (expanded).
@@ -266,5 +319,52 @@ mod tests {
         a.extend_from(&b);
         assert_eq!(a.stats().alus, 5);
         assert_eq!(a.stats().jumps, 1);
+    }
+
+    #[test]
+    fn extend_from_coalesces_alu_runs_across_the_boundary() {
+        // Pin the concatenation contract trace memoization depends on: an
+        // ALU run ending `a` and one starting `b` become ONE record, so
+        // stitched traces carry the same record count and statistics a
+        // single continuous recording would have produced.
+        let mut a = Trace::default();
+        a.push(Op::Load { addr: addr(RegionSlot::MSG, 0), size: 8 });
+        a.push(Op::Alu(7));
+        let mut b = Trace::default();
+        b.push(Op::Alu(5));
+        b.push(Op::Branch { site: 3, taken: true });
+
+        let mut continuous = Trace::default();
+        continuous.push(Op::Load { addr: addr(RegionSlot::MSG, 0), size: 8 });
+        continuous.push(Op::Alu(12));
+        continuous.push(Op::Branch { site: 3, taken: true });
+
+        a.extend_from(&b);
+        assert_eq!(a.len(), 3, "boundary ALU runs must merge into one record");
+        assert_eq!(a.ops(), continuous.ops());
+        assert_eq!(a.stats(), continuous.stats());
+        // Saturation still splits (u16 ceiling), exactly like push does.
+        let mut big = Trace::default();
+        big.push(Op::Alu(u16::MAX));
+        let mut tail = Trace::default();
+        tail.push(Op::Alu(1));
+        big.extend_from(&tail);
+        assert_eq!(big.len(), 2);
+        assert_eq!(big.stats().alus, u64::from(u16::MAX) + 1);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let mut a = Trace::with_label("x");
+        a.push(Op::Alu(3));
+        a.push(Op::Load { addr: addr(RegionSlot::MSG, 4), size: 8 });
+        let mut b = Trace::with_label("x");
+        b.push(Op::Alu(3));
+        b.push(Op::Load { addr: addr(RegionSlot::MSG, 4), size: 8 });
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.push(Op::Branch { site: 1, taken: false });
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let c = Trace::with_label("y");
+        assert_ne!(Trace::with_label("x").fingerprint(), c.fingerprint());
     }
 }
