@@ -39,4 +39,21 @@ assert report["cells"] > 0
 print(f"perf smoke ok: {report['cells']} cells")
 EOF
 
+say "live server smoke (loadgen over loopback, zero protocol errors)"
+# Stands up the real TCP server in-process and drives it closed-loop for
+# ~2s; the binary itself exits 1 on any failed request or server-side
+# protocol error, and the JSON must carry nonzero throughput/latency.
+./target/release/loadgen --duration 2 --out /tmp/BENCH_live_smoke.json >/dev/null
+python3 - <<'EOF'
+import json
+with open("/tmp/BENCH_live_smoke.json") as f:
+    report = json.load(f)
+assert report["requests_failed"] == 0, f"live failures: {report['errors']}"
+assert report["requests_per_sec"] > 0
+assert report["latency_us"]["p50"] > 0 and report["latency_us"]["p99"] > 0
+assert report["server"]["protocol_errors"] == 0
+print(f"live smoke ok: {report['requests_per_sec']:.0f} req/s, "
+      f"p99 {report['latency_us']['p99']:.0f}us")
+EOF
+
 say "all gates passed"

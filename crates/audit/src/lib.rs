@@ -44,6 +44,8 @@ pub const CAST_ENFORCED_FILES: &[&str] = &[
     "crates/core/src/cellcache.rs",
     "crates/core/src/metrics.rs",
     "crates/core/src/report.rs",
+    "crates/serve/src/loadgen.rs",
+    "crates/serve/src/metrics.rs",
     "crates/sim/src/counters.rs",
     "crates/sim/src/stats.rs",
 ];

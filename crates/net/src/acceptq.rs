@@ -1,0 +1,174 @@
+//! Bounded accept queue for the live serving path.
+//!
+//! The paper's server sits behind the kernel's SYN backlog; our live
+//! listener mirrors that with an explicit bounded hand-off queue between
+//! the accept thread and the worker pool. Bounded means overload sheds
+//! connections at the edge (the push fails and the socket drops) instead
+//! of queueing unboundedly — the same admission behaviour a `listen(2)`
+//! backlog gives a real server.
+//!
+//! The queue is a plain `Mutex<VecDeque>` + `Condvar` MPMC channel with a
+//! close/drain protocol for graceful shutdown: after [`AcceptQueue::close`]
+//! producers are refused, but consumers keep draining whatever was already
+//! accepted, and only then observe [`Pop::Closed`].
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Result of a [`AcceptQueue::pop`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The wait elapsed with the queue open but empty.
+    Empty,
+    /// The queue is closed and fully drained — the consumer should exit.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded, closeable MPMC hand-off queue.
+pub struct AcceptQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> AcceptQueue<T> {
+    /// A queue admitting at most `capacity` queued items.
+    pub fn new(capacity: usize) -> AcceptQueue<T> {
+        assert!(capacity > 0, "a zero-capacity backlog would refuse everything");
+        AcceptQueue {
+            state: Mutex::new(State { items: VecDeque::with_capacity(capacity), closed: false }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueue `item`; on a full or closed queue the item is handed back
+    /// (the caller drops the connection — admission control).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut s = self.state.lock().expect("accept queue poisoned");
+        if s.closed || s.items.len() >= self.capacity {
+            return Err(item);
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, waiting up to `wait` for an item. Draining outlives
+    /// closing: a closed queue keeps yielding items until empty.
+    pub fn pop(&self, wait: Duration) -> Pop<T> {
+        let mut s = self.state.lock().expect("accept queue poisoned");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if s.closed {
+                return Pop::Closed;
+            }
+            let (next, timeout) =
+                self.available.wait_timeout(s, wait).expect("accept queue poisoned");
+            s = next;
+            if timeout.timed_out() {
+                return match s.items.pop_front() {
+                    Some(item) => Pop::Item(item),
+                    None if s.closed => Pop::Closed,
+                    None => Pop::Empty,
+                };
+            }
+        }
+    }
+
+    /// Refuse new items and wake every waiting consumer.
+    pub fn close(&self) {
+        self.state.lock().expect("accept queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Queued items right now.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("accept queue poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_sheds_overload() {
+        let q = AcceptQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_drains_then_reports_closed() {
+        let q = AcceptQueue::new(4);
+        q.push(10).unwrap();
+        q.push(11).unwrap();
+        q.close();
+        assert_eq!(q.push(12), Err(12), "closed queue refuses producers");
+        assert_eq!(q.pop(Duration::from_millis(1)), Pop::Item(10));
+        assert_eq!(q.pop(Duration::from_millis(1)), Pop::Item(11));
+        assert_eq!(q.pop(Duration::from_millis(1)), Pop::<i32>::Closed);
+    }
+
+    #[test]
+    fn empty_open_queue_times_out() {
+        let q: AcceptQueue<i32> = AcceptQueue::new(1);
+        assert_eq!(q.pop(Duration::from_millis(1)), Pop::Empty);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q: Arc<AcceptQueue<i32>> = Arc::new(AcceptQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().expect("consumer thread"), Pop::Closed);
+    }
+
+    #[test]
+    fn items_flow_across_threads() {
+        let q: Arc<AcceptQueue<usize>> = Arc::new(AcceptQueue::new(64));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..100 {
+                    while q.push(i).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+                q.close();
+            })
+        };
+        let mut got = Vec::new();
+        loop {
+            match q.pop(Duration::from_millis(50)) {
+                Pop::Item(i) => got.push(i),
+                Pop::Empty => continue,
+                Pop::Closed => break,
+            }
+        }
+        producer.join().expect("producer thread");
+        assert_eq!(got.len(), 100);
+    }
+}

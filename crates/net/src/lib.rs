@@ -15,10 +15,20 @@
 //!   gigabit link) and **loopback** mode (producer and consumer threads
 //!   sharing a kernel socket buffer — the extreme CPU/memory-intensive
 //!   case).
+//!
+//! Plus the substrate of the **live** serving path (`aon-serve`), which
+//! moves real bytes instead of modeled ones:
+//!
+//! * [`wire`] — blocking HTTP/1.1 message framing over real sockets, with
+//!   hard head/body limits and per-message deadlines;
+//! * [`acceptq`] — the bounded accept queue between the listener thread
+//!   and the worker pool (overload sheds connections at the edge).
 
+pub mod acceptq;
 pub mod link;
 pub mod netperf;
 pub mod tcpcost;
+pub mod wire;
 
 pub use netperf::{
     build_netperf_e2e, build_netperf_e2e_with_traces, build_netperf_loopback,

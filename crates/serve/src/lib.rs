@@ -1,0 +1,39 @@
+//! # aon-serve — the live TCP serving subsystem
+//!
+//! The paper measures a *real* AON server under Netperf load; the rest of
+//! this workspace replays modeled traces on a simulated machine. This
+//! crate closes that gap: a real `std::net` HTTP/1.1 server that serves
+//! the paper's three use cases (FR, CBR, SV — plus the §6 extensions)
+//! natively through the existing `aon-server`/`aon-xml` engines with
+//! [`aon_trace::NullProbe`] (zero tracing overhead), and a netperf-style
+//! closed-loop load generator that drives it over loopback and emits
+//! `BENCH_live.json`.
+//!
+//! Architecture (mirroring the paper's server, §3.2.1):
+//!
+//! * one listener thread accepting into a **bounded** queue
+//!   ([`aon_net::acceptq`]) — overload sheds connections at the edge;
+//! * a worker pool (default: one thread per logical CPU) pulling
+//!   connections and serving keep-alive request loops;
+//! * per-connection read/write deadlines, hard head/body size limits
+//!   ([`aon_net::wire`]), a keep-alive request cap, and 400/413/408
+//!   error responses;
+//! * graceful shutdown that stops accepting, drains queued connections,
+//!   and finishes in-flight requests.
+//!
+//! Modules:
+//!
+//! * [`server`] — the serving half: [`server::Server`],
+//!   [`server::ServeConfig`], [`server::ServeStats`];
+//! * [`loadgen`] — the measuring half: closed-loop request/response
+//!   threads ([`loadgen::LoadgenConfig`], [`loadgen::run`]);
+//! * [`metrics`] — latency summaries and the `BENCH_live.json` report
+//!   ([`metrics::LiveBenchReport`]).
+
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+
+pub use loadgen::{run as run_loadgen, LoadgenConfig};
+pub use metrics::LiveBenchReport;
+pub use server::{ServeConfig, Server};

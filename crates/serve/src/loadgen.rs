@@ -1,0 +1,374 @@
+//! Netperf-style closed-loop load generator for the live server.
+//!
+//! Mirrors the paper's measurement methodology (§3.2.2): N persistent
+//! connections each issue one request, wait for the full response, and
+//! immediately issue the next — so offered load tracks server capacity
+//! (closed loop) instead of overwhelming it (open loop). Request bodies
+//! come from the same deterministic [`aon_server::corpus`] the simulator
+//! replays, and each request carries a *known expected status* derived
+//! from the corpus flags — a run with `requests_failed == 0` therefore
+//! proves end-to-end protocol and routing correctness, not just liveness.
+//!
+//! Like the metrics module, this file is on the `aon-audit` cast-enforced
+//! list: no raw `as` numeric casts.
+
+use crate::metrics::{summarize_latencies, LiveBenchReport, LoadgenErrors};
+use aon_net::wire::{status_code, write_all, FrameBuf, WireError, WireLimits};
+use aon_server::corpus::Corpus;
+use aon_server::usecase::UseCase;
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Load generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address (normally the in-process server's loopback addr).
+    pub addr: SocketAddr,
+    /// Concurrent closed-loop connections.
+    pub connections: usize,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Use cases in the request mix (cycled per request).
+    pub use_cases: Vec<UseCase>,
+    /// Corpus seed (must match nothing in particular — the server parses
+    /// whatever arrives — but determinism keeps runs comparable).
+    pub corpus_seed: u64,
+    /// Number of corpus variants to cycle through.
+    pub corpus_variants: usize,
+    /// Client-side response limits (response bodies are tiny).
+    pub limits: WireLimits,
+    /// Per-response read deadline.
+    pub response_timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            connections: 4,
+            duration: Duration::from_secs(2),
+            use_cases: UseCase::ALL.to_vec(),
+            corpus_seed: 42,
+            corpus_variants: 4,
+            limits: WireLimits::default(),
+            response_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One prepared request: raw bytes plus the status the server must
+/// return for the run to count it as OK.
+#[derive(Clone)]
+struct PreparedRequest {
+    bytes: Vec<u8>,
+    body_len: u64,
+    expect_status: u16,
+}
+
+/// Build the keep-alive request mix: one request per (use case ×
+/// corpus variant), with the expected status derived from the variant's
+/// routing flags.
+fn prepare_requests(cfg: &LoadgenConfig) -> Vec<PreparedRequest> {
+    let corpus = Corpus::generate(cfg.corpus_seed, cfg.corpus_variants);
+    let mut out = Vec::with_capacity(cfg.use_cases.len() * corpus.len());
+    for uc in &cfg.use_cases {
+        let path = match uc {
+            UseCase::Fr => "/aon/fr",
+            UseCase::Cbr => "/aon/cbr",
+            UseCase::Sv => "/aon/sv",
+            UseCase::Dpi => "/aon/dpi",
+            UseCase::Crypto => "/aon/crypto",
+        };
+        for v in &corpus.variants {
+            let body = &v.http[v.body_start..];
+            // Routing verdict per the engine's semantics: 200 when the
+            // use case accepts the message, 422 when it rejects it.
+            let accepted = match uc {
+                UseCase::Fr | UseCase::Crypto => true,
+                UseCase::Cbr => v.cbr_match,
+                UseCase::Sv => v.sv_valid,
+                // Corpus bodies carry no DPI signatures.
+                UseCase::Dpi => true,
+            };
+            let mut bytes = Vec::with_capacity(body.len() + 160);
+            bytes.extend_from_slice(format!(
+                "POST {path} HTTP/1.1\r\nHost: aon.local\r\nContent-Type: text/xml\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+                body.len()
+            ).as_bytes());
+            bytes.extend_from_slice(body);
+            out.push(PreparedRequest {
+                bytes,
+                body_len: u64::try_from(body.len()).expect("body length fits u64"),
+                expect_status: if accepted { 200 } else { 422 },
+            });
+        }
+    }
+    out
+}
+
+/// Per-thread tally, merged into the final report.
+#[derive(Default)]
+struct ThreadResult {
+    ok: u64,
+    payload_bytes: u64,
+    latencies_ns: Vec<u64>,
+    errors: LoadgenErrors,
+}
+
+/// Run the closed loop against `cfg.addr` and summarize.
+pub fn run(cfg: &LoadgenConfig) -> LiveBenchReport {
+    let requests = prepare_requests(cfg);
+    assert!(!requests.is_empty(), "loadgen needs at least one use case");
+    let started = Instant::now();
+    let deadline = started + cfg.duration;
+
+    let results: Vec<ThreadResult> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections.max(1))
+            .map(|tid| {
+                let requests = &requests;
+                let cfg = &cfg;
+                scope.spawn(move || connection_loop(cfg, requests, tid, deadline))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap_or_default()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut ok = 0u64;
+    let mut payload_bytes = 0u64;
+    let mut errors = LoadgenErrors::default();
+    let mut latencies_ns = Vec::new();
+    for r in results {
+        ok += r.ok;
+        payload_bytes += r.payload_bytes;
+        errors.status_mismatch += r.errors.status_mismatch;
+        errors.wire += r.errors.wire;
+        errors.io += r.errors.io;
+        errors.reconnects += r.errors.reconnects;
+        latencies_ns.extend(r.latencies_ns);
+    }
+
+    LiveBenchReport {
+        duration_secs: elapsed.as_secs_f64(),
+        connections: u64::try_from(cfg.connections.max(1)).expect("connection count fits u64"),
+        use_cases: cfg.use_cases.iter().map(|u| u.label().to_string()).collect(),
+        requests_ok: ok,
+        requests_failed: errors.failed(),
+        errors,
+        payload_bytes,
+        latency: summarize_latencies(&mut latencies_ns),
+        server: None,
+    }
+}
+
+/// One closed-loop connection: send, await full response, repeat. The
+/// server closing a healthy keep-alive session (its request cap) is a
+/// reconnect, not a failure.
+fn connection_loop(
+    cfg: &LoadgenConfig,
+    requests: &[PreparedRequest],
+    tid: usize,
+    deadline: Instant,
+) -> ThreadResult {
+    let mut res = ThreadResult::default();
+    let mut fb = FrameBuf::new();
+    let mut stream: Option<TcpStream> = None;
+    // Stagger the cycle start so threads don't all hit the same variant.
+    let mut next = tid % requests.len();
+
+    while Instant::now() < deadline {
+        if stream.is_none() {
+            match connect(cfg) {
+                Ok(s) => {
+                    fb = FrameBuf::new();
+                    stream = Some(s);
+                }
+                Err(()) => {
+                    res.errors.io += 1;
+                    thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+            }
+        }
+        let s = stream.as_mut().expect("connected above");
+
+        let req = &requests[next];
+        next = (next + 1) % requests.len();
+        let sent = Instant::now();
+        if let Err(e) = write_all(s, &req.bytes) {
+            // A send into a connection the server already closed (keep-
+            // alive cap) surfaces as an I/O error; reconnect and retry.
+            classify_send_error(&e, &mut res.errors);
+            stream = None;
+            continue;
+        }
+        let resp_deadline = sent + cfg.response_timeout;
+        match fb.read_frame(s, &cfg.limits, resp_deadline) {
+            Ok(frame) => {
+                let latency = sent.elapsed();
+                let status = status_code(&fb.bytes()[..frame.head_len]);
+                let head = &fb.bytes()[..frame.head_len];
+                let server_closing = head_says_close(head);
+                fb.consume(frame.total());
+                if status == Some(req.expect_status) {
+                    res.ok += 1;
+                    res.payload_bytes += req.body_len;
+                    res.latencies_ns.push(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+                } else {
+                    res.errors.status_mismatch += 1;
+                }
+                if server_closing {
+                    res.errors.reconnects += 1;
+                    stream = None;
+                }
+            }
+            Err(WireError::Closed) => {
+                // Clean close before any response bytes: keep-alive cap
+                // raced our send. Not a failure; replay on a fresh
+                // connection would double-count, so just reconnect.
+                res.errors.reconnects += 1;
+                stream = None;
+            }
+            Err(WireError::Io(_)) => {
+                res.errors.io += 1;
+                stream = None;
+            }
+            Err(_) => {
+                res.errors.wire += 1;
+                stream = None;
+            }
+        }
+    }
+    res
+}
+
+/// Connect with TCP_NODELAY (request/response pattern).
+fn connect(cfg: &LoadgenConfig) -> Result<TcpStream, ()> {
+    let s = TcpStream::connect_timeout(&cfg.addr, cfg.response_timeout).map_err(|_| ())?;
+    let _ = s.set_nodelay(true);
+    Ok(s)
+}
+
+/// Did the response head ask us to close the connection?
+fn head_says_close(head: &[u8]) -> bool {
+    head.split(|&b| b == b'\n').any(|line| {
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        let Some(colon) = line.iter().position(|&b| b == b':') else {
+            return false;
+        };
+        line[..colon].eq_ignore_ascii_case(b"connection")
+            && line[colon + 1..].trim_ascii().eq_ignore_ascii_case(b"close")
+    })
+}
+
+/// Send failures on a stale keep-alive connection (peer already closed)
+/// are reconnects; anything else is a real I/O failure.
+fn classify_send_error(e: &WireError, errors: &mut LoadgenErrors) {
+    match e {
+        WireError::Io(
+            std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted,
+        ) => {
+            errors.reconnects += 1;
+        }
+        WireError::Closed => errors.reconnects += 1,
+        WireError::TimedOut => errors.wire += 1,
+        _ => errors.io += 1,
+    }
+}
+
+/// Drain any remaining bytes best-effort (used by tests to verify the
+/// server half-closes cleanly).
+#[cfg(test)]
+fn drain(mut s: TcpStream) {
+    use std::io::Read;
+    let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut sink = [0u8; 4096];
+    while matches!(s.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServeConfig, Server};
+
+    #[test]
+    fn prepared_requests_cover_mix_and_expectations() {
+        let cfg = LoadgenConfig::default();
+        let reqs = prepare_requests(&cfg);
+        // 3 use cases × 4 variants.
+        assert_eq!(reqs.len(), 12);
+        // FR always expects 200; the mix must also contain 422s (CBR
+        // mismatches and SV-invalid variants exist in a 4-variant corpus).
+        assert!(reqs.iter().any(|r| r.expect_status == 200));
+        assert!(reqs.iter().any(|r| r.expect_status == 422));
+        for r in &reqs {
+            assert!(r.bytes.starts_with(b"POST /aon/"));
+            assert!(r.body_len > 0);
+        }
+    }
+
+    #[test]
+    fn closed_loop_against_live_server_has_zero_failures() {
+        let server = Server::start(ServeConfig { workers: 2, ..ServeConfig::default() })
+            .expect("bind loopback");
+        let cfg = LoadgenConfig {
+            addr: server.addr(),
+            connections: 2,
+            duration: Duration::from_millis(300),
+            ..LoadgenConfig::default()
+        };
+        let report = run(&cfg);
+        let stats = server.shutdown();
+        assert!(report.requests_ok > 0, "served nothing: {report:?}");
+        assert_eq!(report.requests_failed, 0, "failures: {:?}", report.errors);
+        assert!(report.latency.p50_us > 0.0);
+        assert!(report.latency.p99_us >= report.latency.p50_us);
+        assert_eq!(stats.protocol_errors(), 0);
+        // Every OK the client saw, the server counted (2xx or 422).
+        assert_eq!(report.requests_ok, stats.requests_ok + stats.requests_rejected);
+    }
+
+    #[test]
+    fn reconnects_after_keepalive_cap_are_not_failures() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            keepalive_max_requests: 3,
+            ..ServeConfig::default()
+        })
+        .expect("bind loopback");
+        let cfg = LoadgenConfig {
+            addr: server.addr(),
+            connections: 1,
+            duration: Duration::from_millis(250),
+            use_cases: vec![UseCase::Fr],
+            ..LoadgenConfig::default()
+        };
+        let report = run(&cfg);
+        server.shutdown();
+        assert_eq!(report.requests_failed, 0, "failures: {:?}", report.errors);
+        assert!(
+            report.errors.reconnects > 0,
+            "cap of 3 over {} requests must force reconnects",
+            report.requests_ok
+        );
+    }
+
+    #[test]
+    fn head_says_close_parses_connection_header() {
+        assert!(head_says_close(b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n"));
+        assert!(head_says_close(b"HTTP/1.1 200 OK\r\nCONNECTION:  Close \r\n\r\n"));
+        assert!(!head_says_close(b"HTTP/1.1 200 OK\r\nConnection: keep-alive\r\n\r\n"));
+        assert!(!head_says_close(b"HTTP/1.1 200 OK\r\n\r\n"));
+    }
+
+    #[test]
+    fn drain_helper_survives_closed_socket() {
+        let server = Server::start(ServeConfig::default()).expect("bind loopback");
+        let s = TcpStream::connect(server.addr()).expect("connect");
+        server.shutdown();
+        drain(s);
+    }
+}

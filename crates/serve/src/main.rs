@@ -1,0 +1,81 @@
+//! `aon-serve` — run the live AON server standalone.
+//!
+//! ```text
+//! aon-serve [--addr 127.0.0.1:8080] [--threads N] [--for SECS]
+//! ```
+//!
+//! Binds, prints the bound address (the OS picks a port when `:0` is
+//! given), serves until `--for` seconds elapse (default: forever), then
+//! shuts down gracefully and prints the final counters. The load
+//! generator lives in `aon-bench` (`cargo run --release --bin loadgen`).
+
+use aon_serve::server::{ServeConfig, Server};
+use std::time::Duration;
+
+fn main() {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => {}
+        Err(msg) => {
+            eprintln!("aon-serve: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut cfg = ServeConfig { addr: "127.0.0.1:8080".to_string(), ..ServeConfig::default() };
+    let mut run_for: Option<Duration> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--threads" => {
+                cfg.workers = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--for" => {
+                let secs: u64 = value("--for")?.parse().map_err(|e| format!("--for: {e}"))?;
+                run_for = Some(Duration::from_secs(secs));
+            }
+            "--help" | "-h" => {
+                println!("usage: aon-serve [--addr HOST:PORT] [--threads N] [--for SECS]");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+
+    let server = Server::start(cfg).map_err(|e| format!("bind failed: {e}"))?;
+    println!("aon-serve listening on {}", server.addr());
+
+    match run_for {
+        Some(d) => std::thread::sleep(d),
+        None => loop {
+            // No signal handling in this hermetic workspace: run until
+            // killed. Periodic heartbeat keeps the process observable.
+            std::thread::sleep(Duration::from_secs(60));
+            let s = server.stats();
+            println!(
+                "aon-serve: {} requests served, {} protocol errors",
+                s.requests_total(),
+                s.protocol_errors()
+            );
+        },
+    }
+
+    let stats = server.shutdown();
+    println!(
+        "aon-serve: done — accepted {}, served {} ({} ok, {} routed-reject), \
+         {} bad requests, {} too large, {} timeouts, {} dropped at backlog",
+        stats.accepted,
+        stats.requests_total(),
+        stats.requests_ok,
+        stats.requests_rejected,
+        stats.bad_request,
+        stats.too_large,
+        stats.timeouts,
+        stats.dropped_backlog,
+    );
+    Ok(())
+}

@@ -1,0 +1,230 @@
+//! Live-benchmark metrics: latency summaries and the `BENCH_live.json`
+//! report.
+//!
+//! All counter arithmetic here goes through lossless conversions
+//! ([`aon_trace::num`]) — this file is on the `aon-audit` cast-enforced
+//! list, like every other file that feeds numbers into reports.
+
+use crate::server::ServeStatsSnapshot;
+use aon_trace::num::exact_f64;
+
+/// Latency percentiles over one run, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Samples summarized.
+    pub count: u64,
+    /// Median.
+    pub p50_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Worst observed.
+    pub max_us: f64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+}
+
+/// Summarize raw nanosecond samples (sorts in place).
+pub fn summarize_latencies(samples_ns: &mut [u64]) -> LatencySummary {
+    if samples_ns.is_empty() {
+        return LatencySummary::default();
+    }
+    samples_ns.sort_unstable();
+    let count = u64::try_from(samples_ns.len()).expect("sample count fits u64");
+    let sum: u64 = samples_ns.iter().sum();
+    let to_us = |ns: u64| exact_f64(ns) / 1000.0;
+    LatencySummary {
+        count,
+        p50_us: to_us(percentile(samples_ns, 50)),
+        p99_us: to_us(percentile(samples_ns, 99)),
+        max_us: to_us(*samples_ns.last().expect("non-empty")),
+        mean_us: exact_f64(sum) / exact_f64(count) / 1000.0,
+    }
+}
+
+/// Nearest-rank percentile of a sorted slice (`pct` in 0..=100).
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    debug_assert!(!sorted.is_empty() && pct <= 100);
+    let idx = ((sorted.len() - 1) * pct + 50) / 100;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Client-side failure breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadgenErrors {
+    /// Responses whose status did not match the expected routing outcome.
+    pub status_mismatch: u64,
+    /// Wire-level failures (framing, timeouts, mid-message EOF).
+    pub wire: u64,
+    /// Socket-level failures (connect/write errors).
+    pub io: u64,
+    /// Reconnects after the server's keep-alive cap (not failures).
+    pub reconnects: u64,
+}
+
+impl LoadgenErrors {
+    /// Failures that count against the run (reconnects do not).
+    pub fn failed(&self) -> u64 {
+        self.status_mismatch + self.wire + self.io
+    }
+}
+
+/// The netperf-style closed-loop result — serialized as `BENCH_live.json`.
+#[derive(Debug, Clone)]
+pub struct LiveBenchReport {
+    /// Wall-clock measurement window in seconds.
+    pub duration_secs: f64,
+    /// Concurrent closed-loop connections.
+    pub connections: u64,
+    /// Use-case labels driven (request mix).
+    pub use_cases: Vec<String>,
+    /// Requests completed with the expected status.
+    pub requests_ok: u64,
+    /// Requests that failed (see [`LoadgenErrors`]).
+    pub requests_failed: u64,
+    /// Client-side failure breakdown.
+    pub errors: LoadgenErrors,
+    /// Request payload bytes pushed through the server.
+    pub payload_bytes: u64,
+    /// End-to-end request latency percentiles.
+    pub latency: LatencySummary,
+    /// Server counters at the end of the run (when the server was
+    /// in-process; `None` against a remote server).
+    pub server: Option<ServeStatsSnapshot>,
+}
+
+impl LiveBenchReport {
+    /// Completed requests per wall second.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.duration_secs > 0.0 {
+            exact_f64(self.requests_ok) / self.duration_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Request payload megabits per wall second (the paper's Mbps axis).
+    pub fn payload_mbps(&self) -> f64 {
+        if self.duration_secs > 0.0 {
+            exact_f64(self.payload_bytes) * 8.0 / self.duration_secs / 1_000_000.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Render as a JSON object (hand-rolled: the workspace is hermetic, no
+    /// serde). All values are finite by construction.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"duration_secs\": {:.3},\n", self.duration_secs));
+        s.push_str(&format!("  \"connections\": {},\n", self.connections));
+        let cases: Vec<String> = self.use_cases.iter().map(|u| format!("\"{u}\"")).collect();
+        s.push_str(&format!("  \"use_cases\": [{}],\n", cases.join(", ")));
+        s.push_str(&format!("  \"requests_ok\": {},\n", self.requests_ok));
+        s.push_str(&format!("  \"requests_failed\": {},\n", self.requests_failed));
+        s.push_str(&format!("  \"requests_per_sec\": {:.2},\n", self.requests_per_sec()));
+        s.push_str(&format!("  \"payload_mbps\": {:.3},\n", self.payload_mbps()));
+        s.push_str("  \"latency_us\": {\n");
+        s.push_str(&format!("    \"count\": {},\n", self.latency.count));
+        s.push_str(&format!("    \"p50\": {:.1},\n", self.latency.p50_us));
+        s.push_str(&format!("    \"p99\": {:.1},\n", self.latency.p99_us));
+        s.push_str(&format!("    \"max\": {:.1},\n", self.latency.max_us));
+        s.push_str(&format!("    \"mean\": {:.1}\n", self.latency.mean_us));
+        s.push_str("  },\n");
+        s.push_str("  \"errors\": {\n");
+        s.push_str(&format!("    \"status_mismatch\": {},\n", self.errors.status_mismatch));
+        s.push_str(&format!("    \"wire\": {},\n", self.errors.wire));
+        s.push_str(&format!("    \"io\": {},\n", self.errors.io));
+        s.push_str(&format!("    \"reconnects\": {}\n", self.errors.reconnects));
+        s.push_str("  }");
+        if let Some(srv) = &self.server {
+            s.push_str(",\n  \"server\": {\n");
+            s.push_str(&format!("    \"accepted\": {},\n", srv.accepted));
+            s.push_str(&format!("    \"dropped_backlog\": {},\n", srv.dropped_backlog));
+            s.push_str(&format!("    \"requests_ok\": {},\n", srv.requests_ok));
+            s.push_str(&format!("    \"requests_rejected\": {},\n", srv.requests_rejected));
+            s.push_str(&format!("    \"not_found\": {},\n", srv.not_found));
+            s.push_str(&format!("    \"bad_request\": {},\n", srv.bad_request));
+            s.push_str(&format!("    \"too_large\": {},\n", srv.too_large));
+            s.push_str(&format!("    \"timeouts\": {},\n", srv.timeouts));
+            s.push_str(&format!("    \"io_errors\": {},\n", srv.io_errors));
+            s.push_str(&format!("    \"protocol_errors\": {}\n", srv.protocol_errors()));
+            s.push_str("  }\n");
+        } else {
+            s.push('\n');
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let mut ns: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        let s = summarize_latencies(&mut ns);
+        assert_eq!(s.count, 100);
+        assert!((s.p50_us - 50.0).abs() <= 1.0, "p50 {}", s.p50_us);
+        assert!((s.p99_us - 99.0).abs() <= 1.0, "p99 {}", s.p99_us);
+        assert_eq!(s.max_us, 100.0);
+        assert!((s.mean_us - 50.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_samples_summarize_to_zero() {
+        let s = summarize_latencies(&mut Vec::new());
+        assert_eq!(s, LatencySummary::default());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = summarize_latencies(&mut [7_000]);
+        assert_eq!((s.p50_us, s.p99_us, s.max_us), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn rates_derive_from_duration() {
+        let r = report_fixture();
+        assert!((r.requests_per_sec() - 500.0).abs() < 0.01);
+        // 1 MB over 2 s = 4 Mbps.
+        assert!((r.payload_mbps() - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn json_is_python_parseable_shape() {
+        let mut r = report_fixture();
+        r.server =
+            Some(ServeStatsSnapshot { requests_ok: 1000, accepted: 4, ..Default::default() });
+        let j = r.to_json();
+        assert!(j.contains("\"requests_per_sec\": 500.00"));
+        assert!(j.contains("\"protocol_errors\": 0"));
+        assert!(j.contains("\"use_cases\": [\"FR\", \"CBR\"]"));
+        // Balanced braces, no trailing commas before closers.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(!j.contains(",\n}"));
+        assert!(!j.contains(",\n  }"));
+    }
+
+    fn report_fixture() -> LiveBenchReport {
+        LiveBenchReport {
+            duration_secs: 2.0,
+            connections: 4,
+            use_cases: vec!["FR".to_string(), "CBR".to_string()],
+            requests_ok: 1000,
+            requests_failed: 0,
+            errors: LoadgenErrors::default(),
+            payload_bytes: 1_000_000,
+            latency: LatencySummary {
+                count: 1000,
+                p50_us: 100.0,
+                p99_us: 900.0,
+                max_us: 1000.0,
+                mean_us: 150.0,
+            },
+            server: None,
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! The live HTTP/1.1 server: listener, bounded accept queue, worker pool,
+//! keep-alive request loop, robustness limits, graceful shutdown.
+
+use aon_net::acceptq::{AcceptQueue, Pop};
+use aon_net::wire::{write_all, FrameBuf, WireError, WireLimits};
+use aon_server::engine::Engine;
+use aon_server::http::{self, Method};
+use aon_server::usecase::UseCase;
+use aon_trace::NullProbe;
+use aon_xml::input::TBuf;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server deployment parameters for the live path.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads; 0 means one per logical CPU (the paper's sizing).
+    pub workers: usize,
+    /// Bounded accept-queue depth; a full queue drops the connection.
+    pub accept_backlog: usize,
+    /// Per-request read deadline (head + body must arrive within it).
+    pub read_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+    /// Requests served per connection before the server closes it.
+    pub keepalive_max_requests: u32,
+    /// Head/body size limits.
+    pub limits: WireLimits,
+    /// Use case served at the legacy `/aon/process` path.
+    pub default_use_case: UseCase,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            accept_backlog: 128,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            keepalive_max_requests: 10_000,
+            limits: WireLimits::default(),
+            default_use_case: UseCase::Fr,
+        }
+    }
+}
+
+/// Monotonic serving counters (lock-free; read with [`ServeStats::snapshot`]).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted off the listener.
+    pub accepted: AtomicU64,
+    /// Connections dropped because the accept queue was full.
+    pub dropped_backlog: AtomicU64,
+    /// Requests answered 200.
+    pub requests_ok: AtomicU64,
+    /// Requests answered 422 (content did not route/validate).
+    pub requests_rejected: AtomicU64,
+    /// Requests answered 404.
+    pub not_found: AtomicU64,
+    /// Requests answered 400 (malformed HTTP).
+    pub bad_request: AtomicU64,
+    /// Requests answered 413 (head or body over limit).
+    pub too_large: AtomicU64,
+    /// Requests answered 408 (deadline passed mid-request).
+    pub timeouts: AtomicU64,
+    /// Connections torn down on socket errors or mid-message EOF.
+    pub io_errors: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStatsSnapshot {
+    /// Connections accepted off the listener.
+    pub accepted: u64,
+    /// Connections dropped because the accept queue was full.
+    pub dropped_backlog: u64,
+    /// Requests answered 200.
+    pub requests_ok: u64,
+    /// Requests answered 422.
+    pub requests_rejected: u64,
+    /// Requests answered 404.
+    pub not_found: u64,
+    /// Requests answered 400.
+    pub bad_request: u64,
+    /// Requests answered 413.
+    pub too_large: u64,
+    /// Requests answered 408.
+    pub timeouts: u64,
+    /// Connections torn down on socket errors.
+    pub io_errors: u64,
+}
+
+impl ServeStats {
+    /// Copy the counters.
+    pub fn snapshot(&self) -> ServeStatsSnapshot {
+        ServeStatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            dropped_backlog: self.dropped_backlog.load(Ordering::Relaxed),
+            requests_ok: self.requests_ok.load(Ordering::Relaxed),
+            requests_rejected: self.requests_rejected.load(Ordering::Relaxed),
+            not_found: self.not_found.load(Ordering::Relaxed),
+            bad_request: self.bad_request.load(Ordering::Relaxed),
+            too_large: self.too_large.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl ServeStatsSnapshot {
+    /// Requests the server answered with a protocol-level error
+    /// (400 + 413 + 408) — the live smoke gate asserts this is zero under
+    /// well-formed load.
+    pub fn protocol_errors(&self) -> u64 {
+        self.bad_request + self.too_large + self.timeouts
+    }
+
+    /// All requests answered, any status.
+    pub fn requests_total(&self) -> u64 {
+        self.requests_ok
+            + self.requests_rejected
+            + self.not_found
+            + self.bad_request
+            + self.too_large
+            + self.timeouts
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: AcceptQueue<TcpStream>,
+    shutdown: AtomicBool,
+    stats: ServeStats,
+    engine: Engine,
+}
+
+/// A running live server. Create with [`Server::start`], stop with
+/// [`Server::shutdown`] (graceful: drains queued connections and finishes
+/// in-flight requests).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and spawn the listener and worker threads.
+    pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let workers = if cfg.workers > 0 {
+            cfg.workers
+        } else {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(2)
+        };
+        let shared = Arc::new(Shared {
+            queue: AcceptQueue::new(cfg.accept_backlog),
+            cfg,
+            shutdown: AtomicBool::new(false),
+            stats: ServeStats::default(),
+            engine: Engine::new(),
+        });
+
+        let listener_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("aon-accept".to_string())
+                .spawn(move || listener_loop(&listener, &shared))?
+        };
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("aon-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        Ok(Server { addr, shared, listener: Some(listener_handle), workers: worker_handles })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> ServeStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, drain the accept queue, finish
+    /// in-flight requests, join every thread; returns the final counters.
+    pub fn shutdown(mut self) -> ServeStatsSnapshot {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.stats.snapshot()
+    }
+}
+
+impl Drop for Server {
+    /// Best-effort stop signal for servers dropped without
+    /// [`Server::shutdown`]; threads exit on their next poll.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+    }
+}
+
+/// Accept until shutdown, then close the queue so workers drain and exit.
+fn listener_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                if shared.queue.push(stream).is_err() {
+                    // Bounded backlog: shed at the edge, like listen(2).
+                    shared.stats.dropped_backlog.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(300));
+            }
+            Err(_) => {
+                shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+    shared.queue.close();
+}
+
+/// Pull connections until the queue is closed *and* drained.
+fn worker_loop(shared: &Shared) {
+    loop {
+        match shared.queue.pop(Duration::from_millis(25)) {
+            Pop::Item(stream) => handle_connection(shared, stream),
+            Pop::Empty => {}
+            Pop::Closed => break,
+        }
+    }
+}
+
+/// What one request resolves to.
+struct Reply {
+    status: u16,
+    body: String,
+    close: bool,
+}
+
+/// Serve one connection's keep-alive loop.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let cfg = &shared.cfg;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let mut fb = FrameBuf::new();
+    let mut served: u32 = 0;
+
+    loop {
+        let deadline = Instant::now() + cfg.read_timeout;
+        let frame = match fb.read_frame(&mut stream, &cfg.limits, deadline) {
+            Ok(f) => f,
+            Err(WireError::Closed) => break,
+            Err(WireError::TimedOut) => {
+                // Mid-request stall → 408; an idle keep-alive connection
+                // that never started a request is closed silently.
+                if !fb.is_empty() {
+                    shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    let _ = send(&mut stream, 408, "<aon error=\"request timeout\"/>", true);
+                }
+                break;
+            }
+            Err(WireError::HeadTooLarge | WireError::BodyTooLarge) => {
+                shared.stats.too_large.fetch_add(1, Ordering::Relaxed);
+                let _ = send(&mut stream, 413, "<aon error=\"message too large\"/>", true);
+                break;
+            }
+            Err(WireError::BadFrame) => {
+                shared.stats.bad_request.fetch_add(1, Ordering::Relaxed);
+                let _ = send(&mut stream, 400, "<aon error=\"bad request\"/>", true);
+                break;
+            }
+            Err(WireError::UnexpectedEof | WireError::Io(_)) => {
+                shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        };
+
+        let total = frame.total();
+        served += 1;
+        // Close after this response when the cap is reached or the server
+        // is draining for shutdown.
+        let server_close =
+            served >= cfg.keepalive_max_requests || shared.shutdown.load(Ordering::Relaxed);
+        let mut reply = handle_request(shared, &fb.bytes()[..total], frame.body_len);
+        reply.close |= server_close;
+
+        match reply.status {
+            200 => shared.stats.requests_ok.fetch_add(1, Ordering::Relaxed),
+            422 => shared.stats.requests_rejected.fetch_add(1, Ordering::Relaxed),
+            404 => shared.stats.not_found.fetch_add(1, Ordering::Relaxed),
+            _ => shared.stats.bad_request.fetch_add(1, Ordering::Relaxed),
+        };
+        if send(&mut stream, reply.status, &reply.body, reply.close).is_err() {
+            shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+        fb.consume(total);
+        if reply.close {
+            break;
+        }
+    }
+}
+
+/// Parse, route, and process one framed request.
+fn handle_request(shared: &Shared, msg: &[u8], framed_body_len: usize) -> Reply {
+    let req = match http::parse_request(TBuf::msg(msg), &mut NullProbe) {
+        Ok(r) => r,
+        Err(_) => return bad_request("malformed request"),
+    };
+    // Defense in depth: the instrumented parser and the wire framer must
+    // agree on the body boundary, or we refuse to serve the request.
+    if req.content_length.unwrap_or(0) != framed_body_len {
+        return bad_request("body length disagreement");
+    }
+    let Ok(body_span) = req.body_span(msg.len()) else {
+        return bad_request("truncated body");
+    };
+    let body = &msg[body_span.start..body_span.end];
+    let path = &msg[req.path.start..req.path.end];
+    let close = req
+        .find_header(msg, b"connection")
+        .is_some_and(|v| v.trim_ascii().eq_ignore_ascii_case(b"close"));
+
+    match (req.method, path) {
+        (Method::Get | Method::Head, b"/health") => {
+            Reply { status: 200, body: "<aon health=\"ok\"/>".to_string(), close }
+        }
+        (Method::Post, _) => match route_use_case(shared, path) {
+            Some(uc) => match shared.engine.process_native(uc, body) {
+                Ok(true) => {
+                    Reply { status: 200, body: "<aon routed=\"true\"/>".to_string(), close }
+                }
+                Ok(false) => {
+                    Reply { status: 422, body: "<aon routed=\"false\"/>".to_string(), close }
+                }
+                Err(e) => Reply { status: 422, body: format!("<aon error=\"{e}\"/>"), close },
+            },
+            None => {
+                Reply { status: 404, body: "<aon error=\"no such endpoint\"/>".to_string(), close }
+            }
+        },
+        _ => Reply { status: 404, body: "<aon error=\"no such endpoint\"/>".to_string(), close },
+    }
+}
+
+fn bad_request(why: &str) -> Reply {
+    Reply { status: 400, body: format!("<aon error=\"{why}\"/>"), close: true }
+}
+
+/// Map a request path onto a use case.
+fn route_use_case(shared: &Shared, path: &[u8]) -> Option<UseCase> {
+    match path {
+        b"/aon/fr" => Some(UseCase::Fr),
+        b"/aon/cbr" => Some(UseCase::Cbr),
+        b"/aon/sv" => Some(UseCase::Sv),
+        b"/aon/dpi" => Some(UseCase::Dpi),
+        b"/aon/crypto" => Some(UseCase::Crypto),
+        b"/aon/process" => Some(shared.cfg.default_use_case),
+        _ => None,
+    }
+}
+
+/// Serialize and write one response.
+fn send(stream: &mut TcpStream, status: u16, body: &str, close: bool) -> Result<(), WireError> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        _ => "Unknown",
+    };
+    let connection = if close { "close" } else { "keep-alive" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: text/xml\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    write_all(stream, &out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn tiny_server() -> Server {
+        Server::start(ServeConfig {
+            workers: 2,
+            read_timeout: Duration::from_millis(300),
+            ..ServeConfig::default()
+        })
+        .expect("bind ephemeral")
+    }
+
+    fn roundtrip(addr: SocketAddr, req: &[u8]) -> Vec<u8> {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(req).unwrap();
+        // Half-close so read_to_end terminates even on keep-alive replies.
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_health_and_routes_use_cases() {
+        let server = tiny_server();
+        let addr = server.addr();
+        let got = roundtrip(addr, b"GET /health HTTP/1.1\r\n\r\n");
+        assert!(got.starts_with(b"HTTP/1.1 200"), "{}", String::from_utf8_lossy(&got));
+
+        let corpus = aon_server::Corpus::generate(42, 4);
+        let v = &corpus.variants[0]; // cbr_match = true, sv_valid = true
+        let body = &v.http[v.body_start..];
+        for (path, expect) in [
+            (&b"/aon/fr"[..], &b"HTTP/1.1 200"[..]),
+            (b"/aon/cbr", b"HTTP/1.1 200"),
+            (b"/aon/sv", b"HTTP/1.1 200"),
+        ] {
+            let mut req = Vec::new();
+            req.extend_from_slice(b"POST ");
+            req.extend_from_slice(path);
+            req.extend_from_slice(
+                format!(" HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n", body.len())
+                    .as_bytes(),
+            );
+            req.extend_from_slice(body);
+            let got = roundtrip(addr, &req);
+            assert!(
+                got.starts_with(expect),
+                "{}: {}",
+                String::from_utf8_lossy(path),
+                String::from_utf8_lossy(&got[..40.min(got.len())])
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.requests_ok, 4);
+        assert_eq!(stats.protocol_errors(), 0);
+    }
+
+    #[test]
+    fn malformed_requests_get_400_and_unknown_paths_404() {
+        let server = tiny_server();
+        let addr = server.addr();
+        let got = roundtrip(addr, b"POST / HTTP/1.1\r\nX: a\nEvil: b\r\n\r\n");
+        assert!(got.starts_with(b"HTTP/1.1 400"), "{}", String::from_utf8_lossy(&got));
+        let got = roundtrip(addr, b"POST /nope HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        assert!(got.starts_with(b"HTTP/1.1 404"), "{}", String::from_utf8_lossy(&got));
+        let stats = server.shutdown();
+        assert_eq!(stats.bad_request, 1);
+        assert_eq!(stats.not_found, 1);
+    }
+
+    #[test]
+    fn oversized_body_gets_413() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            limits: WireLimits { max_head: 1024, max_body: 64 },
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let got =
+            roundtrip(server.addr(), b"POST /aon/fr HTTP/1.1\r\nContent-Length: 100000\r\n\r\n");
+        assert!(got.starts_with(b"HTTP/1.1 413"), "{}", String::from_utf8_lossy(&got));
+        assert_eq!(server.shutdown().too_large, 1);
+    }
+
+    #[test]
+    fn stalled_request_gets_408() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            read_timeout: Duration::from_millis(60),
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        // Send half a head, then stall past the deadline.
+        s.write_all(b"POST /aon/fr HTTP/1.1\r\nContent-").unwrap();
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).unwrap();
+        assert!(out.starts_with(b"HTTP/1.1 408"), "{}", String::from_utf8_lossy(&out));
+        assert_eq!(server.shutdown().timeouts, 1);
+    }
+
+    #[test]
+    fn keepalive_serves_multiple_requests_then_caps() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            keepalive_max_requests: 3,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let req = b"GET /health HTTP/1.1\r\n\r\n";
+        let mut served = 0u32;
+        let mut buf = [0u8; 4096];
+        for i in 0..3 {
+            s.write_all(req).unwrap();
+            let n = s.read(&mut buf).unwrap();
+            assert!(n > 0);
+            let text = String::from_utf8_lossy(&buf[..n]);
+            assert!(text.starts_with("HTTP/1.1 200"));
+            served += 1;
+            let expect_close = i == 2;
+            assert_eq!(text.contains("Connection: close"), expect_close, "request {i}: {text}");
+        }
+        assert_eq!(served, 3);
+        // The capped connection is now closed by the server.
+        let n = s.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "server must close after the keep-alive cap");
+        assert_eq!(server.shutdown().requests_ok, 3);
+    }
+
+    #[test]
+    fn graceful_shutdown_reports_consistent_totals() {
+        let server = tiny_server();
+        let addr = server.addr();
+        for _ in 0..5 {
+            let got = roundtrip(addr, b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n");
+            assert!(got.starts_with(b"HTTP/1.1 200"));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.requests_ok, 5);
+        assert_eq!(stats.accepted, 5);
+        assert_eq!(stats.requests_total(), 5);
+    }
+}

@@ -1,0 +1,159 @@
+//! Native use-case engine: the AON content-processing pipeline as an
+//! ordinary library call, reusable **without a tracer**.
+//!
+//! [`crate::usecase`] records the paper's workloads by running the engines
+//! under a [`aon_trace::Tracer`] and `expect`ing success — correct there,
+//! because the corpus is valid by construction. The live serving path
+//! ([`aon-serve`](https://docs.rs/aon-serve)) faces arbitrary network
+//! input, so it needs the same engines behind fallible entry points: a
+//! malformed body is a routing outcome (HTTP 422), never a panic.
+//!
+//! The [`Engine`] pre-compiles everything a deployment compiles once — the
+//! validation schema, the CBR XPath, the DPI rule set — and exposes
+//! [`Engine::process`], generic over [`Probe`] so the identical code path
+//! serves natively (with [`NullProbe`], zero tracing overhead) or traced.
+
+use crate::corpus::CORPUS_XSD;
+use crate::dpi::RuleSet;
+use crate::usecase::{UseCase, CBR_EXPECT, CBR_XPATH};
+use aon_trace::{NullProbe, Probe};
+use aon_xml::input::TBuf;
+use aon_xml::parser::parse_document;
+use aon_xml::schema::Schema;
+use aon_xml::soap::payload_root;
+use aon_xml::xpath::XPath;
+
+/// Why a message body could not be processed (all map to HTTP 422 at the
+/// serving layer: the HTTP envelope was fine, the content was not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// The body is not well-formed UTF-8.
+    BadUtf8,
+    /// The body is not well-formed XML.
+    BadXml,
+    /// The body parses but is not a SOAP envelope with a payload.
+    NotSoap,
+}
+
+impl core::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            EngineError::BadUtf8 => "body is not valid UTF-8",
+            EngineError::BadXml => "body is not well-formed XML",
+            EngineError::NotSoap => "body is not a SOAP envelope",
+        })
+    }
+}
+
+/// The pre-compiled per-deployment state: schema, XPath, DPI signatures,
+/// authentication key. One per server; shared read-only across workers.
+#[derive(Debug)]
+pub struct Engine {
+    schema: Schema,
+    cbr: XPath,
+    dpi: RuleSet,
+    key: &'static [u8],
+}
+
+impl Engine {
+    /// Compile the device configuration (the corpus XSD, the paper's CBR
+    /// expression, the default DPI rules). Inputs are static, so
+    /// compilation cannot fail.
+    pub fn new() -> Engine {
+        Engine {
+            schema: Schema::compile(CORPUS_XSD).expect("corpus schema is static and compiles"),
+            cbr: XPath::compile(CBR_XPATH).expect("CBR expression is static and compiles"),
+            dpi: RuleSet::default_rules(),
+            key: b"aon-device-shared-key",
+        }
+    }
+
+    /// Process one message body under `use_case`, emitting work onto `p`.
+    ///
+    /// `Ok(true)` — the message routes to the destination endpoint
+    /// (HTTP 200); `Ok(false)` — it routes to the error/default endpoint
+    /// (HTTP 422); `Err` — the content could not be processed at all
+    /// (also HTTP 422, with the reason counted separately).
+    pub fn process<P: Probe>(
+        &self,
+        use_case: UseCase,
+        body: TBuf<'_>,
+        p: &mut P,
+    ) -> Result<bool, EngineError> {
+        match use_case {
+            UseCase::Fr => Ok(true),
+            UseCase::Cbr => {
+                aon_xml::utf8::validate_utf8(body, p).ok_or(EngineError::BadUtf8)?;
+                let doc = parse_document(body, p).map_err(|_| EngineError::BadXml)?;
+                self.cbr.string_equals(&doc, CBR_EXPECT, p).map_err(|_| EngineError::BadXml)
+            }
+            UseCase::Sv => {
+                aon_xml::utf8::validate_utf8(body, p).ok_or(EngineError::BadUtf8)?;
+                let doc = parse_document(body, p).map_err(|_| EngineError::BadXml)?;
+                let payload = payload_root(&doc, p).map_err(|_| EngineError::NotSoap)?;
+                Ok(self.schema.validate_node(&doc, payload, p).is_valid())
+            }
+            UseCase::Dpi => Ok(self.dpi.scan(body, p).is_empty()),
+            UseCase::Crypto => {
+                let digest = crate::crypto::hmac_sha1_traced(self.key, body.raw(), 0, p);
+                p.alu(20);
+                Ok(digest[0] != 0xFF)
+            }
+        }
+    }
+
+    /// [`Engine::process`] with no tracing — the live serving fast path.
+    pub fn process_native(&self, use_case: UseCase, body: &[u8]) -> Result<bool, EngineError> {
+        self.process(use_case, TBuf::msg(body), &mut NullProbe)
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Corpus;
+
+    #[test]
+    fn engine_agrees_with_corpus_flags() {
+        let engine = Engine::new();
+        let corpus = Corpus::generate(42, 8);
+        for v in &corpus.variants {
+            let body = &v.http[v.body_start..];
+            assert_eq!(engine.process_native(UseCase::Fr, body), Ok(true));
+            assert_eq!(engine.process_native(UseCase::Cbr, body), Ok(v.cbr_match));
+            assert_eq!(engine.process_native(UseCase::Sv, body), Ok(v.sv_valid));
+        }
+    }
+
+    #[test]
+    fn engine_rejects_garbage_instead_of_panicking() {
+        let engine = Engine::new();
+        for bad in [&b"\xff\xfe\x00"[..], b"<unclosed", b"not xml at all", b""] {
+            assert!(engine.process_native(UseCase::Cbr, bad).is_err(), "CBR must error");
+            assert!(engine.process_native(UseCase::Sv, bad).is_err(), "SV must error");
+            // FR never looks at the body.
+            assert_eq!(engine.process_native(UseCase::Fr, bad), Ok(true));
+        }
+    }
+
+    #[test]
+    fn non_soap_xml_is_rejected_by_sv() {
+        let engine = Engine::new();
+        assert_eq!(engine.process_native(UseCase::Sv, b"<notsoap/>"), Err(EngineError::NotSoap));
+    }
+
+    #[test]
+    fn extension_use_cases_run_natively() {
+        let engine = Engine::new();
+        let corpus = Corpus::generate(7, 2);
+        let body = &corpus.variants[0].http[corpus.variants[0].body_start..];
+        assert!(engine.process_native(UseCase::Dpi, body).is_ok());
+        assert!(engine.process_native(UseCase::Crypto, body).is_ok());
+    }
+}

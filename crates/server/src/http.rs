@@ -53,6 +53,37 @@ pub struct Request {
     pub content_length: Option<usize>,
 }
 
+impl Request {
+    /// The body span promised by `Content-Length`, checked against the
+    /// bytes actually present (`buf_len` is the full request buffer
+    /// length). Returns [`HttpError::Truncated`] when the declared length
+    /// exceeds the bytes on hand, instead of letting the app layer read
+    /// short. Requests without `Content-Length` have an empty body.
+    pub fn body_span(&self, buf_len: usize) -> Result<Span, HttpError> {
+        let declared = self.content_length.unwrap_or(0);
+        let available = buf_len.checked_sub(self.body_start).ok_or(HttpError::Truncated)?;
+        if declared > available {
+            return Err(HttpError::Truncated);
+        }
+        Ok(Span { start: self.body_start, end: self.body_start + declared })
+    }
+
+    /// Native (untraced) case-insensitive header lookup; returns the raw
+    /// value bytes of the first header named `name`. For the live serving
+    /// path, where connection management reads `Connection:` without a
+    /// probe.
+    pub fn find_header<'a>(&self, buf: &'a [u8], name: &[u8]) -> Option<&'a [u8]> {
+        self.headers.iter().find_map(|h| {
+            let n = buf.get(h.name.start..h.name.end)?;
+            if n.len() == name.len() && n.iter().zip(name).all(|(&a, &b)| lower(a) == lower(b)) {
+                buf.get(h.value.start..h.value.end)
+            } else {
+                None
+            }
+        })
+    }
+}
+
 /// Parse failure reasons.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HttpError {
@@ -129,6 +160,11 @@ pub fn parse_request<P: Probe>(buf: TBuf<'_>, p: &mut P) -> Result<Request, Http
         }
         pos += 1;
     }
+    // An empty request target (`POST  HTTP/1.1`) is not a request line.
+    p.alu(1);
+    if !br!(p, pos > path_start) {
+        return Err(HttpError::BadRequestLine);
+    }
     let path = Span { start: path_start, end: pos };
     pos += 1;
 
@@ -165,6 +201,11 @@ pub fn parse_request<P: Probe>(buf: TBuf<'_>, p: &mut P) -> Result<Request, Http
             }
             pos += 1;
         }
+        // `: value` is not a header — the field name must be non-empty.
+        p.alu(1);
+        if !br!(p, pos > name_start) {
+            return Err(HttpError::BadHeader);
+        }
         let name = Span { start: name_start, end: pos };
         pos += 1;
         // Skip spaces.
@@ -175,13 +216,19 @@ pub fn parse_request<P: Probe>(buf: TBuf<'_>, p: &mut P) -> Result<Request, Http
             }
             pos += 1;
         }
-        // Value to CRLF.
+        // Value to CRLF. A bare LF (no preceding CR) or any other control
+        // byte except HTAB inside the value is malformed — silently
+        // swallowing it would let `X: a\nEvil: b` read as one header.
         let val_start = pos;
         loop {
             let c = buf.try_get(pos, p).ok_or(HttpError::Truncated)?;
             p.alu(1);
             if br!(p, c == b'\r') {
                 break;
+            }
+            p.alu(2);
+            if br!(p, (c < 0x20 && c != b'\t') || c == 0x7f) {
+                return Err(HttpError::BadHeader);
             }
             pos += 1;
         }
@@ -194,7 +241,18 @@ pub fn parse_request<P: Probe>(buf: TBuf<'_>, p: &mut P) -> Result<Request, Http
             p.alu(u32::try_from(text.len()).expect("header values are short"));
             let parsed: Option<usize> =
                 std::str::from_utf8(text).ok().and_then(|s| s.trim().parse().ok());
-            content_length = Some(parsed.ok_or(HttpError::BadContentLength)?);
+            let parsed = parsed.ok_or(HttpError::BadContentLength)?;
+            // Duplicate Content-Length is the request-smuggling bug class:
+            // two frontends picking different values desynchronize on the
+            // body boundary. Identical repeats are tolerated (RFC 7230
+            // §3.3.2); conflicting ones are fatal.
+            if let Some(prev) = content_length {
+                p.alu(1);
+                if !br!(p, prev == parsed) {
+                    return Err(HttpError::BadContentLength);
+                }
+            }
+            content_length = Some(parsed);
         }
     }
 
@@ -284,9 +342,88 @@ mod tests {
             b"POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
             b"POST / HTT",
             b"",
+            // Bare LF inside a header value (no CR) must not be swallowed.
+            b"POST / HTTP/1.1\r\nX: a\nEvil: b\r\n\r\n",
+            // Other control bytes in values are equally malformed.
+            b"POST / HTTP/1.1\r\nX: a\x00b\r\n\r\n",
+            // Empty request target.
+            b"POST  HTTP/1.1\r\n\r\n",
+            // Empty header name.
+            b"POST / HTTP/1.1\r\n: v\r\n\r\n",
+            // Conflicting duplicate Content-Length (request smuggling).
+            b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello",
         ] {
-            assert!(parse_request(TBuf::msg(bad), &mut NullProbe).is_err());
+            assert!(
+                parse_request(TBuf::msg(bad), &mut NullProbe).is_err(),
+                "must reject {:?}",
+                String::from_utf8_lossy(bad)
+            );
         }
+    }
+
+    #[test]
+    fn bare_lf_in_value_is_bad_header() {
+        let bad = b"POST / HTTP/1.1\r\nX: a\nb\r\n\r\n";
+        assert_eq!(
+            parse_request(TBuf::msg(bad), &mut NullProbe).unwrap_err(),
+            HttpError::BadHeader
+        );
+    }
+
+    #[test]
+    fn htab_in_value_is_allowed() {
+        let req = b"POST / HTTP/1.1\r\nX: a\tb\r\nContent-Length: 0\r\n\r\n";
+        let r = parse_request(TBuf::msg(req), &mut NullProbe).unwrap();
+        assert_eq!(r.headers.len(), 2);
+    }
+
+    #[test]
+    fn empty_path_and_empty_name_error_kinds() {
+        assert_eq!(
+            parse_request(TBuf::msg(b"POST  HTTP/1.1\r\n\r\n"), &mut NullProbe).unwrap_err(),
+            HttpError::BadRequestLine
+        );
+        assert_eq!(
+            parse_request(TBuf::msg(b"POST / HTTP/1.1\r\n: v\r\n\r\n"), &mut NullProbe)
+                .unwrap_err(),
+            HttpError::BadHeader
+        );
+    }
+
+    #[test]
+    fn duplicate_content_length_identical_ok_conflicting_rejected() {
+        let same = b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        let r = parse_request(TBuf::msg(same), &mut NullProbe).unwrap();
+        assert_eq!(r.content_length, Some(5));
+        let conflict = b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello!";
+        assert_eq!(
+            parse_request(TBuf::msg(conflict), &mut NullProbe).unwrap_err(),
+            HttpError::BadContentLength
+        );
+    }
+
+    #[test]
+    fn body_span_checks_bounds() {
+        let r = parse_request(TBuf::msg(REQ), &mut NullProbe).unwrap();
+        let span = r.body_span(REQ.len()).unwrap();
+        assert_eq!(&REQ[span.start..span.end], b"<order:ok/>");
+        // A request whose declared length exceeds the bytes on hand must
+        // surface Truncated, not read short.
+        let short = b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\nhello";
+        let r = parse_request(TBuf::msg(short), &mut NullProbe).unwrap();
+        assert_eq!(r.body_span(short.len()), Err(HttpError::Truncated));
+        // No Content-Length: empty body at body_start.
+        let get = b"GET /health HTTP/1.0\r\n\r\n";
+        let r = parse_request(TBuf::msg(get), &mut NullProbe).unwrap();
+        let span = r.body_span(get.len()).unwrap();
+        assert_eq!(span.start, span.end);
+    }
+
+    #[test]
+    fn find_header_is_case_insensitive_and_untraced() {
+        let r = parse_request(TBuf::msg(REQ), &mut NullProbe).unwrap();
+        assert_eq!(r.find_header(REQ, b"HOST"), Some(&b"sut:8080"[..]));
+        assert_eq!(r.find_header(REQ, b"connection"), None);
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! * [`usecase`] — records the per-message compute trace of each use case
 //!   by running the real engines (HTTP parser, `aon-xml` parser/XPath/
 //!   schema validator, TCP transmit path) under a tracer;
+//! * [`engine`] — the same engines behind pre-compiled, fallible entry
+//!   points usable **without a tracer** (the live `aon-serve` path);
 //! * [`app`] — wires worker threads (one per logical CPU, as the paper's
 //!   server sizes its POSIX thread pool), the ingress listen queue and the
 //!   egress NIC queue onto a simulated machine;
@@ -36,6 +38,7 @@ pub mod app;
 pub mod corpus;
 pub mod crypto;
 pub mod dpi;
+pub mod engine;
 pub mod http;
 pub mod overhead;
 pub mod rng;
@@ -43,4 +46,5 @@ pub mod usecase;
 
 pub use app::{build_server, ServerConfig};
 pub use corpus::Corpus;
+pub use engine::{Engine, EngineError};
 pub use usecase::UseCase;

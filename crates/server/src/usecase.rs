@@ -155,10 +155,13 @@ pub fn emit_content_phase<P: Probe>(
     variant: &Variant,
     p: &mut P,
 ) -> bool {
-    // HTTP parse on the worker's message buffer (MSG slot).
+    // HTTP parse on the worker's message buffer (MSG slot). The body is
+    // taken through the bounds-checked accessor: a Content-Length larger
+    // than the bytes on hand is Truncated, never a short read.
     let buf = TBuf::msg(&variant.http);
     let req = http::parse_request(buf, p).expect("corpus messages are valid HTTP");
-    let body = buf.slice(req.body_start, variant.http.len());
+    let body_span = req.body_span(buf.len()).expect("corpus messages carry complete bodies");
+    let body = buf.slice(body_span.start, body_span.end);
 
     // 5. content processing. CBR and SV start with the device's encoding
     // check (UTF-8 well-formedness) before handing bytes to the XML stack.
@@ -180,7 +183,7 @@ pub fn emit_content_phase<P: Probe>(
             // body with the device key.
             let digest = crate::crypto::hmac_sha1_traced(
                 b"aon-device-shared-key",
-                buf.span(req.body_start, variant.http.len()),
+                buf.span(body_span.start, body_span.end),
                 u32::try_from(req.body_start).expect("bodies start within a KiB-sized head"),
                 p,
             );

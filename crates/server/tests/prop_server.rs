@@ -64,3 +64,229 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Differential testing: the traced byte-at-a-time parser vs. a naive
+// allocation-happy reference written in a completely different style.
+// Divergence on *any* input is a bug in one of them; the four classes the
+// hardening pass fixed (swallowed bare LF, empty path / empty header name,
+// conflicting duplicate Content-Length, unchecked body bounds) were all
+// of the kind this net catches.
+// ---------------------------------------------------------------------------
+
+/// What the reference considers a parsed request.
+#[derive(Debug, PartialEq, Eq)]
+struct RefRequest {
+    method: &'static str,
+    path: Vec<u8>,
+    headers: Vec<(Vec<u8>, Vec<u8>)>,
+    body_start: usize,
+    content_length: Option<usize>,
+}
+
+/// Naive reference parser: same grammar as `parse_request`, written with
+/// slices and explicit lookahead instead of a traced cursor.
+fn reference_parse(b: &[u8]) -> Option<RefRequest> {
+    let (method, mut pos) = if b.starts_with(b"POST ") {
+        ("POST", 5)
+    } else if b.starts_with(b"GET ") {
+        ("GET", 4)
+    } else if b.starts_with(b"HEAD ") {
+        ("HEAD", 5)
+    } else {
+        return None;
+    };
+
+    // Non-empty path terminated by a single space.
+    let path_start = pos;
+    while *b.get(pos)? != b' ' {
+        if matches!(b[pos], b'\r' | b'\n') {
+            return None;
+        }
+        pos += 1;
+    }
+    if pos == path_start {
+        return None;
+    }
+    let path = b[path_start..pos].to_vec();
+    pos += 1;
+
+    // Version: HTTP/1.0 or HTTP/1.1, then CRLF.
+    let version = b.get(pos..pos + 7)?;
+    if version != b"HTTP/1." || !matches!(*b.get(pos + 7)?, b'0' | b'1') {
+        return None;
+    }
+    pos += 8;
+    if b.get(pos..pos + 2)? != b"\r\n" {
+        return None;
+    }
+    pos += 2;
+
+    // Header fields until the blank line.
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    loop {
+        if *b.get(pos)? == b'\r' {
+            if b.get(pos..pos + 2)? != b"\r\n" {
+                return None;
+            }
+            pos += 2;
+            break;
+        }
+        // Non-empty name up to ':'.
+        let name_start = pos;
+        while *b.get(pos)? != b':' {
+            if matches!(b[pos], b'\r' | b'\n') {
+                return None;
+            }
+            pos += 1;
+        }
+        if pos == name_start {
+            return None;
+        }
+        let name = b[name_start..pos].to_vec();
+        pos += 1;
+        // Optional whitespace before the value.
+        while matches!(b.get(pos), Some(b' ' | b'\t')) {
+            pos += 1;
+        }
+        // Value up to CR; control bytes other than HTAB are malformed.
+        let val_start = pos;
+        loop {
+            let c = *b.get(pos)?;
+            if c == b'\r' {
+                break;
+            }
+            if (c < 0x20 && c != b'\t') || c == 0x7f {
+                return None;
+            }
+            pos += 1;
+        }
+        let value = b[val_start..pos].to_vec();
+        if b.get(pos..pos + 2)? != b"\r\n" {
+            return None;
+        }
+        pos += 2;
+
+        if name.eq_ignore_ascii_case(b"content-length") {
+            let parsed: usize =
+                std::str::from_utf8(&value).ok().and_then(|s| s.trim().parse().ok())?;
+            // Identical duplicates tolerated; conflicting ones fatal.
+            if content_length.is_some_and(|prev| prev != parsed) {
+                return None;
+            }
+            content_length = Some(parsed);
+        }
+        headers.push((name, value));
+    }
+
+    Some(RefRequest { method, path, headers, body_start: pos, content_length })
+}
+
+/// Assert the real parser and the reference agree on `bytes`: same
+/// accept/reject verdict and, when both accept, identical structure
+/// (including the checked body-bounds verdict).
+fn assert_agreement(bytes: &[u8]) -> Result<(), proptest::test_runner::TestCaseError> {
+    let real = parse_request(TBuf::msg(bytes), &mut NullProbe);
+    let naive = reference_parse(bytes);
+    match (&real, &naive) {
+        (Ok(r), Some(n)) => {
+            let method = match r.method {
+                aon_server::http::Method::Get => "GET",
+                aon_server::http::Method::Post => "POST",
+                aon_server::http::Method::Head => "HEAD",
+            };
+            prop_assert_eq!(method, n.method);
+            prop_assert_eq!(&bytes[r.path.start..r.path.end], &n.path[..]);
+            prop_assert_eq!(r.headers.len(), n.headers.len());
+            for (h, (name, value)) in r.headers.iter().zip(&n.headers) {
+                prop_assert_eq!(&bytes[h.name.start..h.name.end], &name[..]);
+                prop_assert_eq!(&bytes[h.value.start..h.value.end], &value[..]);
+            }
+            prop_assert_eq!(r.body_start, n.body_start);
+            prop_assert_eq!(r.content_length, n.content_length);
+            // The checked accessor agrees with first-principles arithmetic.
+            let declared = n.content_length.unwrap_or(0);
+            let fits = declared <= bytes.len() - n.body_start;
+            prop_assert_eq!(r.body_span(bytes.len()).is_ok(), fits);
+            if let Ok(span) = r.body_span(bytes.len()) {
+                prop_assert_eq!(span.end - span.start, declared);
+            }
+        }
+        (Err(_), None) => {}
+        (real, naive) => {
+            return Err(proptest::test_runner::TestCaseError::fail(format!(
+                "parsers disagree on {:?}: real={:?} naive={:?}",
+                String::from_utf8_lossy(bytes),
+                real,
+                naive
+            )));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn parser_agrees_with_reference_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..300)
+    ) {
+        assert_agreement(&bytes)?;
+    }
+
+    #[test]
+    fn parser_agrees_with_reference_on_header_like_input(
+        s in "(POST|GET|HEAD|PUT)? ?[/a-z]{0,10} ?(HTTP/1.[01])?(\r\n[a-zA-Z-]{0,12}:? ?[a-z0-9\t ]{0,12}){0,4}(\r\n\r\n)?[a-z]{0,20}"
+    ) {
+        assert_agreement(s.as_bytes())?;
+    }
+
+    /// The four hardened bug classes, built structurally so the dangerous
+    /// shapes are dense rather than needle-in-a-haystack: header values
+    /// with embedded control bytes, empty paths/names, duplicate
+    /// Content-Length pairs, and bodies shorter than declared.
+    #[test]
+    fn parser_agrees_with_reference_on_adversarial_requests(
+        path in "[/a-z]{0,6}",
+        name in "[a-zA-Z-]{0,8}",
+        value in "[a-z]{0,4}[\x00\x01\n\t\x7f ]?[a-z]{0,4}",
+        cl_a in 0usize..12,
+        cl_b in 0usize..12,
+        dup in 0usize..3,
+        body in "[a-z]{0,10}"
+    ) {
+        let mut msg = format!("POST {path} HTTP/1.1\r\n");
+        if dup == 2 {
+            // Possibly-conflicting duplicate Content-Length.
+            msg.push_str(&format!("Content-Length: {cl_a}\r\nContent-Length: {cl_b}\r\n"));
+        } else {
+            msg.push_str(&format!("Content-Length: {cl_a}\r\n"));
+        }
+        msg.push_str(&format!("{name}: {value}\r\n\r\n{body}"));
+        assert_agreement(msg.as_bytes())?;
+    }
+
+    /// Single-point corruptions of real corpus messages: byte flips and
+    /// truncations anywhere in the head must never cause divergence (and
+    /// in particular never let a corrupted message parse differently in
+    /// the traced and native paths).
+    #[test]
+    fn parser_agrees_with_reference_on_corrupted_corpus(
+        seed in any::<u64>(),
+        kind in 0usize..2,
+        at in 0usize..100_000,
+        val in any::<u8>()
+    ) {
+        let corpus = Corpus::generate(seed, 1);
+        let v = &corpus.variants[0];
+        let mut msg = v.http.clone();
+        // Corrupt the head only — body corruption is the XML layer's
+        // problem, and head+body agreement is covered above.
+        let head_len = v.body_start.max(1);
+        match kind {
+            0 => msg[at % head_len] = val,
+            _ => msg.truncate(at % (head_len + 1)),
+        }
+        assert_agreement(&msg)?;
+    }
+}

@@ -1,0 +1,133 @@
+//! Netperf-style live benchmark: drive the real TCP server over loopback
+//! and write `BENCH_live.json`.
+//!
+//! By default this starts an in-process [`aon_serve::Server`] on an
+//! ephemeral loopback port, runs the closed-loop load generator against
+//! it, folds the server's own counters into the report, and exits 1 if
+//! any request failed (wrong status, wire error, or I/O error) or the
+//! server saw a protocol error — so CI can gate on it.
+//!
+//! ```text
+//! cargo run --release --bin loadgen -- --duration 2
+//! cargo run --release --bin loadgen -- --addr 127.0.0.1:8080   # external server
+//! cargo run --release --bin loadgen -- --use-case sv --connections 8
+//! ```
+
+use aon_serve::loadgen::{run, LoadgenConfig};
+use aon_serve::server::{ServeConfig, Server};
+use aon_server::usecase::UseCase;
+use std::time::Duration;
+
+fn main() {
+    let mut duration_secs: u64 = 2;
+    let mut connections: usize = 4;
+    let mut addr: Option<String> = None;
+    let mut use_cases: Vec<UseCase> = Vec::new();
+    let mut out_path = "BENCH_live.json".to_string();
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")));
+        match arg.as_str() {
+            "--duration" => {
+                duration_secs = value("--duration")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("--duration: {e}")));
+            }
+            "--connections" => {
+                connections = value("--connections")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("--connections: {e}")));
+            }
+            "--addr" => addr = Some(value("--addr")),
+            "--use-case" => use_cases.push(parse_use_case(&value("--use-case"))),
+            "--out" => out_path = value("--out"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--duration SECS] [--connections N] \
+                     [--use-case fr|cbr|sv|dpi|crypto]... [--addr HOST:PORT] [--out FILE]"
+                );
+                return;
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if use_cases.is_empty() {
+        use_cases = UseCase::ALL.to_vec();
+    }
+
+    // In-process server unless --addr points at an external one.
+    let server = match &addr {
+        Some(_) => None,
+        None => Some(Server::start(ServeConfig::default()).expect("bind loopback")),
+    };
+    let target = match (&server, &addr) {
+        (Some(s), _) => s.addr(),
+        (None, Some(a)) => a.parse().expect("--addr must be HOST:PORT"),
+        (None, None) => unreachable!(),
+    };
+
+    let cfg = LoadgenConfig {
+        addr: target,
+        connections,
+        duration: Duration::from_secs(duration_secs),
+        use_cases,
+        ..LoadgenConfig::default()
+    };
+    eprintln!(
+        "loadgen: {} connections x {}s against {} ({})",
+        cfg.connections,
+        duration_secs,
+        target,
+        if server.is_some() { "in-process server" } else { "external server" },
+    );
+
+    let mut report = run(&cfg);
+    let server_protocol_errors = match server {
+        Some(s) => {
+            let stats = s.shutdown();
+            let errs = stats.protocol_errors();
+            report.server = Some(stats);
+            errs
+        }
+        None => 0,
+    };
+
+    let json = report.to_json();
+    std::fs::write(&out_path, &json).expect("write BENCH_live.json");
+    eprintln!(
+        "loadgen: {} ok, {} failed, {:.0} req/s, {:.2} Mbps payload, p50 {:.0}us p99 {:.0}us -> {}",
+        report.requests_ok,
+        report.requests_failed,
+        report.requests_per_sec(),
+        report.payload_mbps(),
+        report.latency.p50_us,
+        report.latency.p99_us,
+        out_path,
+    );
+
+    if report.requests_failed > 0 || report.requests_ok == 0 || server_protocol_errors > 0 {
+        eprintln!(
+            "loadgen: FAILED (failed={}, ok={}, server protocol errors={})",
+            report.requests_failed, report.requests_ok, server_protocol_errors
+        );
+        std::process::exit(1);
+    }
+}
+
+fn parse_use_case(s: &str) -> UseCase {
+    match s.to_ascii_lowercase().as_str() {
+        "fr" => UseCase::Fr,
+        "cbr" => UseCase::Cbr,
+        "sv" => UseCase::Sv,
+        "dpi" => UseCase::Dpi,
+        "crypto" => UseCase::Crypto,
+        other => usage(&format!("unknown use case {other:?} (fr|cbr|sv|dpi|crypto)")),
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("loadgen: {msg}");
+    std::process::exit(2);
+}

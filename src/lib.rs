@@ -13,10 +13,12 @@
 //! * [`sim`] (`aon-sim`) — cycle-approximate dual-processor simulator.
 //! * [`net`] (`aon-net`) — simulated network substrate + netperf.
 //! * [`server`] (`aon-server`) — the XML AON server application.
+//! * [`serve`] (`aon-serve`) — live TCP serving subsystem + load generator.
 //! * [`core`] (`aon-core`) — platforms, experiments, metrics, reporting.
 
 pub use aon_core as core;
 pub use aon_net as net;
+pub use aon_serve as serve;
 pub use aon_server as server;
 pub use aon_sim as sim;
 pub use aon_trace as trace;
