@@ -22,7 +22,10 @@ say "tests (debug: assertions + counter invariants active)"
 cargo test --offline --workspace -q
 
 say "release build (tier-1)"
-cargo build --offline --release
+# --workspace so member-crate binaries (perf, aon-serve) exist for the
+# smoke gates below even on a fresh checkout; the root package alone
+# would only produce the facade's own bins.
+cargo build --offline --release --workspace
 
 say "perf harness smoke (quick windows, JSON validity)"
 # No thresholds yet — the gate is that the harness runs end-to-end and
@@ -39,21 +42,42 @@ assert report["cells"] > 0
 print(f"perf smoke ok: {report['cells']} cells")
 EOF
 
-say "live server smoke (loadgen over loopback, zero protocol errors)"
-# Stands up the real TCP server in-process and drives it closed-loop for
-# ~2s; the binary itself exits 1 on any failed request or server-side
-# protocol error, and the JSON must carry nonzero throughput/latency.
-./target/release/loadgen --duration 2 --out /tmp/BENCH_live_smoke.json >/dev/null
+say "live server smoke (loadgen over loopback, zero protocol errors, /metrics agreement)"
+# Stands up the real TCP server in-process, drives it closed-loop for
+# ~2s, and scrapes GET /metrics from the still-running server; the binary
+# itself exits 1 on any failed request, server-side protocol error, or
+# scrape/client count mismatch. The python check then independently
+# re-parses the scraped Prometheus text and cross-checks it against the
+# JSON report, and asserts the extended snapshot fields are present.
+./target/release/loadgen --duration 2 --out /tmp/BENCH_live_smoke.json \
+    --scrape-metrics /tmp/BENCH_live_metrics.prom >/dev/null
 python3 - <<'EOF'
-import json
+import json, re
 with open("/tmp/BENCH_live_smoke.json") as f:
     report = json.load(f)
 assert report["requests_failed"] == 0, f"live failures: {report['errors']}"
 assert report["requests_per_sec"] > 0
 assert report["latency_us"]["p50"] > 0 and report["latency_us"]["p99"] > 0
 assert report["server"]["protocol_errors"] == 0
+for key in ("queue_depth_hwm", "rejected_closed", "admin_requests"):
+    assert key in report["server"], f"server section missing {key!r}"
+assert report["stages"], "stage breakdown must be non-empty with observability on"
+
+# Independent cross-check: the live /metrics scrape must agree exactly
+# with the load generator's client-side counts.
+processed = 0
+with open("/tmp/BENCH_live_metrics.prom") as f:
+    for line in f:
+        m = re.match(r'aon_requests_total\{[^}]*outcome="(ok|rejected)"[^}]*\} (\d+)', line)
+        if m:
+            processed += int(m.group(2))
+assert processed == report["requests_ok"], (
+    f"/metrics says {processed} processed, loadgen counted {report['requests_ok']}")
+stage_cells = {(c["use_case"], c["stage"]) for c in report["stages"]}
+assert ("CBR", "parse") in stage_cells and ("SV", "validate") in stage_cells, stage_cells
 print(f"live smoke ok: {report['requests_per_sec']:.0f} req/s, "
-      f"p99 {report['latency_us']['p99']:.0f}us")
+      f"p99 {report['latency_us']['p99']:.0f}us, "
+      f"/metrics agrees on {processed} requests, {len(report['stages'])} stage cells")
 EOF
 
 say "all gates passed"

@@ -44,15 +44,22 @@ pub const CAST_ENFORCED_FILES: &[&str] = &[
     "crates/core/src/cellcache.rs",
     "crates/core/src/metrics.rs",
     "crates/core/src/report.rs",
+    "crates/obs/src/flight.rs",
+    "crates/obs/src/latency.rs",
+    "crates/obs/src/metric.rs",
+    "crates/obs/src/registry.rs",
+    "crates/obs/src/scrape.rs",
+    "crates/obs/src/stage.rs",
     "crates/serve/src/loadgen.rs",
     "crates/serve/src/metrics.rs",
+    "crates/serve/src/obs.rs",
     "crates/sim/src/counters.rs",
     "crates/sim/src/stats.rs",
 ];
 
 /// Files where rule 4 (doc comment on every `pub` item) is enforced.
 pub const DOC_ENFORCED_FILES: &[&str] =
-    &["crates/core/src/metrics.rs", "crates/sim/src/counters.rs"];
+    &["crates/core/src/metrics.rs", "crates/obs/src/metric.rs", "crates/sim/src/counters.rs"];
 
 /// Directory names under which rule 2 (unwrap/panic) is not enforced, in
 /// any position of the path (integration tests and bench targets).

@@ -27,6 +27,27 @@ pub enum Pop<T> {
     Closed,
 }
 
+/// Why a [`AcceptQueue::push`] was refused; the item is handed back so
+/// the caller can drop (or retry) the connection. The two cases are
+/// distinct observables: `Full` is overload shed at the edge, `Closed`
+/// is a connection arriving during shutdown drain.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue already holds `capacity` items (admission control).
+    Full(T),
+    /// The queue was closed ([`AcceptQueue::close`]) before the push.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recover the refused item.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
@@ -51,16 +72,22 @@ impl<T> AcceptQueue<T> {
     }
 
     /// Enqueue `item`; on a full or closed queue the item is handed back
-    /// (the caller drops the connection — admission control).
-    pub fn push(&self, item: T) -> Result<(), T> {
+    /// (the caller drops the connection — admission control). On success
+    /// returns the queue depth **after** the push, so producers can track
+    /// the depth high-water mark without a second lock.
+    pub fn push(&self, item: T) -> Result<usize, PushError<T>> {
         let mut s = self.state.lock().expect("accept queue poisoned");
-        if s.closed || s.items.len() >= self.capacity {
-            return Err(item);
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
         }
         s.items.push_back(item);
+        let depth = s.items.len();
         drop(s);
         self.available.notify_one();
-        Ok(())
+        Ok(depth)
     }
 
     /// Dequeue, waiting up to `wait` for an item. Draining outlives
@@ -110,12 +137,13 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
-    fn bounded_push_sheds_overload() {
+    fn bounded_push_sheds_overload_and_reports_depth() {
         let q = AcceptQueue::new(2);
-        assert!(q.push(1).is_ok());
-        assert!(q.push(2).is_ok());
-        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.push(1), Ok(1));
+        assert_eq!(q.push(2), Ok(2));
+        assert_eq!(q.push(3), Err(PushError::Full(3)));
         assert_eq!(q.len(), 2);
+        assert_eq!(q.push(4).expect_err("full").into_inner(), 4);
     }
 
     #[test]
@@ -124,7 +152,7 @@ mod tests {
         q.push(10).unwrap();
         q.push(11).unwrap();
         q.close();
-        assert_eq!(q.push(12), Err(12), "closed queue refuses producers");
+        assert_eq!(q.push(12), Err(PushError::Closed(12)), "closed queue refuses producers");
         assert_eq!(q.pop(Duration::from_millis(1)), Pop::Item(10));
         assert_eq!(q.pop(Duration::from_millis(1)), Pop::Item(11));
         assert_eq!(q.pop(Duration::from_millis(1)), Pop::<i32>::Closed);

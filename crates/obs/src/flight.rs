@@ -1,0 +1,203 @@
+//! Bounded ring-buffer flight recorder: the last N request events, kept
+//! cheaply in memory, dumpable as JSONL on demand (the `/flight.jsonl`
+//! admin endpoint) or when something goes wrong.
+//!
+//! A hardware performance-counter run tells you *that* CPI spiked; a
+//! flight recording tells you *which requests* were on the machine when
+//! it did. Each event carries the response status, use case, payload
+//! bytes, end-to-end service nanoseconds, and the per-stage breakdown —
+//! everything needed to reconstruct the tail of the workload post hoc.
+//!
+//! Recording takes one short `Mutex` lock (push + possible pop at
+//! capacity — O(1), no allocation in steady state, since the deque is
+//! pre-reserved). That is deliberately not lock-free: the critical
+//! section is tens of nanoseconds, contention is bounded by worker
+//! count, and a lock keeps event ordering exact for forensics.
+//!
+//! This file is on the `aon-audit` cast-enforced list.
+
+use crate::stage::{Stage, STAGE_COUNT};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One recorded request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestEvent {
+    /// Monotonic sequence number (global across the recorder's life).
+    pub seq: u64,
+    /// HTTP status the request was answered with.
+    pub status: u16,
+    /// Use-case label (`"FR"`, `"CBR"`, …) or `"-"` for requests that
+    /// never reached an engine (health checks, parse failures).
+    pub use_case: &'static str,
+    /// Request payload bytes.
+    pub bytes: u64,
+    /// End-to-end service time in nanoseconds.
+    pub total_ns: u64,
+    /// Per-stage nanoseconds, indexed by [`Stage::index`].
+    pub stage_ns: [u64; STAGE_COUNT],
+}
+
+impl RequestEvent {
+    /// Render as one JSON object (one JSONL line, no trailing newline).
+    /// Only stages with nonzero time are emitted, keeping lines short.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(160);
+        s.push_str(&format!(
+            "{{\"seq\":{},\"status\":{},\"use_case\":\"{}\",\"bytes\":{},\"total_ns\":{}",
+            self.seq, self.status, self.use_case, self.bytes, self.total_ns
+        ));
+        let mut any = false;
+        for stage in Stage::ALL {
+            let ns = self.stage_ns[stage.index()];
+            if ns > 0 {
+                s.push_str(if any { "," } else { ",\"stage_ns\":{" });
+                s.push_str(&format!("\"{}\":{}", stage.label(), ns));
+                any = true;
+            }
+        }
+        if any {
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// The recorder: last `capacity` events, newest last.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    events: Mutex<VecDeque<RequestEvent>>,
+    capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the most recent `capacity` events.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        assert!(capacity > 0, "a zero-capacity flight recorder records nothing");
+        FlightRecorder {
+            events: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one event (assigning its sequence number); evicts the
+    /// oldest event when full.
+    pub fn record(&self, mut event: RequestEvent) -> u64 {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        event.seq = seq;
+        let mut events = self.events.lock().expect("flight recorder poisoned");
+        while events.len() >= self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(event);
+        seq
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("flight recorder poisoned").len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted so far (recorded beyond capacity).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copy out the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<RequestEvent> {
+        self.events.lock().expect("flight recorder poisoned").iter().copied().collect()
+    }
+
+    /// Dump the retained events as JSONL, oldest first, one event per
+    /// line, trailing newline after the last.
+    pub fn dump_jsonl(&self) -> String {
+        let events = self.snapshot();
+        let mut out = String::with_capacity(events.len() * 160);
+        for e in &events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(status: u16) -> RequestEvent {
+        RequestEvent {
+            seq: 0,
+            status,
+            use_case: "FR",
+            bytes: 100,
+            total_ns: 5000,
+            stage_ns: [0; STAGE_COUNT],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_evictions() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..5u16 {
+            fr.record(event(200 + i));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 2);
+        let statuses: Vec<u16> = fr.snapshot().iter().map(|e| e.status).collect();
+        assert_eq!(statuses, vec![202, 203, 204]);
+        let seqs: Vec<u64> = fr.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "sequence numbers are global, not slot-local");
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line_with_nonzero_stages_only() {
+        let fr = FlightRecorder::new(4);
+        let mut e = event(200);
+        e.stage_ns[Stage::Parse.index()] = 1200;
+        e.stage_ns[Stage::XPath.index()] = 300;
+        fr.record(e);
+        fr.record(event(422));
+        let dump = fr.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"stage_ns\":{\"parse\":1200,\"xpath\":300}"), "{}", lines[0]);
+        assert!(!lines[1].contains("stage_ns"), "zero stages omitted: {}", lines[1]);
+        assert!(lines[1].contains("\"status\":422"));
+        // Balanced braces on every line.
+        for l in &lines {
+            assert_eq!(l.matches('{').count(), l.matches('}').count(), "{l}");
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing_within_capacity() {
+        let fr = std::sync::Arc::new(FlightRecorder::new(10_000));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let fr = std::sync::Arc::clone(&fr);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        fr.record(event(200));
+                    }
+                });
+            }
+        });
+        assert_eq!(fr.len(), 8000);
+        assert_eq!(fr.dropped(), 0);
+        let seqs: std::collections::HashSet<u64> = fr.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs.len(), 8000, "sequence numbers must be unique");
+    }
+}

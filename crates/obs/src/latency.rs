@@ -1,0 +1,92 @@
+//! Exact latency summarization over raw samples.
+//!
+//! One implementation shared by the load generator (which keeps every
+//! end-to-end sample) and by anything else that has raw nanosecond
+//! samples in hand. The live server's always-on histograms
+//! ([`crate::metric::Histogram`]) are the *approximate* counterpart for
+//! when keeping every sample is too expensive; both use the same
+//! nearest-rank percentile convention so their numbers are comparable.
+//!
+//! This file is on the `aon-audit` cast-enforced list: all counter
+//! arithmetic goes through [`aon_trace::num`].
+
+use aon_trace::num::exact_f64;
+
+/// Latency percentiles over one run, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Samples summarized.
+    pub count: u64,
+    /// Median.
+    pub p50_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Worst observed.
+    pub max_us: f64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+}
+
+/// Summarize raw nanosecond samples (sorts in place).
+pub fn summarize_latencies(samples_ns: &mut [u64]) -> LatencySummary {
+    if samples_ns.is_empty() {
+        return LatencySummary::default();
+    }
+    samples_ns.sort_unstable();
+    let count = u64::try_from(samples_ns.len()).expect("sample count fits u64");
+    let sum: u64 = samples_ns.iter().sum();
+    let to_us = |ns: u64| exact_f64(ns) / 1000.0;
+    LatencySummary {
+        count,
+        p50_us: to_us(percentile(samples_ns, 50)),
+        p99_us: to_us(percentile(samples_ns, 99)),
+        max_us: to_us(*samples_ns.last().expect("non-empty")),
+        mean_us: exact_f64(sum) / exact_f64(count) / 1000.0,
+    }
+}
+
+/// Nearest-rank percentile of a sorted slice (`pct` in 0..=100).
+pub fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    debug_assert!(!sorted.is_empty() && pct <= 100);
+    let idx = ((sorted.len() - 1) * pct + 50) / 100;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let mut ns: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        let s = summarize_latencies(&mut ns);
+        assert_eq!(s.count, 100);
+        assert!((s.p50_us - 50.0).abs() <= 1.0, "p50 {}", s.p50_us);
+        assert!((s.p99_us - 99.0).abs() <= 1.0, "p99 {}", s.p99_us);
+        assert_eq!(s.max_us, 100.0);
+        assert!((s.mean_us - 50.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_samples_summarize_to_zero() {
+        let s = summarize_latencies(&mut Vec::new());
+        assert_eq!(s, LatencySummary::default());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = summarize_latencies(&mut [7_000]);
+        assert_eq!((s.p50_us, s.p99_us, s.max_us), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn percentile_is_monotonic_in_rank() {
+        let sorted: Vec<u64> = vec![1, 5, 5, 9, 100, 100, 2000];
+        let mut last = 0;
+        for pct in 0..=100 {
+            let v = percentile(&sorted, pct);
+            assert!(v >= last, "pct {pct}: {v} < {last}");
+            last = v;
+        }
+    }
+}

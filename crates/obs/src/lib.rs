@@ -1,0 +1,48 @@
+//! # aon-obs — software performance-counter observability
+//!
+//! The paper's method *is* observability: it reads the Pentium M /
+//! Pentium 4 on-chip performance counters (clockticks, instructions
+//! retired, L2 misses, bus transactions, branches) under live Netperf
+//! load and derives CPI, L2MPI, BTPI, and BrMPR per use case. The
+//! simulator half of this workspace reproduces those counters; this
+//! crate gives the **live serving half** the equivalent instrumentation
+//! in software, so per-use-case cost structure is visible while the
+//! server runs — not only in a post-hoc `BENCH_live.json`.
+//!
+//! Four layers, lock-light by construction:
+//!
+//! * [`metric`] — the primitive instruments: relaxed-atomic
+//!   [`metric::Counter`]s, [`metric::Gauge`]s (with high-water-mark
+//!   updates), and fixed-bucket log2 [`metric::Histogram`]s whose
+//!   snapshots are plain data and mergeable;
+//! * [`registry`] — named, labelled metric families with Prometheus
+//!   text exposition ([`registry::Registry::render_prometheus`]); the
+//!   data path never takes the registry lock, only registration and
+//!   rendering do;
+//! * [`stage`] — span-based pipeline phase timing: the engine is
+//!   generic over [`stage::StageRecorder`], so the
+//!   [`stage::NoopStages`] instantiation is the untimed pipeline and
+//!   [`stage::WallStages`] accumulates per-stage nanoseconds;
+//! * [`flight`] — a bounded ring-buffer [`flight::FlightRecorder`] of
+//!   recent request events, dumpable as JSONL.
+//!
+//! Two support modules round it out: [`latency`] (the exact
+//! percentile summarization shared with the load generator) and
+//! [`scrape`] (a parser for the exposition format, used by
+//! `obs-report` and the CI cross-check).
+//!
+//! All counter arithmetic goes through the audit-enforced lossless
+//! [`aon_trace::num`] conversions.
+
+pub mod flight;
+pub mod latency;
+pub mod metric;
+pub mod registry;
+pub mod scrape;
+pub mod stage;
+
+pub use flight::{FlightRecorder, RequestEvent};
+pub use latency::{percentile, summarize_latencies, LatencySummary};
+pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::Registry;
+pub use stage::{NoopStages, Stage, StageRecorder, WallStages, STAGE_COUNT};

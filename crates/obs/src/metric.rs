@@ -1,0 +1,308 @@
+//! The three primitive metric instruments: monotonic counters, gauges,
+//! and fixed-bucket log2 latency histograms.
+//!
+//! The paper reads *hardware* performance counters (clockticks, L2
+//! misses, bus transactions) out of the Pentium M / Pentium 4 PMUs; this
+//! module is the software analogue for the live server — plain
+//! `AtomicU64` cells updated with relaxed ordering on the data path, read
+//! by scrapers with no locks and no coordination. All derived arithmetic
+//! goes through the lossless [`aon_trace::num`] conversions; this file is
+//! on the `aon-audit` cast-enforced list.
+//!
+//! Snapshots are plain-old-data and **mergeable**: worker-local or
+//! shard-local histograms can be folded together with
+//! [`HistogramSnapshot::merge`], and merging is commutative and
+//! associative (it is element-wise saturating addition).
+
+use aon_trace::num::exact_f64;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 histogram buckets. Bucket `k` (for `k >= 1`) holds
+/// values in `[2^(k-1), 2^k - 1]`; bucket 0 holds exactly 0; the last
+/// bucket absorbs everything at or above `2^(BUCKETS-2)`.
+pub const BUCKETS: usize = 64;
+
+/// A monotonic counter (wraps only after 2^64 events — never in
+/// practice).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways, plus a high-water-mark
+/// update for depth-style measurements.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to `v` if `v` is higher (high-water mark).
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket index for a recorded value: 0 for 0, else
+/// `64 - leading_zeros(v)` clamped into the table — so bucket `k` spans
+/// `[2^(k-1), 2^k - 1]`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    let k = usize::try_from(64 - v.leading_zeros()).expect("bit index fits usize");
+    k.min(BUCKETS - 1)
+}
+
+/// Inclusive `[lower, upper]` value bounds of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket index {i} out of range");
+    let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+    let upper = if i == 0 {
+        0
+    } else if i == BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    };
+    (lower, upper)
+}
+
+/// A fixed-bucket log2 histogram. Recording is three relaxed atomic adds
+/// (bucket, sum, count) — no locks, no allocation, safe from any thread.
+///
+/// The three cells are updated independently, so a concurrent
+/// [`Histogram::snapshot`] can observe a count that is ahead of or behind
+/// the bucket total by the number of in-flight recordings; totals are
+/// exact once writers quiesce (which is when scrapes are compared).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// Plain-old-data copy of a [`Histogram`]; mergeable across workers,
+/// shards, or scrape intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (log2 buckets, see [`bucket_bounds`]).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; BUCKETS], sum: 0, count: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Element-wise fold of `other` into `self` (saturating, so merging
+    /// can never wrap). Commutative and associative.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.count = self.count.saturating_add(other.count);
+    }
+
+    /// Nearest-rank percentile estimate (`pct` in 0..=100): the upper
+    /// bound of the bucket containing the rank. Monotonically
+    /// non-decreasing in `pct`; returns 0 for an empty histogram.
+    ///
+    /// Ranks are computed from the bucket totals (not the `count` cell),
+    /// so an estimate is well-defined even on a torn concurrent snapshot.
+    pub fn percentile(&self, pct: u8) -> u64 {
+        let pct = u64::from(pct.min(100));
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // Nearest-rank: the smallest bucket whose cumulative count
+        // reaches ceil(pct/100 * total), with rank at least 1. Widening
+        // to u128 keeps the product exact for any u64 total.
+        let rank_wide = (u128::from(total) * u128::from(pct)).div_ceil(100);
+        let rank = u64::try_from(rank_wide).expect("rank <= total").max(1);
+        let mut cumulative = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cumulative += b;
+            if cumulative >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        bucket_bounds(BUCKETS - 1).1
+    }
+
+    /// Arithmetic mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            exact_f64(self.sum) / exact_f64(self.count)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bounds_at_powers_of_two() {
+        for (v, want) in [(0u64, 0usize), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4)] {
+            assert_eq!(bucket_index(v), want, "v={v}");
+        }
+        for v in [0u64, 1, 2, 3, 5, 100, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn histogram_counts_sum_and_percentiles() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        // p50 of 1..=1000 is 500 → bucket [512, 1023] or [256, 511]; the
+        // estimate is that bucket's upper bound, which must bracket 500.
+        let p50 = s.percentile(50);
+        assert!((255..=1023).contains(&p50), "p50 estimate {p50}");
+        assert!(s.percentile(100) >= 1000);
+        assert!((s.mean() - 500.5).abs() < 0.001);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = {
+            let h = Histogram::new();
+            for v in [1u64, 5, 9, 1_000_000] {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let b = {
+            let h = Histogram::new();
+            for v in [0u64, 2, 2, 7] {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 8);
+    }
+
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        assert_eq!(HistogramSnapshot::default().percentile(99), 0);
+        assert_eq!(HistogramSnapshot::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn gauge_high_water_mark_only_rises() {
+        let g = Gauge::new();
+        g.record_max(5);
+        g.record_max(3);
+        assert_eq!(g.get(), 5);
+        g.record_max(9);
+        assert_eq!(g.get(), 9);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn counter_adds() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+}

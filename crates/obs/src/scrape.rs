@@ -1,0 +1,187 @@
+//! A small parser for the Prometheus text exposition format — enough to
+//! read back what [`crate::registry::Registry::render_prometheus`]
+//! writes, so `obs-report` and the CI cross-check can consume a live
+//! `/metrics` scrape without external dependencies.
+//!
+//! Handles `# HELP`/`# TYPE` comments (skipped), series lines with and
+//! without label sets, escaped label values, and integer or float sample
+//! values. Lines that do not parse are skipped rather than fatal: a
+//! scraper must tolerate families it does not know.
+//!
+//! This file is on the `aon-audit` cast-enforced list.
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrapedSample {
+    /// Metric name as written (`aon_requests_total`,
+    /// `aon_stage_duration_ns_sum`, …).
+    pub name: String,
+    /// Label pairs in written order (unescaped values).
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl ScrapedSample {
+    /// The value of the label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse an exposition-format document into samples, skipping comments,
+/// blank lines, and malformed lines.
+pub fn parse_prometheus(text: &str) -> Vec<ScrapedSample> {
+    text.lines().filter_map(parse_line).collect()
+}
+
+/// Sum the values of every sample named `name` that carries all of the
+/// `required` label pairs (an empty filter sums the whole family).
+pub fn sum_samples(samples: &[ScrapedSample], name: &str, required: &[(&str, &str)]) -> f64 {
+    samples
+        .iter()
+        .filter(|s| s.name == name)
+        .filter(|s| required.iter().all(|(k, v)| s.label(k) == Some(*v)))
+        .map(|s| s.value)
+        .sum()
+}
+
+fn parse_line(line: &str) -> Option<ScrapedSample> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let (name_and_labels, value_text) = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}')?;
+            if close < open {
+                return None;
+            }
+            (line[..close + 1].to_string(), line[close + 1..].trim())
+        }
+        None => {
+            let space = line.find(' ')?;
+            (line[..space].to_string(), line[space + 1..].trim())
+        }
+    };
+    // Value may be followed by an optional timestamp; take the first token.
+    let value_token = value_text.split_whitespace().next()?;
+    let value = parse_value(value_token)?;
+    let (name, labels) = match name_and_labels.find('{') {
+        Some(open) => {
+            let name = name_and_labels[..open].to_string();
+            let inner = &name_and_labels[open + 1..name_and_labels.len() - 1];
+            (name, parse_labels(inner)?)
+        }
+        None => (name_and_labels, Vec::new()),
+    };
+    Some(ScrapedSample { name, labels, value })
+}
+
+fn parse_value(token: &str) -> Option<f64> {
+    match token {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        t => t.parse().ok(),
+    }
+}
+
+/// Parse `k="v",k2="v2"` (possibly empty), unescaping values.
+fn parse_labels(inner: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=')?;
+        let key = rest[..eq].trim().to_string();
+        let after = rest[eq + 1..].trim_start();
+        let mut chars = after.char_indices();
+        if chars.next()?.1 != '"' {
+            return None;
+        }
+        let mut value = String::new();
+        let mut consumed = None;
+        let mut escaped = false;
+        for (i, c) in chars {
+            if escaped {
+                value.push(match c {
+                    'n' => '\n',
+                    other => other,
+                });
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                consumed = Some(i + c.len_utf8());
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let end = consumed?;
+        labels.push((key, value));
+        let tail = after[end..].trim_start();
+        rest = match tail.strip_prefix(',') {
+            Some(t) => t.trim_start(),
+            None if tail.is_empty() => "",
+            None => return None,
+        };
+    }
+    Some(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn parses_plain_and_labelled_lines() {
+        let text = "# HELP aon_x help text\n# TYPE aon_x counter\naon_x 5\naon_y{use_case=\"FR\",stage=\"parse\"} 12.5\n";
+        let samples = parse_prometheus(text);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0], ScrapedSample { name: "aon_x".into(), labels: vec![], value: 5.0 });
+        assert_eq!(samples[1].name, "aon_y");
+        assert_eq!(samples[1].label("use_case"), Some("FR"));
+        assert_eq!(samples[1].label("stage"), Some("parse"));
+        assert_eq!(samples[1].value, 12.5);
+    }
+
+    #[test]
+    fn parses_inf_and_escaped_labels() {
+        let samples = parse_prometheus("h_bucket{le=\"+Inf\"} 3\nm{k=\"a\\\"b\\\\c\"} 1\n");
+        assert_eq!(samples[0].label("le"), Some("+Inf"));
+        assert_eq!(samples[0].value, 3.0);
+        assert_eq!(samples[1].label("k"), Some("a\"b\\c"));
+    }
+
+    #[test]
+    fn skips_garbage_lines() {
+        let samples = parse_prometheus("not a metric line at all {\nname_only\n");
+        assert!(samples.is_empty(), "{samples:?}");
+    }
+
+    #[test]
+    fn sum_filters_by_labels() {
+        let text = "t{u=\"FR\",o=\"ok\"} 3\nt{u=\"FR\",o=\"rej\"} 2\nt{u=\"SV\",o=\"ok\"} 7\n";
+        let samples = parse_prometheus(text);
+        assert_eq!(sum_samples(&samples, "t", &[]), 12.0);
+        assert_eq!(sum_samples(&samples, "t", &[("u", "FR")]), 5.0);
+        assert_eq!(sum_samples(&samples, "t", &[("u", "FR"), ("o", "ok")]), 3.0);
+        assert_eq!(sum_samples(&samples, "missing", &[]), 0.0);
+    }
+
+    #[test]
+    fn round_trips_registry_output() {
+        let r = Registry::new();
+        r.counter("aon_requests_total", "reqs", &[("use_case", "FR"), ("outcome", "ok")]).add(9);
+        r.counter("aon_requests_total", "reqs", &[("use_case", "SV"), ("outcome", "ok")]).add(4);
+        let h = r.histogram("aon_lat_ns", "lat", &[("use_case", "FR")]);
+        h.record(100);
+        h.record(900);
+        let samples = parse_prometheus(&r.render_prometheus());
+        assert_eq!(sum_samples(&samples, "aon_requests_total", &[]), 13.0);
+        assert_eq!(sum_samples(&samples, "aon_lat_ns_count", &[("use_case", "FR")]), 2.0);
+        assert_eq!(sum_samples(&samples, "aon_lat_ns_sum", &[]), 1000.0);
+    }
+}

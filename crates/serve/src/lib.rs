@@ -21,10 +21,20 @@
 //! * graceful shutdown that stops accepting, drains queued connections,
 //!   and finishes in-flight requests.
 //!
+//! The server also carries a software performance-counter layer
+//! ([`obs`], built on [`aon_obs`]): per-use-case request counters,
+//! per-stage latency histograms, a flight recorder of recent requests,
+//! and admin endpoints (`GET /metrics` Prometheus text,
+//! `GET /stats.json`, `GET /flight.jsonl`) served from the same worker
+//! pool. Admin hits are counted separately so scraping never perturbs
+//! the request totals it reports.
+//!
 //! Modules:
 //!
 //! * [`server`] — the serving half: [`server::Server`],
 //!   [`server::ServeConfig`], [`server::ServeStats`];
+//! * [`obs`] — the observability half: [`obs::ServerObs`] metric
+//!   families, stage histograms, flight recorder;
 //! * [`loadgen`] — the measuring half: closed-loop request/response
 //!   threads ([`loadgen::LoadgenConfig`], [`loadgen::run`]);
 //! * [`metrics`] — latency summaries and the `BENCH_live.json` report
@@ -32,8 +42,10 @@
 
 pub mod loadgen;
 pub mod metrics;
+pub mod obs;
 pub mod server;
 
 pub use loadgen::{run as run_loadgen, LoadgenConfig};
 pub use metrics::LiveBenchReport;
+pub use obs::ServerObs;
 pub use server::{ServeConfig, Server};

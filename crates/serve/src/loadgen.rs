@@ -158,6 +158,8 @@ pub fn run(cfg: &LoadgenConfig) -> LiveBenchReport {
         errors,
         payload_bytes,
         latency: summarize_latencies(&mut latencies_ns),
+        stages: Vec::new(),
+        obs_overhead: None,
         server: None,
     }
 }
@@ -241,6 +243,27 @@ fn connection_loop(
         }
     }
     res
+}
+
+/// Fetch an admin endpoint (`/metrics`, `/stats.json`, `/flight.jsonl`)
+/// from a running server over its own TCP port and return the response
+/// body — what an external scraper sees, framed by the same wire code
+/// the closed loop uses.
+pub fn scrape(addr: SocketAddr, path: &str, timeout: Duration) -> Result<String, WireError> {
+    let mut s = TcpStream::connect_timeout(&addr, timeout).map_err(|e| WireError::Io(e.kind()))?;
+    let _ = s.set_nodelay(true);
+    let req = format!("GET {path} HTTP/1.1\r\nHost: aon.local\r\nConnection: close\r\n\r\n");
+    write_all(&mut s, req.as_bytes())?;
+    let mut fb = FrameBuf::new();
+    // Admin bodies (full metric exposition, flight dumps) outgrow the
+    // default response limits; give them dedicated generous ones.
+    let limits = WireLimits { max_head: 16 * 1024, max_body: 16 * 1024 * 1024 };
+    let frame = fb.read_frame(&mut s, &limits, Instant::now() + timeout)?;
+    if status_code(&fb.bytes()[..frame.head_len]) != Some(200) {
+        return Err(WireError::BadFrame);
+    }
+    let body = &fb.bytes()[frame.head_len..frame.total()];
+    Ok(String::from_utf8_lossy(body).into_owned())
 }
 
 /// Connect with TCP_NODELAY (request/response pattern).
@@ -354,6 +377,23 @@ mod tests {
             "cap of 3 over {} requests must force reconnects",
             report.requests_ok
         );
+    }
+
+    #[test]
+    fn scrape_fetches_metrics_over_tcp() {
+        let server = Server::start(ServeConfig { workers: 1, ..ServeConfig::default() })
+            .expect("bind loopback");
+        let text = scrape(server.addr(), "/metrics", Duration::from_secs(5)).expect("scrape");
+        assert!(text.contains("aon_connections_accepted_total"), "{text}");
+        let stats = scrape(server.addr(), "/stats.json", Duration::from_secs(5)).expect("stats");
+        assert!(stats.contains("\"queue_depth_hwm\""), "{stats}");
+        assert!(
+            scrape(server.addr(), "/nope", Duration::from_secs(5)).is_err(),
+            "non-200 admin scrape must error"
+        );
+        let final_stats = server.shutdown();
+        assert_eq!(final_stats.admin_requests, 2);
+        assert_eq!(final_stats.requests_ok, 0, "scrapes are not requests");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `aon-serve` — run the live AON server standalone.
 //!
 //! ```text
-//! aon-serve [--addr 127.0.0.1:8080] [--threads N] [--for SECS]
+//! aon-serve [--addr 127.0.0.1:8080] [--threads N] [--for SECS] [--no-obs]
 //! ```
 //!
 //! Binds, prints the bound address (the OS picks a port when `:0` is
@@ -38,8 +38,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 let secs: u64 = value("--for")?.parse().map_err(|e| format!("--for: {e}"))?;
                 run_for = Some(Duration::from_secs(secs));
             }
+            "--no-obs" => cfg.observe = false,
             "--help" | "-h" => {
-                println!("usage: aon-serve [--addr HOST:PORT] [--threads N] [--for SECS]");
+                println!(
+                    "usage: aon-serve [--addr HOST:PORT] [--threads N] [--for SECS] [--no-obs]"
+                );
                 return Ok(());
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),

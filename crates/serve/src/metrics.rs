@@ -1,6 +1,10 @@
 //! Live-benchmark metrics: latency summaries and the `BENCH_live.json`
 //! report.
 //!
+//! Latency summarization itself lives in [`aon_obs::latency`] (one
+//! implementation shared between this load generator and the server's
+//! histogram layer) and is re-exported here for compatibility.
+//!
 //! All counter arithmetic here goes through lossless conversions
 //! ([`aon_trace::num`]) — this file is on the `aon-audit` cast-enforced
 //! list, like every other file that feeds numbers into reports.
@@ -8,45 +12,7 @@
 use crate::server::ServeStatsSnapshot;
 use aon_trace::num::exact_f64;
 
-/// Latency percentiles over one run, in microseconds.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct LatencySummary {
-    /// Samples summarized.
-    pub count: u64,
-    /// Median.
-    pub p50_us: f64,
-    /// 99th percentile.
-    pub p99_us: f64,
-    /// Worst observed.
-    pub max_us: f64,
-    /// Arithmetic mean.
-    pub mean_us: f64,
-}
-
-/// Summarize raw nanosecond samples (sorts in place).
-pub fn summarize_latencies(samples_ns: &mut [u64]) -> LatencySummary {
-    if samples_ns.is_empty() {
-        return LatencySummary::default();
-    }
-    samples_ns.sort_unstable();
-    let count = u64::try_from(samples_ns.len()).expect("sample count fits u64");
-    let sum: u64 = samples_ns.iter().sum();
-    let to_us = |ns: u64| exact_f64(ns) / 1000.0;
-    LatencySummary {
-        count,
-        p50_us: to_us(percentile(samples_ns, 50)),
-        p99_us: to_us(percentile(samples_ns, 99)),
-        max_us: to_us(*samples_ns.last().expect("non-empty")),
-        mean_us: exact_f64(sum) / exact_f64(count) / 1000.0,
-    }
-}
-
-/// Nearest-rank percentile of a sorted slice (`pct` in 0..=100).
-fn percentile(sorted: &[u64], pct: usize) -> u64 {
-    debug_assert!(!sorted.is_empty() && pct <= 100);
-    let idx = ((sorted.len() - 1) * pct + 50) / 100;
-    sorted[idx.min(sorted.len() - 1)]
-}
+pub use aon_obs::latency::{percentile, summarize_latencies, LatencySummary};
 
 /// Client-side failure breakdown.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -65,6 +31,43 @@ impl LoadgenErrors {
     /// Failures that count against the run (reconnects do not).
     pub fn failed(&self) -> u64 {
         self.status_mismatch + self.wire + self.io
+    }
+}
+
+/// One (use case × pipeline stage) aggregate from the server's stage
+/// histograms — the paper-style service-time decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageCell {
+    /// Use-case label (`"FR"`, `"CBR"`, …).
+    pub use_case: &'static str,
+    /// Stage label (`"parse"`, `"xpath"`, …).
+    pub stage: &'static str,
+    /// Requests that recorded time in this stage.
+    pub count: u64,
+    /// Total nanoseconds across those requests.
+    pub total_ns: u64,
+}
+
+/// The observability-overhead comparison: the same closed loop run with
+/// the software counters off and on, so the probe cost is a recorded
+/// number instead of folklore.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsOverhead {
+    /// Loadgen p50 with observability disabled (no-op probe run), µs.
+    pub p50_us_obs_off: f64,
+    /// Loadgen p50 with observability enabled, µs.
+    pub p50_us_obs_on: f64,
+}
+
+impl ObsOverhead {
+    /// Relative p50 change from enabling observability, in percent
+    /// (positive = slower with observability).
+    pub fn delta_pct(&self) -> f64 {
+        if self.p50_us_obs_off > 0.0 {
+            (self.p50_us_obs_on - self.p50_us_obs_off) / self.p50_us_obs_off * 100.0
+        } else {
+            0.0
+        }
     }
 }
 
@@ -87,6 +90,12 @@ pub struct LiveBenchReport {
     pub payload_bytes: u64,
     /// End-to-end request latency percentiles.
     pub latency: LatencySummary,
+    /// Per-stage service-time breakdown from the server's observability
+    /// layer (empty against a remote server or with observability off).
+    pub stages: Vec<StageCell>,
+    /// Observability probe-overhead comparison (present only when the
+    /// run measured both modes, e.g. `loadgen --obs-overhead`).
+    pub obs_overhead: Option<ObsOverhead>,
     /// Server counters at the end of the run (when the server was
     /// in-process; `None` against a remote server).
     pub server: Option<ServeStatsSnapshot>,
@@ -114,7 +123,7 @@ impl LiveBenchReport {
     /// Render as a JSON object (hand-rolled: the workspace is hermetic, no
     /// serde). All values are finite by construction.
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(1024);
+        let mut s = String::with_capacity(2048);
         s.push_str("{\n");
         s.push_str(&format!("  \"duration_secs\": {:.3},\n", self.duration_secs));
         s.push_str(&format!("  \"connections\": {},\n", self.connections));
@@ -136,20 +145,33 @@ impl LiveBenchReport {
         s.push_str(&format!("    \"wire\": {},\n", self.errors.wire));
         s.push_str(&format!("    \"io\": {},\n", self.errors.io));
         s.push_str(&format!("    \"reconnects\": {}\n", self.errors.reconnects));
-        s.push_str("  }");
+        s.push_str("  },\n");
+        let cells: Vec<String> = self
+            .stages
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"use_case\": \"{}\", \"stage\": \"{}\", \"count\": {}, \"total_ns\": {}}}",
+                    c.use_case, c.stage, c.count, c.total_ns
+                )
+            })
+            .collect();
+        if cells.is_empty() {
+            s.push_str("  \"stages\": []");
+        } else {
+            s.push_str(&format!("  \"stages\": [\n{}\n  ]", cells.join(",\n")));
+        }
+        if let Some(o) = &self.obs_overhead {
+            s.push_str(",\n  \"obs_overhead\": {\n");
+            s.push_str(&format!("    \"p50_us_obs_off\": {:.1},\n", o.p50_us_obs_off));
+            s.push_str(&format!("    \"p50_us_obs_on\": {:.1},\n", o.p50_us_obs_on));
+            s.push_str(&format!("    \"delta_pct\": {:.2}\n", o.delta_pct()));
+            s.push_str("  }");
+        }
         if let Some(srv) = &self.server {
-            s.push_str(",\n  \"server\": {\n");
-            s.push_str(&format!("    \"accepted\": {},\n", srv.accepted));
-            s.push_str(&format!("    \"dropped_backlog\": {},\n", srv.dropped_backlog));
-            s.push_str(&format!("    \"requests_ok\": {},\n", srv.requests_ok));
-            s.push_str(&format!("    \"requests_rejected\": {},\n", srv.requests_rejected));
-            s.push_str(&format!("    \"not_found\": {},\n", srv.not_found));
-            s.push_str(&format!("    \"bad_request\": {},\n", srv.bad_request));
-            s.push_str(&format!("    \"too_large\": {},\n", srv.too_large));
-            s.push_str(&format!("    \"timeouts\": {},\n", srv.timeouts));
-            s.push_str(&format!("    \"io_errors\": {},\n", srv.io_errors));
-            s.push_str(&format!("    \"protocol_errors\": {}\n", srv.protocol_errors()));
-            s.push_str("  }\n");
+            s.push_str(",\n  \"server\": ");
+            s.push_str(&srv.to_json_object("  "));
+            s.push('\n');
         } else {
             s.push('\n');
         }
@@ -158,32 +180,37 @@ impl LiveBenchReport {
     }
 }
 
+impl ServeStatsSnapshot {
+    /// Render as a JSON object with lines indented by `indent` (the
+    /// same object serves as the `"server"` section of
+    /// `BENCH_live.json` and as the body of `GET /stats.json`).
+    pub fn to_json_object(&self, indent: &str) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str("{\n");
+        let mut field = |name: &str, value: u64, last: bool| {
+            s.push_str(&format!("{indent}  \"{name}\": {value}{}\n", if last { "" } else { "," }));
+        };
+        field("accepted", self.accepted, false);
+        field("dropped_backlog", self.dropped_backlog, false);
+        field("rejected_closed", self.rejected_closed, false);
+        field("queue_depth_hwm", self.queue_depth_hwm, false);
+        field("requests_ok", self.requests_ok, false);
+        field("requests_rejected", self.requests_rejected, false);
+        field("not_found", self.not_found, false);
+        field("bad_request", self.bad_request, false);
+        field("too_large", self.too_large, false);
+        field("timeouts", self.timeouts, false);
+        field("io_errors", self.io_errors, false);
+        field("admin_requests", self.admin_requests, false);
+        field("protocol_errors", self.protocol_errors(), true);
+        s.push_str(&format!("{indent}}}"));
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn percentiles_on_known_distribution() {
-        let mut ns: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
-        let s = summarize_latencies(&mut ns);
-        assert_eq!(s.count, 100);
-        assert!((s.p50_us - 50.0).abs() <= 1.0, "p50 {}", s.p50_us);
-        assert!((s.p99_us - 99.0).abs() <= 1.0, "p99 {}", s.p99_us);
-        assert_eq!(s.max_us, 100.0);
-        assert!((s.mean_us - 50.5).abs() < 0.01);
-    }
-
-    #[test]
-    fn empty_samples_summarize_to_zero() {
-        let s = summarize_latencies(&mut Vec::new());
-        assert_eq!(s, LatencySummary::default());
-    }
-
-    #[test]
-    fn single_sample_is_every_percentile() {
-        let s = summarize_latencies(&mut [7_000]);
-        assert_eq!((s.p50_us, s.p99_us, s.max_us), (7.0, 7.0, 7.0));
-    }
 
     #[test]
     fn rates_derive_from_duration() {
@@ -202,10 +229,39 @@ mod tests {
         assert!(j.contains("\"requests_per_sec\": 500.00"));
         assert!(j.contains("\"protocol_errors\": 0"));
         assert!(j.contains("\"use_cases\": [\"FR\", \"CBR\"]"));
+        // The extended snapshot fields must be present in the report.
+        assert!(j.contains("\"queue_depth_hwm\": 0"));
+        assert!(j.contains("\"rejected_closed\": 0"));
+        assert!(j.contains("\"admin_requests\": 0"));
+        assert!(j.contains("\"stages\": []"));
         // Balanced braces, no trailing commas before closers.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(!j.contains(",\n}"));
         assert!(!j.contains(",\n  }"));
+    }
+
+    #[test]
+    fn json_carries_stage_cells_and_overhead_when_present() {
+        let mut r = report_fixture();
+        r.stages = vec![
+            StageCell { use_case: "CBR", stage: "parse", count: 10, total_ns: 12345 },
+            StageCell { use_case: "CBR", stage: "xpath", count: 10, total_ns: 2345 },
+        ];
+        r.obs_overhead = Some(ObsOverhead { p50_us_obs_off: 100.0, p50_us_obs_on: 103.0 });
+        let j = r.to_json();
+        assert!(j.contains("\"use_case\": \"CBR\", \"stage\": \"parse\", \"count\": 10"), "{j}");
+        assert!(j.contains("\"p50_us_obs_off\": 100.0"));
+        assert!(j.contains("\"delta_pct\": 3.00"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(!j.contains(",\n}"));
+    }
+
+    #[test]
+    fn overhead_delta_is_relative() {
+        let o = ObsOverhead { p50_us_obs_off: 200.0, p50_us_obs_on: 190.0 };
+        assert!((o.delta_pct() + 5.0).abs() < 0.001, "faster-with-obs is negative");
+        let zero = ObsOverhead { p50_us_obs_off: 0.0, p50_us_obs_on: 5.0 };
+        assert_eq!(zero.delta_pct(), 0.0);
     }
 
     fn report_fixture() -> LiveBenchReport {
@@ -224,6 +280,8 @@ mod tests {
                 max_us: 1000.0,
                 mean_us: 150.0,
             },
+            stages: Vec::new(),
+            obs_overhead: None,
             server: None,
         }
     }

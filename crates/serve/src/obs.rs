@@ -1,0 +1,295 @@
+//! The live server's observability core: every metric series the server
+//! exposes, pre-registered at startup so the data path only touches
+//! `Arc`'d atomic instruments — never the registry lock.
+//!
+//! Families (all prefixed `aon_`):
+//!
+//! * `aon_requests_total{use_case,outcome}` — engine-processed requests
+//!   by routing outcome (`ok` = 200, `rejected` = 422);
+//! * `aon_payload_bytes_total{use_case}` — request payload bytes;
+//! * `aon_request_duration_ns{use_case}` — end-to-end service-time
+//!   histogram (frame complete → response written);
+//! * `aon_stage_duration_ns{use_case,stage}` — per-pipeline-phase
+//!   histograms (parse / xpath / validate / dpi / crypto / write);
+//! * `aon_http_responses_total{status}` — every non-admin response by
+//!   status code;
+//! * `aon_connections_accepted_total`,
+//!   `aon_connections_dropped_total{reason}` — edge admission;
+//! * `aon_accept_queue_depth_hwm` — accept-queue depth high-water mark;
+//! * `aon_admin_requests_total` — `/metrics`, `/stats.json`,
+//!   `/flight.jsonl` hits, counted **separately** so scraping never
+//!   perturbs the request totals it reports.
+//!
+//! This file is on the `aon-audit` cast-enforced list.
+
+use crate::metrics::StageCell;
+use aon_obs::flight::{FlightRecorder, RequestEvent};
+use aon_obs::metric::{Counter, Gauge, Histogram};
+use aon_obs::registry::Registry;
+use aon_obs::stage::{Stage, WallStages, STAGE_COUNT};
+use aon_server::usecase::UseCase;
+use std::sync::Arc;
+
+/// Response statuses the server can produce (one counter series each).
+pub const STATUSES: [u16; 6] = [200, 400, 404, 408, 413, 422];
+
+/// Per-use-case instrument handles.
+#[derive(Debug)]
+struct UseCaseObs {
+    ok: Arc<Counter>,
+    rejected: Arc<Counter>,
+    payload_bytes: Arc<Counter>,
+    service_ns: Arc<Histogram>,
+    stage_ns: [Arc<Histogram>; STAGE_COUNT],
+}
+
+/// All observability state for one [`crate::server::Server`].
+#[derive(Debug)]
+pub struct ServerObs {
+    /// The metric catalogue behind `GET /metrics`.
+    pub registry: Registry,
+    /// Ring buffer of recent request events behind `GET /flight.jsonl`.
+    pub flight: FlightRecorder,
+    per_use: [UseCaseObs; 5],
+    responses: [Arc<Counter>; 6],
+    conns_accepted: Arc<Counter>,
+    conns_dropped_backlog: Arc<Counter>,
+    conns_rejected_closed: Arc<Counter>,
+    queue_depth_hwm: Arc<Gauge>,
+    admin_requests: Arc<Counter>,
+}
+
+fn use_case_index(uc: UseCase) -> usize {
+    match uc {
+        UseCase::Fr => 0,
+        UseCase::Cbr => 1,
+        UseCase::Sv => 2,
+        UseCase::Dpi => 3,
+        UseCase::Crypto => 4,
+    }
+}
+
+impl ServerObs {
+    /// Register every series the server will ever touch.
+    pub fn new(flight_capacity: usize) -> ServerObs {
+        let registry = Registry::new();
+        let per_use = std::array::from_fn(|i| {
+            let uc = UseCase::EXTENDED[i];
+            let label = uc.label();
+            UseCaseObs {
+                ok: registry.counter(
+                    "aon_requests_total",
+                    "Engine-processed requests by routing outcome",
+                    &[("use_case", label), ("outcome", "ok")],
+                ),
+                rejected: registry.counter(
+                    "aon_requests_total",
+                    "Engine-processed requests by routing outcome",
+                    &[("use_case", label), ("outcome", "rejected")],
+                ),
+                payload_bytes: registry.counter(
+                    "aon_payload_bytes_total",
+                    "Request payload bytes by use case",
+                    &[("use_case", label)],
+                ),
+                service_ns: registry.histogram(
+                    "aon_request_duration_ns",
+                    "End-to-end service time (frame complete to response written)",
+                    &[("use_case", label)],
+                ),
+                stage_ns: std::array::from_fn(|s| {
+                    registry.histogram(
+                        "aon_stage_duration_ns",
+                        "Pipeline phase time by use case and stage",
+                        &[("use_case", label), ("stage", Stage::ALL[s].label())],
+                    )
+                }),
+            }
+        });
+        let responses = std::array::from_fn(|i| {
+            let status = STATUSES[i].to_string();
+            registry.counter(
+                "aon_http_responses_total",
+                "Non-admin responses by HTTP status",
+                &[("status", status.as_str())],
+            )
+        });
+        ServerObs {
+            conns_accepted: registry.counter(
+                "aon_connections_accepted_total",
+                "Connections accepted off the listener",
+                &[],
+            ),
+            conns_dropped_backlog: registry.counter(
+                "aon_connections_dropped_total",
+                "Connections refused at the accept queue",
+                &[("reason", "backlog")],
+            ),
+            conns_rejected_closed: registry.counter(
+                "aon_connections_dropped_total",
+                "Connections refused at the accept queue",
+                &[("reason", "closed")],
+            ),
+            queue_depth_hwm: registry.gauge(
+                "aon_accept_queue_depth_hwm",
+                "Accept-queue depth high-water mark",
+                &[],
+            ),
+            admin_requests: registry.counter(
+                "aon_admin_requests_total",
+                "Admin endpoint hits (excluded from request totals)",
+                &[],
+            ),
+            flight: FlightRecorder::new(flight_capacity),
+            per_use,
+            responses,
+            registry,
+        }
+    }
+
+    /// A connection was accepted.
+    pub fn connection_accepted(&self) {
+        self.conns_accepted.inc();
+    }
+
+    /// A connection was refused because the accept queue was full.
+    pub fn connection_dropped_backlog(&self) {
+        self.conns_dropped_backlog.inc();
+    }
+
+    /// A connection was refused because the queue was closed (shutdown).
+    pub fn connection_rejected_closed(&self) {
+        self.conns_rejected_closed.inc();
+    }
+
+    /// Raise the accept-queue depth high-water mark.
+    pub fn queue_depth(&self, depth: u64) {
+        self.queue_depth_hwm.record_max(depth);
+    }
+
+    /// An admin endpoint was served.
+    pub fn admin_request(&self) {
+        self.admin_requests.inc();
+    }
+
+    /// Record one completed (non-admin) request: status counter, per-use
+    /// case outcome + payload + service/stage histograms, and a flight
+    /// recorder event.
+    pub fn record_request(
+        &self,
+        use_case: Option<UseCase>,
+        status: u16,
+        bytes: u64,
+        total_ns: u64,
+        stages: &WallStages,
+    ) {
+        if let Some(i) = STATUSES.iter().position(|&s| s == status) {
+            self.responses[i].inc();
+        }
+        let label = match use_case {
+            Some(uc) => {
+                let u = &self.per_use[use_case_index(uc)];
+                match status {
+                    200 => u.ok.inc(),
+                    422 => u.rejected.inc(),
+                    _ => {}
+                }
+                u.payload_bytes.add(bytes);
+                u.service_ns.record(total_ns);
+                for stage in Stage::ALL {
+                    let ns = stages.get(stage);
+                    if ns > 0 {
+                        u.stage_ns[stage.index()].record(ns);
+                    }
+                }
+                uc.label()
+            }
+            None => "-",
+        };
+        self.flight.record(RequestEvent {
+            seq: 0,
+            status,
+            use_case: label,
+            bytes,
+            total_ns,
+            stage_ns: stages.ns,
+        });
+    }
+
+    /// Per-(use case × stage) totals for the `BENCH_live.json` stage
+    /// breakdown; cells that never recorded are omitted.
+    pub fn stage_cells(&self) -> Vec<StageCell> {
+        let mut out = Vec::new();
+        for (i, u) in self.per_use.iter().enumerate() {
+            let label = UseCase::EXTENDED[i].label();
+            for stage in Stage::ALL {
+                let h = &u.stage_ns[stage.index()];
+                if h.count() > 0 {
+                    out.push(StageCell {
+                        use_case: label,
+                        stage: stage.label(),
+                        count: h.count(),
+                        total_ns: h.sum(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Total engine-processed requests (ok + rejected) across use cases
+    /// — must equal the load generator's completed-request count.
+    pub fn requests_processed(&self) -> u64 {
+        self.per_use.iter().map(|u| u.ok.get() + u.rejected.get()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_request_updates_outcome_payload_and_stages() {
+        let obs = ServerObs::new(16);
+        let mut stages = WallStages::new();
+        stages.add(Stage::Parse, 1000);
+        stages.add(Stage::XPath, 500);
+        obs.record_request(Some(UseCase::Cbr), 200, 240, 2000, &stages);
+        obs.record_request(Some(UseCase::Cbr), 422, 240, 1500, &stages);
+        obs.record_request(None, 400, 0, 100, &WallStages::new());
+
+        assert_eq!(obs.requests_processed(), 2);
+        let cells = obs.stage_cells();
+        let parse = cells
+            .iter()
+            .find(|c| c.use_case == "CBR" && c.stage == "parse")
+            .expect("parse cell exists");
+        assert_eq!(parse.count, 2);
+        assert_eq!(parse.total_ns, 2000);
+        assert!(cells.iter().all(|c| c.use_case != "FR"), "FR never recorded");
+        assert_eq!(obs.flight.len(), 3, "flight records every request, even 400s");
+
+        let text = obs.registry.render_prometheus();
+        assert!(text.contains("aon_requests_total{use_case=\"CBR\",outcome=\"ok\"} 1"), "{text}");
+        assert!(text.contains("aon_requests_total{use_case=\"CBR\",outcome=\"rejected\"} 1"));
+        assert!(text.contains("aon_http_responses_total{status=\"400\"} 1"));
+        assert!(text.contains("aon_payload_bytes_total{use_case=\"CBR\"} 480"));
+    }
+
+    #[test]
+    fn admin_and_connection_counters_are_separate() {
+        let obs = ServerObs::new(4);
+        obs.connection_accepted();
+        obs.connection_dropped_backlog();
+        obs.connection_rejected_closed();
+        obs.queue_depth(7);
+        obs.queue_depth(3);
+        obs.admin_request();
+        let text = obs.registry.render_prometheus();
+        assert!(text.contains("aon_connections_accepted_total 1"));
+        assert!(text.contains("aon_connections_dropped_total{reason=\"backlog\"} 1"));
+        assert!(text.contains("aon_connections_dropped_total{reason=\"closed\"} 1"));
+        assert!(text.contains("aon_accept_queue_depth_hwm 7"));
+        assert!(text.contains("aon_admin_requests_total 1"));
+    }
+}

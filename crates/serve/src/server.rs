@@ -1,8 +1,22 @@
 //! The live HTTP/1.1 server: listener, bounded accept queue, worker pool,
-//! keep-alive request loop, robustness limits, graceful shutdown.
+//! keep-alive request loop, robustness limits, graceful shutdown — and a
+//! software performance-counter layer ([`crate::obs`]) exposed over admin
+//! endpoints:
+//!
+//! * `GET /metrics` — Prometheus text exposition (counters, gauges,
+//!   per-stage latency histograms);
+//! * `GET /stats.json` — the [`ServeStatsSnapshot`] as JSON;
+//! * `GET /flight.jsonl` — the flight-recorder ring buffer as JSONL.
+//!
+//! Admin hits are counted in a separate counter (never in the request
+//! totals), so scraping `/metrics` mid-run cannot perturb the numbers it
+//! reports — the CI cross-check relies on exact equality with the load
+//! generator.
 
-use aon_net::acceptq::{AcceptQueue, Pop};
+use crate::obs::ServerObs;
+use aon_net::acceptq::{AcceptQueue, Pop, PushError};
 use aon_net::wire::{write_all, FrameBuf, WireError, WireLimits};
+use aon_obs::stage::{Stage, WallStages};
 use aon_server::engine::Engine;
 use aon_server::http::{self, Method};
 use aon_server::usecase::UseCase;
@@ -34,6 +48,13 @@ pub struct ServeConfig {
     pub limits: WireLimits,
     /// Use case served at the legacy `/aon/process` path.
     pub default_use_case: UseCase,
+    /// Enable the software performance counters ([`crate::obs`]): per-use
+    /// case/stage histograms, the flight recorder, and the `/metrics`,
+    /// `/flight.jsonl` admin endpoints. Off = no clock reads on the
+    /// pipeline (the engine runs the untimed instantiation).
+    pub observe: bool,
+    /// Flight-recorder capacity (most recent request events retained).
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +68,8 @@ impl Default for ServeConfig {
             keepalive_max_requests: 10_000,
             limits: WireLimits::default(),
             default_use_case: UseCase::Fr,
+            observe: true,
+            flight_capacity: 1024,
         }
     }
 }
@@ -58,6 +81,10 @@ pub struct ServeStats {
     pub accepted: AtomicU64,
     /// Connections dropped because the accept queue was full.
     pub dropped_backlog: AtomicU64,
+    /// Connections refused because the queue was already closed (shutdown).
+    pub rejected_closed: AtomicU64,
+    /// Accept-queue depth high-water mark (updated with `fetch_max`).
+    pub queue_depth_hwm: AtomicU64,
     /// Requests answered 200.
     pub requests_ok: AtomicU64,
     /// Requests answered 422 (content did not route/validate).
@@ -72,6 +99,9 @@ pub struct ServeStats {
     pub timeouts: AtomicU64,
     /// Connections torn down on socket errors or mid-message EOF.
     pub io_errors: AtomicU64,
+    /// Admin endpoint hits (`/metrics`, `/stats.json`, `/flight.jsonl`) —
+    /// counted here and **nowhere else**, so scrapes don't move totals.
+    pub admin: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServeStats`].
@@ -81,6 +111,10 @@ pub struct ServeStatsSnapshot {
     pub accepted: u64,
     /// Connections dropped because the accept queue was full.
     pub dropped_backlog: u64,
+    /// Connections refused because the queue was already closed.
+    pub rejected_closed: u64,
+    /// Accept-queue depth high-water mark.
+    pub queue_depth_hwm: u64,
     /// Requests answered 200.
     pub requests_ok: u64,
     /// Requests answered 422.
@@ -95,6 +129,8 @@ pub struct ServeStatsSnapshot {
     pub timeouts: u64,
     /// Connections torn down on socket errors.
     pub io_errors: u64,
+    /// Admin endpoint hits (excluded from every request total).
+    pub admin_requests: u64,
 }
 
 impl ServeStats {
@@ -103,6 +139,8 @@ impl ServeStats {
         ServeStatsSnapshot {
             accepted: self.accepted.load(Ordering::Relaxed),
             dropped_backlog: self.dropped_backlog.load(Ordering::Relaxed),
+            rejected_closed: self.rejected_closed.load(Ordering::Relaxed),
+            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
             requests_ok: self.requests_ok.load(Ordering::Relaxed),
             requests_rejected: self.requests_rejected.load(Ordering::Relaxed),
             not_found: self.not_found.load(Ordering::Relaxed),
@@ -110,6 +148,7 @@ impl ServeStats {
             too_large: self.too_large.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             io_errors: self.io_errors.load(Ordering::Relaxed),
+            admin_requests: self.admin.load(Ordering::Relaxed),
         }
     }
 }
@@ -122,7 +161,7 @@ impl ServeStatsSnapshot {
         self.bad_request + self.too_large + self.timeouts
     }
 
-    /// All requests answered, any status.
+    /// All non-admin requests answered, any status.
     pub fn requests_total(&self) -> u64 {
         self.requests_ok
             + self.requests_rejected
@@ -139,6 +178,7 @@ struct Shared {
     shutdown: AtomicBool,
     stats: ServeStats,
     engine: Engine,
+    obs: Option<ServerObs>,
 }
 
 /// A running live server. Create with [`Server::start`], stop with
@@ -163,12 +203,14 @@ impl Server {
         } else {
             std::thread::available_parallelism().map(usize::from).unwrap_or(2)
         };
+        let obs = cfg.observe.then(|| ServerObs::new(cfg.flight_capacity));
         let shared = Arc::new(Shared {
             queue: AcceptQueue::new(cfg.accept_backlog),
             cfg,
             shutdown: AtomicBool::new(false),
             stats: ServeStats::default(),
             engine: Engine::new(),
+            obs,
         });
 
         let listener_handle = {
@@ -197,6 +239,29 @@ impl Server {
     /// Live counters.
     pub fn stats(&self) -> ServeStatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// The observability layer, when [`ServeConfig::observe`] is on.
+    pub fn obs(&self) -> Option<&ServerObs> {
+        self.shared.obs.as_ref()
+    }
+
+    /// The Prometheus exposition `GET /metrics` would return right now
+    /// (`None` with observability off).
+    pub fn metrics_text(&self) -> Option<String> {
+        self.shared.obs.as_ref().map(|o| o.registry.render_prometheus())
+    }
+
+    /// The flight-recorder dump `GET /flight.jsonl` would return right
+    /// now (`None` with observability off).
+    pub fn flight_jsonl(&self) -> Option<String> {
+        self.shared.obs.as_ref().map(|o| o.flight.dump_jsonl())
+    }
+
+    /// Per-(use case × stage) totals for the live-bench stage breakdown
+    /// (empty with observability off).
+    pub fn stage_cells(&self) -> Vec<crate::metrics::StageCell> {
+        self.shared.obs.as_ref().map(ServerObs::stage_cells).unwrap_or_default()
     }
 
     /// Graceful shutdown: stop accepting, drain the accept queue, finish
@@ -228,9 +293,30 @@ fn listener_loop(listener: &TcpListener, shared: &Shared) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
-                if shared.queue.push(stream).is_err() {
-                    // Bounded backlog: shed at the edge, like listen(2).
-                    shared.stats.dropped_backlog.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &shared.obs {
+                    obs.connection_accepted();
+                }
+                match shared.queue.push(stream) {
+                    Ok(depth) => {
+                        let depth = u64::try_from(depth).unwrap_or(u64::MAX);
+                        shared.stats.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+                        if let Some(obs) = &shared.obs {
+                            obs.queue_depth(depth);
+                        }
+                    }
+                    Err(PushError::Full(_)) => {
+                        // Bounded backlog: shed at the edge, like listen(2).
+                        shared.stats.dropped_backlog.fetch_add(1, Ordering::Relaxed);
+                        if let Some(obs) = &shared.obs {
+                            obs.connection_dropped_backlog();
+                        }
+                    }
+                    Err(PushError::Closed(_)) => {
+                        shared.stats.rejected_closed.fetch_add(1, Ordering::Relaxed);
+                        if let Some(obs) = &shared.obs {
+                            obs.connection_rejected_closed();
+                        }
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -261,6 +347,30 @@ struct Reply {
     status: u16,
     body: String,
     close: bool,
+    content_type: &'static str,
+    /// Admin endpoints count in [`ServeStats::admin`] only.
+    admin: bool,
+    /// Engine use case, when the request reached the pipeline.
+    use_case: Option<UseCase>,
+    /// Request payload bytes handed to the engine.
+    payload_bytes: u64,
+    /// Per-stage wall time recorded while producing this reply.
+    stages: WallStages,
+}
+
+impl Reply {
+    fn new(status: u16, body: String, close: bool) -> Reply {
+        Reply {
+            status,
+            body,
+            close,
+            content_type: "text/xml",
+            admin: false,
+            use_case: None,
+            payload_bytes: 0,
+            stages: WallStages::new(),
+        }
+    }
 }
 
 /// Serve one connection's keep-alive loop.
@@ -281,18 +391,28 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 // that never started a request is closed silently.
                 if !fb.is_empty() {
                     shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                    let _ = send(&mut stream, 408, "<aon error=\"request timeout\"/>", true);
+                    record_wire_error(shared, 408);
+                    let _ = send(
+                        &mut stream,
+                        408,
+                        "<aon error=\"request timeout\"/>",
+                        true,
+                        "text/xml",
+                    );
                 }
                 break;
             }
             Err(WireError::HeadTooLarge | WireError::BodyTooLarge) => {
                 shared.stats.too_large.fetch_add(1, Ordering::Relaxed);
-                let _ = send(&mut stream, 413, "<aon error=\"message too large\"/>", true);
+                record_wire_error(shared, 413);
+                let _ =
+                    send(&mut stream, 413, "<aon error=\"message too large\"/>", true, "text/xml");
                 break;
             }
             Err(WireError::BadFrame) => {
                 shared.stats.bad_request.fetch_add(1, Ordering::Relaxed);
-                let _ = send(&mut stream, 400, "<aon error=\"bad request\"/>", true);
+                record_wire_error(shared, 400);
+                let _ = send(&mut stream, 400, "<aon error=\"bad request\"/>", true, "text/xml");
                 break;
             }
             Err(WireError::UnexpectedEof | WireError::Io(_)) => {
@@ -307,16 +427,40 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         // is draining for shutdown.
         let server_close =
             served >= cfg.keepalive_max_requests || shared.shutdown.load(Ordering::Relaxed);
+        let service_start = Instant::now();
         let mut reply = handle_request(shared, &fb.bytes()[..total], frame.body_len);
         reply.close |= server_close;
 
-        match reply.status {
-            200 => shared.stats.requests_ok.fetch_add(1, Ordering::Relaxed),
-            422 => shared.stats.requests_rejected.fetch_add(1, Ordering::Relaxed),
-            404 => shared.stats.not_found.fetch_add(1, Ordering::Relaxed),
-            _ => shared.stats.bad_request.fetch_add(1, Ordering::Relaxed),
-        };
-        if send(&mut stream, reply.status, &reply.body, reply.close).is_err() {
+        if reply.admin {
+            shared.stats.admin.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = &shared.obs {
+                obs.admin_request();
+            }
+        } else {
+            match reply.status {
+                200 => shared.stats.requests_ok.fetch_add(1, Ordering::Relaxed),
+                422 => shared.stats.requests_rejected.fetch_add(1, Ordering::Relaxed),
+                404 => shared.stats.not_found.fetch_add(1, Ordering::Relaxed),
+                _ => shared.stats.bad_request.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+        let write_start = Instant::now();
+        let sent = send(&mut stream, reply.status, &reply.body, reply.close, reply.content_type);
+        if shared.obs.is_some() && !reply.admin {
+            let write_ns = u64::try_from(write_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            reply.stages.add(Stage::Write, write_ns);
+            let total_ns = u64::try_from(service_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if let Some(obs) = &shared.obs {
+                obs.record_request(
+                    reply.use_case,
+                    reply.status,
+                    reply.payload_bytes,
+                    total_ns,
+                    &reply.stages,
+                );
+            }
+        }
+        if sent.is_err() {
             shared.stats.io_errors.fetch_add(1, Ordering::Relaxed);
             break;
         }
@@ -324,6 +468,15 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         if reply.close {
             break;
         }
+    }
+}
+
+/// Record a wire-level error response (408/413/400 sent straight from the
+/// connection loop) into the observability layer, so the HTTP status
+/// counters agree with [`ServeStats`] exactly.
+fn record_wire_error(shared: &Shared, status: u16) {
+    if let Some(obs) = &shared.obs {
+        obs.record_request(None, status, 0, 0, &WallStages::new());
     }
 }
 
@@ -349,28 +502,63 @@ fn handle_request(shared: &Shared, msg: &[u8], framed_body_len: usize) -> Reply 
 
     match (req.method, path) {
         (Method::Get | Method::Head, b"/health") => {
-            Reply { status: 200, body: "<aon health=\"ok\"/>".to_string(), close }
+            Reply::new(200, "<aon health=\"ok\"/>".to_string(), close)
         }
-        (Method::Post, _) => match route_use_case(shared, path) {
-            Some(uc) => match shared.engine.process_native(uc, body) {
-                Ok(true) => {
-                    Reply { status: 200, body: "<aon routed=\"true\"/>".to_string(), close }
-                }
-                Ok(false) => {
-                    Reply { status: 422, body: "<aon routed=\"false\"/>".to_string(), close }
-                }
-                Err(e) => Reply { status: 422, body: format!("<aon error=\"{e}\"/>"), close },
-            },
-            None => {
-                Reply { status: 404, body: "<aon error=\"no such endpoint\"/>".to_string(), close }
+        (Method::Get | Method::Head, b"/metrics") => match &shared.obs {
+            Some(obs) => {
+                let mut r = Reply::new(200, obs.registry.render_prometheus(), close);
+                r.content_type = "text/plain; version=0.0.4";
+                r.admin = true;
+                r
             }
+            None => not_found(close),
         },
-        _ => Reply { status: 404, body: "<aon error=\"no such endpoint\"/>".to_string(), close },
+        (Method::Get | Method::Head, b"/stats.json") => {
+            let mut body = shared.stats.snapshot().to_json_object("");
+            body.push('\n');
+            let mut r = Reply::new(200, body, close);
+            r.content_type = "application/json";
+            r.admin = true;
+            r
+        }
+        (Method::Get | Method::Head, b"/flight.jsonl") => match &shared.obs {
+            Some(obs) => {
+                let mut r = Reply::new(200, obs.flight.dump_jsonl(), close);
+                r.content_type = "application/x-ndjson";
+                r.admin = true;
+                r
+            }
+            None => not_found(close),
+        },
+        (Method::Post, _) => match route_use_case(shared, path) {
+            Some(uc) => {
+                let mut stages = WallStages::new();
+                let outcome = match &shared.obs {
+                    Some(_) => shared.engine.process_native_staged(uc, body, &mut stages),
+                    None => shared.engine.process_native(uc, body),
+                };
+                let mut r = match outcome {
+                    Ok(true) => Reply::new(200, "<aon routed=\"true\"/>".to_string(), close),
+                    Ok(false) => Reply::new(422, "<aon routed=\"false\"/>".to_string(), close),
+                    Err(e) => Reply::new(422, format!("<aon error=\"{e}\"/>"), close),
+                };
+                r.use_case = Some(uc);
+                r.payload_bytes = u64::try_from(body.len()).unwrap_or(u64::MAX);
+                r.stages = stages;
+                r
+            }
+            None => not_found(close),
+        },
+        _ => not_found(close),
     }
 }
 
 fn bad_request(why: &str) -> Reply {
-    Reply { status: 400, body: format!("<aon error=\"{why}\"/>"), close: true }
+    Reply::new(400, format!("<aon error=\"{why}\"/>"), true)
+}
+
+fn not_found(close: bool) -> Reply {
+    Reply::new(404, "<aon error=\"no such endpoint\"/>".to_string(), close)
 }
 
 /// Map a request path onto a use case.
@@ -387,7 +575,13 @@ fn route_use_case(shared: &Shared, path: &[u8]) -> Option<UseCase> {
 }
 
 /// Serialize and write one response.
-fn send(stream: &mut TcpStream, status: u16, body: &str, close: bool) -> Result<(), WireError> {
+fn send(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    close: bool,
+    content_type: &str,
+) -> Result<(), WireError> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -399,7 +593,7 @@ fn send(stream: &mut TcpStream, status: u16, body: &str, close: bool) -> Result<
     };
     let connection = if close { "close" } else { "keep-alive" };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: text/xml\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         body.len()
     );
     let mut out = head.into_bytes();
@@ -431,6 +625,18 @@ mod tests {
         out
     }
 
+    fn post(path: &[u8], body: &[u8]) -> Vec<u8> {
+        let mut req = Vec::new();
+        req.extend_from_slice(b"POST ");
+        req.extend_from_slice(path);
+        req.extend_from_slice(
+            format!(" HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n", body.len())
+                .as_bytes(),
+        );
+        req.extend_from_slice(body);
+        req
+    }
+
     #[test]
     fn serves_health_and_routes_use_cases() {
         let server = tiny_server();
@@ -446,15 +652,7 @@ mod tests {
             (b"/aon/cbr", b"HTTP/1.1 200"),
             (b"/aon/sv", b"HTTP/1.1 200"),
         ] {
-            let mut req = Vec::new();
-            req.extend_from_slice(b"POST ");
-            req.extend_from_slice(path);
-            req.extend_from_slice(
-                format!(" HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n", body.len())
-                    .as_bytes(),
-            );
-            req.extend_from_slice(body);
-            let got = roundtrip(addr, &req);
+            let got = roundtrip(addr, &post(path, body));
             assert!(
                 got.starts_with(expect),
                 "{}: {}",
@@ -553,5 +751,106 @@ mod tests {
         assert_eq!(stats.requests_ok, 5);
         assert_eq!(stats.accepted, 5);
         assert_eq!(stats.requests_total(), 5);
+    }
+
+    #[test]
+    fn metrics_endpoint_reports_exact_request_totals() {
+        let server = tiny_server();
+        let addr = server.addr();
+        let corpus = aon_server::Corpus::generate(42, 6);
+        let mut expect_ok = 0u64;
+        let mut expect_rejected = 0u64;
+        for v in &corpus.variants {
+            let body = &v.http[v.body_start..];
+            let got = roundtrip(addr, &post(b"/aon/cbr", body));
+            if v.cbr_match {
+                expect_ok += 1;
+                assert!(got.starts_with(b"HTTP/1.1 200"));
+            } else {
+                expect_rejected += 1;
+                assert!(got.starts_with(b"HTTP/1.1 422"));
+            }
+        }
+        assert!(expect_ok > 0 && expect_rejected > 0, "corpus must mix outcomes");
+
+        // Scrape twice: the scrape itself must not move any request total.
+        let first = roundtrip(addr, b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let text1 = String::from_utf8_lossy(&first).to_string();
+        assert!(text1.starts_with("HTTP/1.1 200"), "{text1}");
+        assert!(text1.contains("Content-Type: text/plain; version=0.0.4"), "{text1}");
+        let second = roundtrip(addr, b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let text2 = String::from_utf8_lossy(&second).to_string();
+
+        for text in [&text1, &text2] {
+            assert!(
+                text.contains(&format!(
+                    "aon_requests_total{{use_case=\"CBR\",outcome=\"ok\"}} {expect_ok}"
+                )),
+                "{text}"
+            );
+            assert!(text.contains(&format!(
+                "aon_requests_total{{use_case=\"CBR\",outcome=\"rejected\"}} {expect_rejected}"
+            )));
+            assert!(text.contains("aon_stage_duration_ns_bucket{use_case=\"CBR\",stage=\"parse\""));
+            assert!(text.contains("aon_stage_duration_ns_bucket{use_case=\"CBR\",stage=\"write\""));
+        }
+        // The second scrape sees the first only in the admin counter.
+        assert!(text1.contains("aon_admin_requests_total 0"), "{text1}");
+        assert!(text2.contains("aon_admin_requests_total 1"), "{text2}");
+
+        let stats = server.shutdown();
+        assert_eq!(stats.requests_ok, expect_ok);
+        assert_eq!(stats.requests_rejected, expect_rejected);
+        assert_eq!(stats.admin_requests, 2);
+    }
+
+    #[test]
+    fn stats_json_and_flight_endpoints_serve_observability_state() {
+        let server = tiny_server();
+        let addr = server.addr();
+        let corpus = aon_server::Corpus::generate(7, 2);
+        let body = &corpus.variants[0].http[corpus.variants[0].body_start..];
+        let got = roundtrip(addr, &post(b"/aon/sv", body));
+        assert!(got.starts_with(b"HTTP/1.1 200"), "{}", String::from_utf8_lossy(&got));
+
+        let got = roundtrip(addr, b"GET /stats.json HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let text = String::from_utf8_lossy(&got);
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(text.contains("Content-Type: application/json"));
+        assert!(text.contains("\"requests_ok\": 1"), "{text}");
+        assert!(text.contains("\"queue_depth_hwm\": 1"), "{text}");
+        assert!(text.contains("\"admin_requests\": 0"), "{text}");
+
+        let got = roundtrip(addr, b"GET /flight.jsonl HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let text = String::from_utf8_lossy(&got);
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(text.contains("\"use_case\":\"SV\""), "{text}");
+        assert!(text.contains("\"parse\":"), "flight events carry stage spans: {text}");
+
+        let cells = server.stage_cells();
+        assert!(cells.iter().any(|c| c.use_case == "SV" && c.stage == "validate"));
+        assert!(cells.iter().any(|c| c.use_case == "SV" && c.stage == "write"));
+        let stats = server.shutdown();
+        assert_eq!(stats.admin_requests, 2);
+        assert_eq!(stats.requests_total(), 1, "admin hits are not requests");
+    }
+
+    #[test]
+    fn observability_off_disables_admin_metrics_and_flight() {
+        let server =
+            Server::start(ServeConfig { workers: 1, observe: false, ..ServeConfig::default() })
+                .expect("bind");
+        let addr = server.addr();
+        assert!(server.metrics_text().is_none());
+        assert!(server.flight_jsonl().is_none());
+        assert!(server.stage_cells().is_empty());
+        let got = roundtrip(addr, b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(got.starts_with(b"HTTP/1.1 404"), "{}", String::from_utf8_lossy(&got));
+        // /stats.json works regardless: it reads ServeStats, not the registry.
+        let got = roundtrip(addr, b"GET /stats.json HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(got.starts_with(b"HTTP/1.1 200"), "{}", String::from_utf8_lossy(&got));
+        let stats = server.shutdown();
+        assert_eq!(stats.not_found, 1);
+        assert_eq!(stats.admin_requests, 1);
     }
 }

@@ -16,6 +16,7 @@
 use crate::corpus::CORPUS_XSD;
 use crate::dpi::RuleSet;
 use crate::usecase::{UseCase, CBR_EXPECT, CBR_XPATH};
+use aon_obs::stage::{NoopStages, Stage, StageRecorder};
 use aon_trace::{NullProbe, Probe};
 use aon_xml::input::TBuf;
 use aon_xml::parser::parse_document;
@@ -80,31 +81,66 @@ impl Engine {
         body: TBuf<'_>,
         p: &mut P,
     ) -> Result<bool, EngineError> {
+        self.process_staged(use_case, body, p, &mut NoopStages)
+    }
+
+    /// [`Engine::process`] with per-stage span timing: each pipeline
+    /// phase (parse, XPath, validate, DPI, crypto) runs inside a
+    /// [`StageRecorder::time`] span, so the live server can aggregate
+    /// per-(use case × stage) cost the way the paper decomposes service
+    /// time by phase. With [`NoopStages`] this *is* the untimed
+    /// pipeline — the recorder monomorphizes away, no clock is read.
+    pub fn process_staged<P: Probe, R: StageRecorder>(
+        &self,
+        use_case: UseCase,
+        body: TBuf<'_>,
+        p: &mut P,
+        rec: &mut R,
+    ) -> Result<bool, EngineError> {
         match use_case {
             UseCase::Fr => Ok(true),
             UseCase::Cbr => {
-                aon_xml::utf8::validate_utf8(body, p).ok_or(EngineError::BadUtf8)?;
-                let doc = parse_document(body, p).map_err(|_| EngineError::BadXml)?;
-                self.cbr.string_equals(&doc, CBR_EXPECT, p).map_err(|_| EngineError::BadXml)
+                let doc = rec.time(Stage::Parse, || {
+                    aon_xml::utf8::validate_utf8(body, p).ok_or(EngineError::BadUtf8)?;
+                    parse_document(body, p).map_err(|_| EngineError::BadXml)
+                })?;
+                rec.time(Stage::XPath, || {
+                    self.cbr.string_equals(&doc, CBR_EXPECT, p).map_err(|_| EngineError::BadXml)
+                })
             }
             UseCase::Sv => {
-                aon_xml::utf8::validate_utf8(body, p).ok_or(EngineError::BadUtf8)?;
-                let doc = parse_document(body, p).map_err(|_| EngineError::BadXml)?;
-                let payload = payload_root(&doc, p).map_err(|_| EngineError::NotSoap)?;
-                Ok(self.schema.validate_node(&doc, payload, p).is_valid())
+                let doc = rec.time(Stage::Parse, || {
+                    aon_xml::utf8::validate_utf8(body, p).ok_or(EngineError::BadUtf8)?;
+                    parse_document(body, p).map_err(|_| EngineError::BadXml)
+                })?;
+                rec.time(Stage::Validate, || {
+                    let payload = payload_root(&doc, p).map_err(|_| EngineError::NotSoap)?;
+                    Ok(self.schema.validate_node(&doc, payload, p).is_valid())
+                })
             }
-            UseCase::Dpi => Ok(self.dpi.scan(body, p).is_empty()),
-            UseCase::Crypto => {
+            UseCase::Dpi => rec.time(Stage::Dpi, || Ok(self.dpi.scan(body, p).is_empty())),
+            UseCase::Crypto => rec.time(Stage::Crypto, || {
                 let digest = crate::crypto::hmac_sha1_traced(self.key, body.raw(), 0, p);
                 p.alu(20);
                 Ok(digest[0] != 0xFF)
-            }
+            }),
         }
     }
 
     /// [`Engine::process`] with no tracing — the live serving fast path.
     pub fn process_native(&self, use_case: UseCase, body: &[u8]) -> Result<bool, EngineError> {
         self.process(use_case, TBuf::msg(body), &mut NullProbe)
+    }
+
+    /// [`Engine::process_native`] with wall-clock stage timing — the
+    /// live serving path when observability is enabled.
+    pub fn process_native_staged<R: StageRecorder>(
+        &self,
+        use_case: UseCase,
+        body: &[u8],
+        rec: &mut R,
+    ) -> Result<bool, EngineError> {
+        self.process_staged(use_case, TBuf::msg(body), &mut NullProbe, rec)
     }
 }
 
@@ -146,6 +182,55 @@ mod tests {
     fn non_soap_xml_is_rejected_by_sv() {
         let engine = Engine::new();
         assert_eq!(engine.process_native(UseCase::Sv, b"<notsoap/>"), Err(EngineError::NotSoap));
+    }
+
+    #[test]
+    fn staged_processing_times_the_right_stages() {
+        use aon_obs::stage::WallStages;
+        let engine = Engine::new();
+        let corpus = Corpus::generate(42, 2);
+        let body = &corpus.variants[0].http[corpus.variants[0].body_start..];
+
+        let mut fr = WallStages::new();
+        assert_eq!(engine.process_native_staged(UseCase::Fr, body, &mut fr), Ok(true));
+        assert_eq!(fr.total(), 0, "FR touches no pipeline stage");
+
+        let mut cbr = WallStages::new();
+        engine.process_native_staged(UseCase::Cbr, body, &mut cbr).expect("corpus body");
+        assert!(cbr.get(Stage::Parse) > 0, "CBR must record parse time");
+        assert!(cbr.get(Stage::XPath) > 0, "CBR must record xpath time");
+        assert_eq!(cbr.get(Stage::Validate), 0);
+
+        let mut sv = WallStages::new();
+        engine.process_native_staged(UseCase::Sv, body, &mut sv).expect("corpus body");
+        assert!(sv.get(Stage::Parse) > 0 && sv.get(Stage::Validate) > 0);
+        assert_eq!(sv.get(Stage::XPath), 0);
+
+        let mut dpi = WallStages::new();
+        engine.process_native_staged(UseCase::Dpi, body, &mut dpi).expect("corpus body");
+        assert!(dpi.get(Stage::Dpi) > 0);
+
+        let mut crypto = WallStages::new();
+        engine.process_native_staged(UseCase::Crypto, body, &mut crypto).expect("corpus body");
+        assert!(crypto.get(Stage::Crypto) > 0);
+    }
+
+    #[test]
+    fn staged_and_plain_processing_agree() {
+        use aon_obs::stage::WallStages;
+        let engine = Engine::new();
+        let corpus = Corpus::generate(11, 4);
+        for v in &corpus.variants {
+            let body = &v.http[v.body_start..];
+            for uc in UseCase::EXTENDED {
+                let mut w = WallStages::new();
+                assert_eq!(
+                    engine.process_native_staged(uc, body, &mut w),
+                    engine.process_native(uc, body),
+                    "{uc:?} staged result must match the untimed path"
+                );
+            }
+        }
     }
 
     #[test]

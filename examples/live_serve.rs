@@ -52,7 +52,21 @@ fn main() {
     );
     assert_eq!(report.requests_failed, 0, "live loop must be clean");
 
-    // 5. Graceful shutdown: drain and report.
+    // 5. The server kept its own performance counters the whole time:
+    // scrape the Prometheus exposition like a monitoring system would.
+    let metrics = aon::serve::loadgen::scrape(server.addr(), "/metrics", Duration::from_secs(5))
+        .expect("scrape /metrics");
+    println!("\nscraped /metrics (selected series):");
+    for line in metrics.lines() {
+        if line.starts_with("aon_requests_total") || line.starts_with("aon_admin_requests_total") {
+            println!("  {line}");
+        }
+    }
+    let samples = aon::obs::scrape::parse_prometheus(&metrics);
+    let processed = aon::obs::scrape::sum_samples(&samples, "aon_requests_total", &[]);
+    assert!(processed > 0.0, "the benchmark's requests must appear in /metrics");
+
+    // 6. Graceful shutdown: drain and report.
     let stats = server.shutdown();
     println!(
         "shutdown: accepted {}, served {}, protocol errors {}",

@@ -3,99 +3,68 @@
 //!
 //! By default this starts an in-process [`aon_serve::Server`] on an
 //! ephemeral loopback port, runs the closed-loop load generator against
-//! it, folds the server's own counters into the report, and exits 1 if
-//! any request failed (wrong status, wire error, or I/O error) or the
-//! server saw a protocol error — so CI can gate on it.
+//! it, folds the server's own counters and per-stage breakdown into the
+//! report, cross-checks a live `/metrics` scrape against the client-side
+//! counts, and exits 1 if any request failed (wrong status, wire error,
+//! or I/O error), the server saw a protocol error, or the scrape
+//! disagreed — so CI can gate on it.
 //!
 //! ```text
 //! cargo run --release --bin loadgen -- --duration 2
 //! cargo run --release --bin loadgen -- --addr 127.0.0.1:8080   # external server
 //! cargo run --release --bin loadgen -- --use-case sv --connections 8
+//! cargo run --release --bin loadgen -- --scrape-metrics metrics.prom
+//! cargo run --release --bin loadgen -- --obs-overhead          # off-vs-on p50
 //! ```
 
-use aon_serve::loadgen::{run, LoadgenConfig};
+use aon_obs::scrape::{parse_prometheus, sum_samples};
+use aon_serve::loadgen::{run, scrape, LoadgenConfig};
+use aon_serve::metrics::{LiveBenchReport, ObsOverhead};
 use aon_serve::server::{ServeConfig, Server};
 use aon_server::usecase::UseCase;
+use aon_trace::num::exact_f64;
 use std::time::Duration;
 
+/// Parsed command line.
+struct Args {
+    duration_secs: u64,
+    connections: usize,
+    addr: Option<String>,
+    use_cases: Vec<UseCase>,
+    out_path: String,
+    observe: bool,
+    scrape_path: Option<String>,
+    obs_overhead: bool,
+}
+
 fn main() {
-    let mut duration_secs: u64 = 2;
-    let mut connections: usize = 4;
-    let mut addr: Option<String> = None;
-    let mut use_cases: Vec<UseCase> = Vec::new();
-    let mut out_path = "BENCH_live.json".to_string();
+    let args = parse_args();
 
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        let mut value =
-            |name: &str| it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")));
-        match arg.as_str() {
-            "--duration" => {
-                duration_secs = value("--duration")
-                    .parse()
-                    .unwrap_or_else(|e| usage(&format!("--duration: {e}")));
-            }
-            "--connections" => {
-                connections = value("--connections")
-                    .parse()
-                    .unwrap_or_else(|e| usage(&format!("--connections: {e}")));
-            }
-            "--addr" => addr = Some(value("--addr")),
-            "--use-case" => use_cases.push(parse_use_case(&value("--use-case"))),
-            "--out" => out_path = value("--out"),
-            "--help" | "-h" => {
-                println!(
-                    "usage: loadgen [--duration SECS] [--connections N] \
-                     [--use-case fr|cbr|sv|dpi|crypto]... [--addr HOST:PORT] [--out FILE]"
-                );
-                return;
-            }
-            other => usage(&format!("unknown argument {other:?}")),
+    // Optional overhead baseline: the same closed loop with the software
+    // counters off, before the measured (observed) run.
+    let baseline_p50 = if args.obs_overhead {
+        eprintln!("loadgen: baseline run (observability off)");
+        let outcome = drive(&args, false, None);
+        if outcome.failed() {
+            eprintln!("loadgen: FAILED during the observability-off baseline run");
+            std::process::exit(1);
         }
+        Some(outcome.report.latency.p50_us)
+    } else {
+        None
+    };
+
+    let mut outcome = drive(&args, args.observe, args.scrape_path.as_deref());
+    if let Some(p50_off) = baseline_p50 {
+        outcome.report.obs_overhead = Some(ObsOverhead {
+            p50_us_obs_off: p50_off,
+            p50_us_obs_on: outcome.report.latency.p50_us,
+        });
     }
-    if use_cases.is_empty() {
-        use_cases = UseCase::ALL.to_vec();
-    }
-
-    // In-process server unless --addr points at an external one.
-    let server = match &addr {
-        Some(_) => None,
-        None => Some(Server::start(ServeConfig::default()).expect("bind loopback")),
-    };
-    let target = match (&server, &addr) {
-        (Some(s), _) => s.addr(),
-        (None, Some(a)) => a.parse().expect("--addr must be HOST:PORT"),
-        (None, None) => unreachable!(),
-    };
-
-    let cfg = LoadgenConfig {
-        addr: target,
-        connections,
-        duration: Duration::from_secs(duration_secs),
-        use_cases,
-        ..LoadgenConfig::default()
-    };
-    eprintln!(
-        "loadgen: {} connections x {}s against {} ({})",
-        cfg.connections,
-        duration_secs,
-        target,
-        if server.is_some() { "in-process server" } else { "external server" },
-    );
-
-    let mut report = run(&cfg);
-    let server_protocol_errors = match server {
-        Some(s) => {
-            let stats = s.shutdown();
-            let errs = stats.protocol_errors();
-            report.server = Some(stats);
-            errs
-        }
-        None => 0,
-    };
+    let report = &outcome.report;
 
     let json = report.to_json();
-    std::fs::write(&out_path, &json).expect("write BENCH_live.json");
+    std::fs::write(&args.out_path, &json).expect("write BENCH_live.json");
     eprintln!(
         "loadgen: {} ok, {} failed, {:.0} req/s, {:.2} Mbps payload, p50 {:.0}us p99 {:.0}us -> {}",
         report.requests_ok,
@@ -104,16 +73,195 @@ fn main() {
         report.payload_mbps(),
         report.latency.p50_us,
         report.latency.p99_us,
-        out_path,
+        args.out_path,
     );
-
-    if report.requests_failed > 0 || report.requests_ok == 0 || server_protocol_errors > 0 {
+    if let Some(o) = &report.obs_overhead {
         eprintln!(
-            "loadgen: FAILED (failed={}, ok={}, server protocol errors={})",
-            report.requests_failed, report.requests_ok, server_protocol_errors
+            "loadgen: obs overhead p50 {:.0}us -> {:.0}us ({:+.2}%)",
+            o.p50_us_obs_off,
+            o.p50_us_obs_on,
+            o.delta_pct()
+        );
+    }
+
+    if outcome.failed() {
+        eprintln!(
+            "loadgen: FAILED (failed={}, ok={}, server protocol errors={}, scrape mismatch={})",
+            report.requests_failed,
+            report.requests_ok,
+            outcome.server_protocol_errors,
+            outcome.scrape_mismatch
         );
         std::process::exit(1);
     }
+}
+
+/// The result of one measured run plus its gate inputs.
+struct RunOutcome {
+    report: LiveBenchReport,
+    server_protocol_errors: u64,
+    scrape_mismatch: bool,
+}
+
+impl RunOutcome {
+    fn failed(&self) -> bool {
+        self.report.requests_failed > 0
+            || self.report.requests_ok == 0
+            || self.server_protocol_errors > 0
+            || self.scrape_mismatch
+    }
+}
+
+/// Run the closed loop once: in-process server (unless `--addr`), load,
+/// optional live `/metrics` scrape + cross-check, stats fold-in.
+fn drive(args: &Args, observe: bool, scrape_path: Option<&str>) -> RunOutcome {
+    let server = match &args.addr {
+        Some(_) => None,
+        None => Some(
+            Server::start(ServeConfig { observe, ..ServeConfig::default() })
+                .expect("bind loopback"),
+        ),
+    };
+    let target = match (&server, &args.addr) {
+        (Some(s), _) => s.addr(),
+        (None, Some(a)) => a.parse().expect("--addr must be HOST:PORT"),
+        (None, None) => unreachable!(),
+    };
+
+    let cfg = LoadgenConfig {
+        addr: target,
+        connections: args.connections,
+        duration: Duration::from_secs(args.duration_secs),
+        use_cases: args.use_cases.clone(),
+        ..LoadgenConfig::default()
+    };
+    eprintln!(
+        "loadgen: {} connections x {}s against {} ({}, observability {})",
+        cfg.connections,
+        args.duration_secs,
+        target,
+        if server.is_some() { "in-process server" } else { "external server" },
+        if observe { "on" } else { "off" },
+    );
+
+    let mut report = run(&cfg);
+    let mut scrape_mismatch = false;
+
+    // Scrape the *live* server (before shutdown) so the file matches what
+    // an external Prometheus would have collected.
+    if let Some(path) = scrape_path {
+        if observe {
+            let text = scrape_settled(target, report.requests_ok);
+            // Exact-equality cross-check is only sound against a server
+            // this process drove exclusively.
+            if server.is_some() && !metrics_agree(&text, report.requests_ok) {
+                eprintln!(
+                    "loadgen: /metrics totals disagree with client counts (expected {})",
+                    report.requests_ok
+                );
+                scrape_mismatch = true;
+            }
+            std::fs::write(path, &text).expect("write scraped metrics");
+            eprintln!("loadgen: scraped /metrics -> {path}");
+        } else {
+            eprintln!("loadgen: --scrape-metrics ignored (observability off)");
+        }
+    }
+
+    let server_protocol_errors = match server {
+        Some(s) => {
+            report.stages = s.stage_cells();
+            let stats = s.shutdown();
+            let errs = stats.protocol_errors();
+            report.server = Some(stats);
+            errs
+        }
+        None => 0,
+    };
+    RunOutcome { report, server_protocol_errors, scrape_mismatch }
+}
+
+/// Scrape `/metrics` until the request totals settle at `expected` (the
+/// server records a request just *after* writing its response, so the
+/// final few events can trail the client by a scheduling quantum).
+fn scrape_settled(addr: std::net::SocketAddr, expected: u64) -> String {
+    let timeout = Duration::from_secs(5);
+    let mut text = String::new();
+    for _ in 0..40 {
+        text = scrape(addr, "/metrics", timeout).unwrap_or_default();
+        if metrics_agree(&text, expected) {
+            return text;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    text
+}
+
+/// Does the scraped exposition's processed-request total equal the
+/// client's completed-request count exactly?
+fn metrics_agree(text: &str, expected: u64) -> bool {
+    let samples = parse_prometheus(text);
+    let ok = sum_samples(&samples, "aon_requests_total", &[("outcome", "ok")]);
+    let rejected = sum_samples(&samples, "aon_requests_total", &[("outcome", "rejected")]);
+    ok + rejected == exact_f64(expected)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        duration_secs: 2,
+        connections: 4,
+        addr: None,
+        use_cases: Vec::new(),
+        out_path: "BENCH_live.json".to_string(),
+        observe: true,
+        scrape_path: None,
+        obs_overhead: false,
+    };
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")));
+        match arg.as_str() {
+            "--duration" => {
+                args.duration_secs = value("--duration")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("--duration: {e}")));
+            }
+            "--connections" => {
+                args.connections = value("--connections")
+                    .parse()
+                    .unwrap_or_else(|e| usage(&format!("--connections: {e}")));
+            }
+            "--addr" => args.addr = Some(value("--addr")),
+            "--use-case" => args.use_cases.push(parse_use_case(&value("--use-case"))),
+            "--out" => args.out_path = value("--out"),
+            "--no-obs" => args.observe = false,
+            "--scrape-metrics" => args.scrape_path = Some(value("--scrape-metrics")),
+            "--obs-overhead" => args.obs_overhead = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--duration SECS] [--connections N] \
+                     [--use-case fr|cbr|sv|dpi|crypto]... [--addr HOST:PORT] [--out FILE] \
+                     [--no-obs] [--scrape-metrics FILE] [--obs-overhead]"
+                );
+                std::process::exit(0);
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if args.use_cases.is_empty() {
+        args.use_cases = UseCase::ALL.to_vec();
+    }
+    if args.obs_overhead {
+        if args.addr.is_some() {
+            usage("--obs-overhead needs an in-process server (drop --addr)");
+        }
+        if !args.observe {
+            usage("--obs-overhead and --no-obs are mutually exclusive");
+        }
+    }
+    args
 }
 
 fn parse_use_case(s: &str) -> UseCase {

@@ -1,0 +1,169 @@
+//! Paper-style live report from a running server's `/metrics` endpoint.
+//!
+//! Scrapes the Prometheus exposition twice across an interval and derives
+//! the numbers the paper tabulates: per-use-case throughput (req/s,
+//! payload Mbps), the service-time decomposition by pipeline stage
+//! (where do the cycles go for CBR vs SV vs DPI?), the response status
+//! mix, and edge admission counters (accept-queue high-water mark,
+//! dropped connections).
+//!
+//! ```text
+//! cargo run --release --bin obs-report -- --addr 127.0.0.1:8080
+//! cargo run --release --bin obs-report -- --addr 127.0.0.1:8080 --interval-ms 5000
+//! ```
+//!
+//! Works against any server started with observability on (the default);
+//! exits 2 if the endpoint is unreachable or observability is off.
+
+use aon_obs::scrape::{parse_prometheus, sum_samples, ScrapedSample};
+use aon_obs::stage::Stage;
+use aon_serve::loadgen::scrape;
+use aon_server::usecase::UseCase;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let (addr, interval) = parse_args();
+    let timeout = Duration::from_secs(5);
+
+    let first = match scrape(addr, "/metrics", timeout) {
+        Ok(t) => parse_prometheus(&t),
+        Err(e) => fail(&format!("cannot scrape {addr}/metrics: {e:?} (is --no-obs set?)")),
+    };
+    let started = Instant::now();
+    std::thread::sleep(interval);
+    let second_text = match scrape(addr, "/metrics", timeout) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("second scrape failed: {e:?}")),
+    };
+    let second = parse_prometheus(&second_text);
+    let window = started.elapsed().as_secs_f64();
+
+    println!("obs-report: {addr}, {window:.2}s window");
+    println!();
+    println!("{:<8} {:>10} {:>10} {:>12}", "use case", "req/s", "rej/s", "payload Mbps");
+    for uc in UseCase::EXTENDED {
+        let label = uc.label();
+        let ok_rate =
+            delta(&second, &first, "aon_requests_total", &[("use_case", label), ("outcome", "ok")])
+                / window;
+        let rej_rate = delta(
+            &second,
+            &first,
+            "aon_requests_total",
+            &[("use_case", label), ("outcome", "rejected")],
+        ) / window;
+        let mbps = delta(&second, &first, "aon_payload_bytes_total", &[("use_case", label)]) * 8.0
+            / window
+            / 1_000_000.0;
+        println!("{label:<8} {ok_rate:>10.1} {rej_rate:>10.1} {mbps:>12.3}");
+    }
+
+    println!();
+    println!("service-time decomposition (share of recorded stage time, this window):");
+    print!("{:<8}", "use case");
+    for stage in Stage::ALL {
+        print!(" {:>9}", stage.label());
+    }
+    println!();
+    for uc in UseCase::EXTENDED {
+        let label = uc.label();
+        let per_stage: Vec<f64> = Stage::ALL
+            .iter()
+            .map(|s| {
+                delta(
+                    &second,
+                    &first,
+                    "aon_stage_duration_ns_sum",
+                    &[("use_case", label), ("stage", s.label())],
+                )
+            })
+            .collect();
+        let total: f64 = per_stage.iter().sum();
+        print!("{label:<8}");
+        for ns in &per_stage {
+            if total > 0.0 {
+                print!(" {:>8.1}%", ns / total * 100.0);
+            } else {
+                print!(" {:>9}", "-");
+            }
+        }
+        println!();
+    }
+
+    println!();
+    println!("response status mix (cumulative):");
+    for s in aon_serve::obs::STATUSES {
+        let status = s.to_string();
+        let n = sum_samples(&second, "aon_http_responses_total", &[("status", status.as_str())]);
+        if n > 0.0 {
+            println!("  {status}: {n:.0}");
+        }
+    }
+    println!();
+    println!("edge admission (cumulative):");
+    println!("  accepted: {:.0}", sum_samples(&second, "aon_connections_accepted_total", &[]));
+    println!(
+        "  dropped (backlog full): {:.0}",
+        sum_samples(&second, "aon_connections_dropped_total", &[("reason", "backlog")])
+    );
+    println!(
+        "  rejected (shutdown): {:.0}",
+        sum_samples(&second, "aon_connections_dropped_total", &[("reason", "closed")])
+    );
+    println!(
+        "  accept-queue depth high-water mark: {:.0}",
+        sum_samples(&second, "aon_accept_queue_depth_hwm", &[])
+    );
+    println!("  admin scrapes: {:.0}", sum_samples(&second, "aon_admin_requests_total", &[]));
+}
+
+/// Counter increase across the window (clamped at zero: counters are
+/// monotonic, so a negative delta means the server restarted between
+/// scrapes and the window is meaningless for that series).
+fn delta(
+    later: &[ScrapedSample],
+    earlier: &[ScrapedSample],
+    name: &str,
+    labels: &[(&str, &str)],
+) -> f64 {
+    (sum_samples(later, name, labels) - sum_samples(earlier, name, labels)).max(0.0)
+}
+
+fn parse_args() -> (SocketAddr, Duration) {
+    let mut addr: Option<SocketAddr> = None;
+    let mut interval_ms: u64 = 2000;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| fail(&format!("{name} needs a value")));
+        match arg.as_str() {
+            "--addr" => {
+                addr = Some(
+                    value("--addr")
+                        .parse()
+                        .unwrap_or_else(|e| fail(&format!("--addr must be HOST:PORT: {e}"))),
+                );
+            }
+            "--interval-ms" => {
+                interval_ms = value("--interval-ms")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("--interval-ms: {e}")));
+            }
+            "--help" | "-h" => {
+                println!("usage: obs-report --addr HOST:PORT [--interval-ms MS]");
+                std::process::exit(0);
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    match addr {
+        Some(a) => (a, Duration::from_millis(interval_ms)),
+        None => fail("--addr is required (a running server with observability on)"),
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obs-report: {msg}");
+    std::process::exit(2)
+}

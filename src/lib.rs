@@ -13,11 +13,14 @@
 //! * [`sim`] (`aon-sim`) — cycle-approximate dual-processor simulator.
 //! * [`net`] (`aon-net`) — simulated network substrate + netperf.
 //! * [`server`] (`aon-server`) — the XML AON server application.
+//! * [`obs`] (`aon-obs`) — software performance counters: metric
+//!   registry, stage spans, flight recorder, Prometheus exposition.
 //! * [`serve`] (`aon-serve`) — live TCP serving subsystem + load generator.
 //! * [`core`] (`aon-core`) — platforms, experiments, metrics, reporting.
 
 pub use aon_core as core;
 pub use aon_net as net;
+pub use aon_obs as obs;
 pub use aon_serve as serve;
 pub use aon_server as server;
 pub use aon_sim as sim;
