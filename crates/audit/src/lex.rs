@@ -1,0 +1,245 @@
+//! A lightweight Rust tokenizer for the audit passes.
+//!
+//! The analyzer never needs full parsing — every rule it enforces is a
+//! pattern over identifiers and punctuation — but it does need tokens
+//! rather than substrings, so `as_of` never matches `as`, `Mutex` in a
+//! doc string never registers, and `self.0.load(...)` can be walked
+//! backwards to a receiver. Tokenization runs over the *scrubbed* code
+//! channel (see [`crate::scrub`]), which has already blanked comments,
+//! strings, and char literals, so the token stream is code and only code.
+//!
+//! [`FileSpans`] adds the two pieces of cheap structure the concurrency
+//! passes need on top of a flat token stream: for every line, the name of
+//! the enclosing `struct` declaration body (to tell a field declaration
+//! from a struct-literal initializer) and of the enclosing `impl` block
+//! (to resolve `self.0` on a tuple struct to its type's declared role).
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`let`, `static`, `AtomicU64`, `fetch_add`).
+    Ident,
+    /// Integer literal (tuple-field indices like the `0` in `self.0`).
+    Number,
+    /// Punctuation; multi-char operators `::`, `->`, `=>` stay together.
+    Punct,
+}
+
+/// One token on one line of scrubbed code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// The token text.
+    pub text: String,
+    /// Classification.
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is(&self, text: &str) -> bool {
+        self.text == text
+    }
+}
+
+/// Tokenize one line of scrubbed code.
+pub fn line_tokens(code: &str) -> Vec<Tok> {
+    let b: Vec<char> = code.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok { text: b[start..i].iter().collect(), kind: TokKind::Ident });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok { text: b[start..i].iter().collect(), kind: TokKind::Number });
+        } else {
+            let two: String = b[i..(i + 2).min(b.len())].iter().collect();
+            if two == "::" || two == "->" || two == "=>" {
+                toks.push(Tok { text: two, kind: TokKind::Punct });
+                i += 2;
+            } else {
+                toks.push(Tok { text: c.to_string(), kind: TokKind::Punct });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Index of the first token with this text, if any.
+pub fn find_tok(toks: &[Tok], text: &str) -> Option<usize> {
+    toks.iter().position(|t| t.text == text)
+}
+
+/// Per-line structural context for a whole file.
+#[derive(Debug)]
+pub struct FileSpans {
+    /// For each line: the name of the `struct` whose declaration braces
+    /// enclose it, if any.
+    pub struct_of: Vec<Option<String>>,
+    /// For each line: the self type of the `impl` block enclosing it.
+    pub impl_of: Vec<Option<String>>,
+}
+
+/// What kind of named block an open brace belongs to.
+enum BlockKind {
+    Struct,
+    Impl,
+    Other,
+}
+
+/// A block header seen but whose `{` has not arrived yet.
+struct Pending {
+    kind: BlockKind,
+    name: String,
+}
+
+impl FileSpans {
+    /// Compute spans by walking the scrubbed code lines with brace
+    /// tracking. Only `struct` and `impl` blocks are named; everything
+    /// else (fns, matches, loops) pushes an anonymous frame so nesting
+    /// stays balanced.
+    pub fn new(code_lines: &[String]) -> FileSpans {
+        let n = code_lines.len();
+        let mut struct_of: Vec<Option<String>> = vec![None; n];
+        let mut impl_of: Vec<Option<String>> = vec![None; n];
+        // Stack of (kind, name) per open brace.
+        let mut stack: Vec<(BlockKind, String)> = Vec::new();
+        let mut pending: Option<Pending> = None;
+
+        for (idx, line) in code_lines.iter().enumerate() {
+            // The line inherits the context that is open when it starts.
+            struct_of[idx] = innermost(&stack, |k| matches!(k, BlockKind::Struct));
+            impl_of[idx] = innermost(&stack, |k| matches!(k, BlockKind::Impl));
+
+            let toks = line_tokens(line);
+            let mut i = 0;
+            while i < toks.len() {
+                let t = &toks[i];
+                if t.is("struct") {
+                    if let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                        pending =
+                            Some(Pending { kind: BlockKind::Struct, name: name.text.clone() });
+                    }
+                } else if t.is("impl") {
+                    if let Some(name) = impl_target(&toks[i + 1..]) {
+                        pending = Some(Pending { kind: BlockKind::Impl, name });
+                    }
+                } else if t.text == "{" {
+                    match pending.take() {
+                        Some(p) => stack.push((p.kind, p.name)),
+                        None => stack.push((BlockKind::Other, String::new())),
+                    }
+                    // A brace opening mid-line puts the rest of this line
+                    // inside the block; field declarations on the header
+                    // line itself do not occur in rustfmt'd code.
+                } else if t.text == "}" {
+                    stack.pop();
+                } else if t.text == ";" {
+                    // `struct Name(...);` or `struct Name;` — a tuple or
+                    // unit struct has no brace block.
+                    pending = None;
+                }
+                i += 1;
+            }
+        }
+        FileSpans { struct_of, impl_of }
+    }
+}
+
+/// The innermost named frame matching `want`, if any.
+fn innermost(stack: &[(BlockKind, String)], want: impl Fn(&BlockKind) -> bool) -> Option<String> {
+    stack.iter().rev().find(|(k, _)| want(k)).map(|(_, n)| n.clone())
+}
+
+/// The self-type name of an `impl` header: skip one balanced `<...>`
+/// generic-parameter list if present, take the first identifier, and if a
+/// `for` follows before the block opens, take the identifier after `for`
+/// instead (trait impls name the implementing type).
+fn impl_target(toks: &[Tok]) -> Option<String> {
+    let mut i = 0;
+    if toks.get(i).map(|t| t.text == "<") == Some(true) {
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match toks[i].text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let mut name = None;
+    let mut saw_for = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.text == "{" {
+            break;
+        }
+        if t.is("for") {
+            saw_for = true;
+            name = None;
+        } else if t.kind == TokKind::Ident && name.is_none() {
+            name = Some(t.text.clone());
+        } else if saw_for && t.text == "::" {
+            // `impl Trait for mod::Type` — keep scanning so the last
+            // path segment wins.
+            name = None;
+        }
+        i += 1;
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_split_idents_numbers_and_multichar_puncts() {
+        let toks = line_tokens("self.0.load(Ordering::Relaxed) -> u64");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["self", ".", "0", ".", "load", "(", "Ordering", "::", "Relaxed", ")", "->", "u64"]
+        );
+        assert_eq!(toks[2].kind, TokKind::Number);
+        assert_eq!(toks[7].kind, TokKind::Punct);
+    }
+
+    #[test]
+    fn spans_name_struct_bodies_and_impl_blocks() {
+        let src = "pub struct Stats {\n    pub hits: AtomicU64,\n}\nimpl Stats {\n    fn get(&self) {}\n}\nimpl<T> Queue<T> {\n    fn pop(&self) {}\n}\nimpl std::fmt::Display for Stats {\n    fn fmt(&self) {}\n}\n";
+        let lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let spans = FileSpans::new(&lines);
+        assert_eq!(spans.struct_of[1].as_deref(), Some("Stats"));
+        assert_eq!(spans.struct_of[4], None, "impl bodies are not struct bodies");
+        assert_eq!(spans.impl_of[4].as_deref(), Some("Stats"));
+        assert_eq!(spans.impl_of[7].as_deref(), Some("Queue"), "generics are skipped");
+        assert_eq!(spans.impl_of[10].as_deref(), Some("Stats"), "trait impls name the self type");
+    }
+
+    #[test]
+    fn tuple_structs_do_not_open_a_span() {
+        let src = "pub struct Counter(AtomicU64);\nfn f() {\n    let x = 1;\n}\n";
+        let lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let spans = FileSpans::new(&lines);
+        assert!(spans.struct_of.iter().all(Option::is_none));
+    }
+}

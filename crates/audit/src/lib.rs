@@ -22,6 +22,19 @@
 //!    ([`DOC_ENFORCED_FILES`]) has a doc comment, including struct fields:
 //!    these names become column headers in reproduced paper tables.
 //!
+//! On top of these, the [`concurrency`] module adds three passes over the
+//! same scrubbed source (backed by the [`lex`] tokenizer): a **sync-role
+//! registry** (every `Atomic*`/`Mutex`/`Condvar`/... declaration carries
+//! an `audit:role(...)` marker), **atomics-discipline** (per-role allowed
+//! `Ordering`s, with `SeqCst` flagged on hot-path files), and
+//! **lock-discipline** (no guard held across blocking I/O in the serving
+//! crates). See the module docs for the role taxonomy and marker syntax.
+//!
+//! The total number of waiver lines in the workspace is pinned by a
+//! budget file ([`WAIVER_BUDGET_FILE`]): the CLI fails when the actual
+//! count differs from the budget in either direction, so adding *or*
+//! retiring a waiver forces a visible budget bump in the same diff.
+//!
 //! A violation can be waived with a marker comment on the same line or on
 //! the line directly above:
 //!
@@ -33,6 +46,9 @@
 //! a justification after the colon. Waivers are counted and listed in the
 //! summary so they stay visible; markers inside string literals waive
 //! nothing.
+
+pub mod concurrency;
+pub mod lex;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -323,6 +339,18 @@ fn is_waiver_comment(comment_line: &str) -> bool {
     t.starts_with("//") && !t.starts_with("///") && !t.starts_with("//!")
 }
 
+/// The rule name inside an `audit:allow(<rule>)` marker, if the line
+/// carries one that [`is_waiver_comment`] accepts.
+pub fn waiver_rule(comment_line: &str) -> Option<String> {
+    if !is_waiver_comment(comment_line) {
+        return None;
+    }
+    let at = comment_line.find("audit:allow(")?;
+    let rest = &comment_line[at + "audit:allow(".len()..];
+    let close = rest.find(')')?;
+    Some(rest[..close].trim().to_string())
+}
+
 /// A violation on line `idx` is waived by a marker on the same line or on
 /// the line immediately above it.
 fn line_waived(s: &Scrubbed, idx: usize, rule: &str) -> bool {
@@ -334,19 +362,11 @@ const NUMERIC_TYPES: &[&str] = &[
     "f64",
 ];
 
-/// Count raw `as <numeric>` casts on one scrubbed line.
+/// Count raw `as <numeric>` casts on one scrubbed line, by token pair so
+/// identifiers merely containing `as` never match.
 fn casts_on_line(code: &str) -> usize {
-    let mut n = 0;
-    let toks: Vec<&str> = code
-        .split(|c: char| !(c.is_alphanumeric() || c == '_'))
-        .filter(|t| !t.is_empty())
-        .collect();
-    for w in toks.windows(2) {
-        if w[0] == "as" && NUMERIC_TYPES.contains(&w[1]) {
-            n += 1;
-        }
-    }
-    n
+    let toks = lex::line_tokens(code);
+    toks.windows(2).filter(|w| w[0].is("as") && NUMERIC_TYPES.contains(&w[1].text.as_str())).count()
 }
 
 /// Rule 1: raw numeric `as` casts in an enforced file (non-test lines,
@@ -491,13 +511,17 @@ pub fn check_doc_comments(rel_path: &Path, source: &str) -> Vec<Finding> {
         if !is_pub_item {
             continue;
         }
-        // Walk back over attributes to the line that should document it.
+        // Walk back over attributes and plain `//` comments (e.g. an
+        // `audit:role` marker) to the line that should document it.
         let mut j = idx;
         let mut documented = false;
         while j > 0 {
             j -= 1;
             let prev = raw[j].trim_start();
-            if prev.starts_with("#[") || prev.starts_with("#![") {
+            if prev.starts_with("#[")
+                || prev.starts_with("#![")
+                || (prev.starts_with("//") && !prev.starts_with("///") && !prev.starts_with("//!"))
+            {
                 continue;
             }
             documented = prev.starts_with("///") || prev.starts_with("#[doc");
@@ -526,17 +550,51 @@ pub fn check_doc_comments(rel_path: &Path, source: &str) -> Vec<Finding> {
     out
 }
 
+/// One `audit:allow(...)` marker line found in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Waiver {
+    /// Workspace-relative path.
+    pub file: PathBuf,
+    /// 1-based line number of the marker.
+    pub line: usize,
+    /// The rule name inside the marker's parentheses.
+    pub rule: String,
+}
+
 /// Full report from one audit run.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// All violations found, in path order.
+    /// All violations found, sorted by (file, line, rule).
     pub findings: Vec<Finding>,
     /// Raw `as` casts seen in files where rule 1 is informational only.
     pub informational_casts: usize,
-    /// Lines carrying an `audit:allow(...)` waiver.
-    pub waivers: Vec<(PathBuf, usize)>,
+    /// Every `audit:allow(...)` marker line, sorted by (file, line).
+    pub waivers: Vec<Waiver>,
+    /// Every sync-primitive declaration the role registry inventoried,
+    /// sorted by (file, line).
+    pub sync_sites: Vec<concurrency::SyncSite>,
     /// Rust files scanned.
     pub files_scanned: usize,
+}
+
+/// The workspace-relative path of the waiver-count budget file. The file
+/// holds the exact number of waiver lines the workspace is allowed to
+/// carry; any waiver added or removed must bump it in the same diff, so
+/// waiver churn is always visible in review.
+pub const WAIVER_BUDGET_FILE: &str = "crates/audit/waiver-budget.txt";
+
+/// Read the waiver budget: the first non-comment, non-blank line of
+/// [`WAIVER_BUDGET_FILE`], parsed as a count.
+pub fn waiver_budget(root: &Path) -> Result<usize, String> {
+    let path = root.join(WAIVER_BUDGET_FILE);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {WAIVER_BUDGET_FILE}: {e}"))?;
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .ok_or_else(|| format!("{WAIVER_BUDGET_FILE} contains no budget line"))?
+        .parse()
+        .map_err(|e| format!("{WAIVER_BUDGET_FILE}: bad budget count: {e}"))
 }
 
 /// Walk the workspace at `root` and apply all four rules.
@@ -554,8 +612,8 @@ pub fn audit_workspace(root: &Path) -> std::io::Result<Report> {
         let s = scrub(&source);
         report.files_scanned += 1;
         for (idx, cmt) in s.comments.iter().enumerate() {
-            if is_waiver_comment(cmt) && cmt.contains("audit:allow(") {
-                report.waivers.push((rel.clone(), idx + 1));
+            if let Some(rule) = waiver_rule(cmt) {
+                report.waivers.push(Waiver { file: rel.clone(), line: idx + 1, rule });
             }
         }
         let rel_str = rel.to_string_lossy().replace('\\', "/");
@@ -567,6 +625,16 @@ pub fn audit_workspace(root: &Path) -> std::io::Result<Report> {
         report.findings.extend(check_unwrap_panic(rel, &s));
         if DOC_ENFORCED_FILES.contains(&rel_str.as_str()) {
             report.findings.extend(check_doc_comments(rel, &source));
+        }
+        if concurrency::concurrency_enforced(&rel_str) {
+            let spans = lex::FileSpans::new(&s.lines);
+            let (sites, role_findings) = concurrency::check_sync_roles(rel, &s, &spans);
+            report.findings.extend(role_findings);
+            report.findings.extend(concurrency::check_atomics_discipline(rel, &s, &spans, &sites));
+            if concurrency::LOCK_ENFORCED_PREFIXES.iter().any(|p| rel_str.starts_with(p)) {
+                report.findings.extend(concurrency::check_lock_discipline(rel, &s));
+            }
+            report.sync_sites.extend(sites);
         }
     }
 
@@ -594,6 +662,11 @@ pub fn audit_workspace(root: &Path) -> std::io::Result<Report> {
         }
         report.findings.extend(check_lint_gate(&rel, &manifest, &root_source, gate_defined));
     }
+
+    // Deterministic output regardless of directory-walk order.
+    report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report.waivers.sort();
+    report.sync_sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
 
     Ok(report)
 }

@@ -48,11 +48,60 @@ fn main() -> ExitCode {
         report.waivers.len(),
         report.informational_casts,
     );
-    for (file, line) in &report.waivers {
-        println!("aon-audit: waiver at {}:{line}", file.display());
+
+    // Sync-primitive inventory: per-role counts, then every site.
+    let mut role_counts: std::collections::BTreeMap<&str, usize> = Default::default();
+    for site in &report.sync_sites {
+        *role_counts.entry(site.role.as_deref().unwrap_or("<undeclared>")).or_default() += 1;
+    }
+    let summary =
+        role_counts.iter().map(|(role, n)| format!("{role}={n}")).collect::<Vec<_>>().join(", ");
+    println!("aon-audit: {} sync primitive(s) inventoried: {summary}", report.sync_sites.len());
+    for site in &report.sync_sites {
+        println!(
+            "aon-audit: sync {}:{}: {} `{}` role={}",
+            site.file.display(),
+            site.line,
+            site.primitive,
+            site.name,
+            site.role.as_deref().unwrap_or("<undeclared>"),
+        );
     }
 
-    if report.findings.is_empty() {
+    // Waiver report (already sorted by file:line) and budget enforcement.
+    for w in &report.waivers {
+        println!("aon-audit: waiver at {}:{}: allow({})", w.file.display(), w.line, w.rule);
+    }
+    let mut budget_ok = true;
+    match aon_audit::waiver_budget(&root) {
+        Err(e) => {
+            eprintln!("aon-audit: {e}");
+            budget_ok = false;
+        }
+        Ok(budget) if report.waivers.len() > budget => {
+            eprintln!(
+                "aon-audit: {} waiver(s) exceed the budget of {budget}; remove waivers or \
+                 bump {} in the same diff with a justification",
+                report.waivers.len(),
+                aon_audit::WAIVER_BUDGET_FILE,
+            );
+            budget_ok = false;
+        }
+        Ok(budget) if report.waivers.len() < budget => {
+            eprintln!(
+                "aon-audit: only {} waiver(s) remain but the budget is {budget}; lower {} \
+                 so the headroom cannot be spent silently",
+                report.waivers.len(),
+                aon_audit::WAIVER_BUDGET_FILE,
+            );
+            budget_ok = false;
+        }
+        Ok(budget) => {
+            println!("aon-audit: waiver budget {budget} exactly met");
+        }
+    }
+
+    if report.findings.is_empty() && budget_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

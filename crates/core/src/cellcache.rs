@@ -45,20 +45,24 @@ use std::sync::OnceLock;
 /// Bump when the entry format or key derivation changes.
 const FORMAT: &str = "aon-cell-cache v1";
 
+// audit:role(flag): cache on/off edge; Release store in enable() makes any
+// prior setup visible to workers that observe it with Acquire
 static ENABLED: AtomicBool = AtomicBool::new(false);
+// audit:role(counter): monotonic lookup hits; exact once workers quiesce
 static HITS: AtomicU64 = AtomicU64::new(0);
+// audit:role(counter): monotonic lookup misses; exact once workers quiesce
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// Turn the cache on for this process (report binaries call this; tests
 /// don't). `AON_CELL_CACHE=0` in the environment still vetoes it.
 pub fn enable() {
-    ENABLED.store(true, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Release);
 }
 
 /// Whether lookups are active: enabled, not vetoed, and the executable
 /// fingerprint is available.
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Acquire)
         && !matches!(std::env::var("AON_CELL_CACHE").as_deref(), Ok("0") | Ok("off"))
         && exe_fingerprint().is_some()
 }
@@ -90,6 +94,7 @@ const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
 /// process. `None` (unreadable binary) disables the cache rather than
 /// risking a stale hit.
 fn exe_fingerprint() -> Option<u64> {
+    // audit:role(once): init-once cell; OnceLock's own API synchronizes
     static FP: OnceLock<Option<u64>> = OnceLock::new();
     *FP.get_or_init(|| {
         let exe = std::env::current_exe().ok()?;

@@ -140,7 +140,10 @@ pub fn run_grid(
         return cells.iter().map(|&(p, w)| run_cell(p, w, cfg)).collect();
     }
     let workers = pool_size(cells.len());
+    // audit:role(seqgen): unique work-ticket dispenser; Relaxed suffices
+    // because cells are independent and each result lands in its own slot
     let next = std::sync::atomic::AtomicUsize::new(0);
+    // audit:role(lock): one slot per cell; scope join publishes results
     let out: Vec<std::sync::Mutex<Option<Measurement>>> =
         (0..cells.len()).map(|_| std::sync::Mutex::new(None)).collect();
     std::thread::scope(|scope| {

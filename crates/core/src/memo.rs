@@ -96,25 +96,34 @@ pub struct MemoStats {
     pub netperf_misses: u64,
 }
 
+// audit:role(counter): monotonic memo hits; read for reporting only
 static CORPUS_HITS: AtomicU64 = AtomicU64::new(0);
+// audit:role(counter): monotonic memo misses; read for reporting only
 static CORPUS_MISSES: AtomicU64 = AtomicU64::new(0);
+// audit:role(counter): monotonic memo hits; read for reporting only
 static SERVER_HITS: AtomicU64 = AtomicU64::new(0);
+// audit:role(counter): monotonic memo misses; read for reporting only
 static SERVER_MISSES: AtomicU64 = AtomicU64::new(0);
+// audit:role(counter): monotonic memo hits; read for reporting only
 static NETPERF_HITS: AtomicU64 = AtomicU64::new(0);
+// audit:role(counter): monotonic memo misses; read for reporting only
 static NETPERF_MISSES: AtomicU64 = AtomicU64::new(0);
 
 fn corpus_cache() -> &'static Mutex<HashMap<CorpusSpec, Arc<Corpus>>> {
+    // audit:role(lock): init-once via OnceLock, then the mutex guards map access
     static CACHE: OnceLock<Mutex<HashMap<CorpusSpec, Arc<Corpus>>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 fn server_cache() -> &'static Mutex<HashMap<(UseCase, CorpusSpec), ServerRecording>> {
+    // audit:role(lock): init-once via OnceLock, then the mutex guards map access
     static CACHE: OnceLock<Mutex<HashMap<(UseCase, CorpusSpec), ServerRecording>>> =
         OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 fn netperf_cache() -> &'static Mutex<HashMap<u32, NetperfRecording>> {
+    // audit:role(lock): init-once via OnceLock, then the mutex guards map access
     static CACHE: OnceLock<Mutex<HashMap<u32, NetperfRecording>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }

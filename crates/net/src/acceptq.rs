@@ -55,7 +55,11 @@ struct State<T> {
 
 /// A bounded, closeable MPMC hand-off queue.
 pub struct AcceptQueue<T> {
+    // audit:role(queue): items + closed bit; every push/pop/close edge
+    // happens under this mutex, so no atomics appear on the queue at all
     state: Mutex<State<T>>,
+    // audit:role(queue): wakes poppers; always signalled with the state
+    // mutex held-then-released, never used to pass data itself
     available: Condvar,
     capacity: usize,
 }
@@ -172,6 +176,21 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert_eq!(consumer.join().expect("consumer thread"), Pop::Closed);
+    }
+
+    #[test]
+    fn close_while_full_drains_everything_then_reports_closed() {
+        let q = AcceptQueue::new(2);
+        q.push(1).expect("fits");
+        q.push(2).expect("fits");
+        assert_eq!(q.push(3), Err(PushError::Full(3)), "full before close sheds as Full");
+        q.close();
+        // Closed wins over Full once the close lands, even with room freed.
+        assert_eq!(q.pop(Duration::from_millis(1)), Pop::Item(1));
+        assert_eq!(q.push(4), Err(PushError::Closed(4)));
+        assert_eq!(q.pop(Duration::from_millis(1)), Pop::Item(2));
+        assert_eq!(q.pop(Duration::from_millis(1)), Pop::<i32>::Closed);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub const BUCKETS: usize = 64;
 
 /// A monotonic counter (wraps only after 2^64 events — never in
 /// practice).
+// audit:role(counter): monotonic event count; Relaxed adds and loads,
+// exact once writers quiesce (which is when scrapes are compared)
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
 
@@ -51,6 +53,8 @@ impl Counter {
 
 /// A gauge: a value that can move both ways, plus a high-water-mark
 /// update for depth-style measurements.
+// audit:role(gauge): last-write-wins level (plus fetch_max for HWM use);
+// Relaxed by design — a gauge read is approximate while writers run
 #[derive(Debug, Default)]
 pub struct Gauge(AtomicU64);
 
@@ -110,8 +114,11 @@ pub fn bucket_bounds(i: usize) -> (u64, u64) {
 /// exact once writers quiesce (which is when scrapes are compared).
 #[derive(Debug)]
 pub struct Histogram {
+    // audit:role(counter): per-bucket monotonic counts; Relaxed adds
     buckets: [AtomicU64; BUCKETS],
+    // audit:role(counter): monotonic sum of recorded values; Relaxed adds
     sum: AtomicU64,
+    // audit:role(counter): monotonic record count; Relaxed adds
     count: AtomicU64,
 }
 

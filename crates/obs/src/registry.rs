@@ -64,6 +64,8 @@ struct Family {
 /// for the locking discipline.
 #[derive(Debug, Default)]
 pub struct Registry {
+    // audit:role(lock): guards registration and render only; the data
+    // path holds Arc handles to metrics and never takes this lock
     families: Mutex<Vec<Family>>,
 }
 

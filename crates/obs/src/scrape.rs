@@ -172,6 +172,52 @@ mod tests {
     }
 
     #[test]
+    fn truncated_exposition_keeps_complete_lines() {
+        // A scrape cut mid-line (connection dropped) must still yield
+        // every complete line before the cut and never panic.
+        let full = "a_total 1\nb_total{k=\"v\"} 2\nc_total 3\n";
+        for cut in 0..full.len() {
+            let samples = parse_prometheus(&full[..cut]);
+            assert!(samples.len() <= 3, "cut at {cut} invented samples: {samples:?}");
+            for s in &samples {
+                assert!(["a_total", "b_total", "c_total"].contains(&s.name.as_str()));
+            }
+        }
+        // Cut exactly after the second newline: both whole lines survive.
+        let two = parse_prometheus(&full[..full.find("c_total").expect("present")]);
+        assert_eq!(two.len(), 2);
+    }
+
+    #[test]
+    fn bad_label_escapes_are_skipped_not_fatal() {
+        // Trailing backslash: the escape never completes, so the closing
+        // quote is consumed and the line cannot terminate — skipped.
+        let samples = parse_prometheus("m{k=\"a\\\\\\\"} 1\nok_total 2\n");
+        assert_eq!(samples.len(), 1, "{samples:?}");
+        assert_eq!(samples[0].name, "ok_total");
+        // Unterminated value quote and missing `=`: same treatment.
+        assert!(parse_prometheus("m{k=\"open} 1\n").is_empty());
+        assert!(parse_prometheus("m{kv} 1\n").is_empty());
+        // Unknown escapes pass the character through (Prometheus allows
+        // only \\, \", \n but a reader must not lose the line).
+        let lenient = parse_prometheus("m{k=\"a\\tb\"} 1\n");
+        assert_eq!(lenient[0].label("k"), Some("atb"));
+    }
+
+    #[test]
+    fn nan_and_inf_values_parse() {
+        let samples = parse_prometheus("a +Inf\nb -Inf\nc NaN\nd 1e3\ne not_a_number\n");
+        assert_eq!(samples.len(), 4, "{samples:?}");
+        assert_eq!(samples[0].value, f64::INFINITY);
+        assert_eq!(samples[1].value, f64::NEG_INFINITY);
+        assert!(samples[2].value.is_nan());
+        assert_eq!(samples[3].value, 1000.0);
+        // NaN samples must not poison family sums that exclude them.
+        assert_eq!(sum_samples(&samples, "a", &[]), f64::INFINITY);
+        assert!(sum_samples(&samples, "c", &[]).is_nan());
+    }
+
+    #[test]
     fn round_trips_registry_output() {
         let r = Registry::new();
         r.counter("aon_requests_total", "reqs", &[("use_case", "FR"), ("outcome", "ok")]).add(9);

@@ -78,29 +78,41 @@ impl Default for ServeConfig {
 #[derive(Debug, Default)]
 pub struct ServeStats {
     /// Connections accepted off the listener.
+    // audit:role(counter): monotonic; Relaxed, exact once threads join
     pub accepted: AtomicU64,
     /// Connections dropped because the accept queue was full.
+    // audit:role(counter): monotonic; Relaxed, exact once threads join
     pub dropped_backlog: AtomicU64,
     /// Connections refused because the queue was already closed (shutdown).
+    // audit:role(counter): monotonic; Relaxed, exact once threads join
     pub rejected_closed: AtomicU64,
     /// Accept-queue depth high-water mark (updated with `fetch_max`).
+    // audit:role(hwm): fetch_max race resolves to the true max; Relaxed
     pub queue_depth_hwm: AtomicU64,
     /// Requests answered 200.
+    // audit:role(counter): monotonic; Relaxed, exact once threads join
     pub requests_ok: AtomicU64,
     /// Requests answered 422 (content did not route/validate).
+    // audit:role(counter): monotonic; Relaxed, exact once threads join
     pub requests_rejected: AtomicU64,
     /// Requests answered 404.
+    // audit:role(counter): monotonic; Relaxed, exact once threads join
     pub not_found: AtomicU64,
     /// Requests answered 400 (malformed HTTP).
+    // audit:role(counter): monotonic; Relaxed, exact once threads join
     pub bad_request: AtomicU64,
     /// Requests answered 413 (head or body over limit).
+    // audit:role(counter): monotonic; Relaxed, exact once threads join
     pub too_large: AtomicU64,
     /// Requests answered 408 (deadline passed mid-request).
+    // audit:role(counter): monotonic; Relaxed, exact once threads join
     pub timeouts: AtomicU64,
     /// Connections torn down on socket errors or mid-message EOF.
+    // audit:role(counter): monotonic; Relaxed, exact once threads join
     pub io_errors: AtomicU64,
     /// Admin endpoint hits (`/metrics`, `/stats.json`, `/flight.jsonl`) —
     /// counted here and **nowhere else**, so scrapes don't move totals.
+    // audit:role(counter): monotonic; Relaxed, exact once threads join
     pub admin: AtomicU64,
 }
 
@@ -175,6 +187,9 @@ impl ServeStatsSnapshot {
 struct Shared {
     cfg: ServeConfig,
     queue: AcceptQueue<TcpStream>,
+    // audit:role(flag): stop edge; Release store in shutdown()/Drop
+    // happens-before the Acquire loads in the listener and worker polls,
+    // so everything written before the signal is visible to exiting threads
     shutdown: AtomicBool,
     stats: ServeStats,
     engine: Engine,
@@ -267,7 +282,7 @@ impl Server {
     /// Graceful shutdown: stop accepting, drain the accept queue, finish
     /// in-flight requests, join every thread; returns the final counters.
     pub fn shutdown(mut self) -> ServeStatsSnapshot {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::Release);
         if let Some(h) = self.listener.take() {
             let _ = h.join();
         }
@@ -282,14 +297,14 @@ impl Drop for Server {
     /// Best-effort stop signal for servers dropped without
     /// [`Server::shutdown`]; threads exit on their next poll.
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::Release);
         self.shared.queue.close();
     }
 }
 
 /// Accept until shutdown, then close the queue so workers drain and exit.
 fn listener_loop(listener: &TcpListener, shared: &Shared) {
-    while !shared.shutdown.load(Ordering::Relaxed) {
+    while !shared.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
@@ -426,7 +441,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         // Close after this response when the cap is reached or the server
         // is draining for shutdown.
         let server_close =
-            served >= cfg.keepalive_max_requests || shared.shutdown.load(Ordering::Relaxed);
+            served >= cfg.keepalive_max_requests || shared.shutdown.load(Ordering::Acquire);
         let service_start = Instant::now();
         let mut reply = handle_request(shared, &fb.bytes()[..total], frame.body_len);
         reply.close |= server_close;
