@@ -80,6 +80,32 @@ print(f"live smoke ok: {report['requests_per_sec']:.0f} req/s, "
       f"/metrics agrees on {processed} requests, {len(report['stages'])} stage cells")
 EOF
 
+say "fast-scan smoke (fast path must beat scalar on the 5 KB corpus message)"
+# Ordering-only gate: best-of-rounds wall time of the fast parse path
+# (SWAR lazy parse + compiled automata) vs the scalar engines, for CBR and
+# SV. No absolute thresholds — exits 1 only if fast is not faster.
+./target/release/fastscan_smoke
+
+say "BENCH_history drift check (warn-only)"
+# Compares the live smoke's throughput against the most recent recorded
+# run in BENCH_history/. Hosts differ, so this never fails the build; it
+# prints a warning when throughput fell below half the recorded figure.
+python3 - <<'EOF'
+import glob, json
+hist = sorted(glob.glob("BENCH_history/pr*.json"))
+if not hist:
+    print("no BENCH_history records yet — skipped")
+else:
+    with open(hist[-1]) as f:
+        rec = json.load(f)
+    with open("/tmp/BENCH_live_smoke.json") as f:
+        cur = json.load(f)
+    ref = rec["smoke_reference"]["requests_per_sec"]
+    now = cur["requests_per_sec"]
+    verdict = "ok" if now >= ref * 0.5 else "WARNING: below half of recorded"
+    print(f"{hist[-1]}: recorded {ref:.0f} req/s, current {now:.0f} req/s — {verdict}")
+EOF
+
 if [ "${CI_CONCURRENCY:-0}" = "1" ]; then
     say "schedule-stress harness (extended rounds, seeds printed for replay)"
     # The seeded barrier-released permutation tests over the accept queue

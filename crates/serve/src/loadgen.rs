@@ -153,6 +153,7 @@ pub fn run(cfg: &LoadgenConfig) -> LiveBenchReport {
         duration_secs: elapsed.as_secs_f64(),
         connections: u64::try_from(cfg.connections.max(1)).expect("connection count fits u64"),
         use_cases: cfg.use_cases.iter().map(|u| u.label().to_string()).collect(),
+        parse_mode: None,
         requests_ok: ok,
         requests_failed: errors.failed(),
         errors,

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! aon-serve [--addr 127.0.0.1:8080] [--threads N] [--for SECS] [--no-obs]
+//!           [--parse-mode fast|scalar]
 //! ```
 //!
 //! Binds, prints the bound address (the OS picks a port when `:0` is
@@ -39,9 +40,15 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 run_for = Some(Duration::from_secs(secs));
             }
             "--no-obs" => cfg.observe = false,
+            "--parse-mode" => {
+                let v = value("--parse-mode")?;
+                cfg.parse_mode = aon_server::ParseMode::from_str_opt(&v)
+                    .ok_or_else(|| format!("--parse-mode: expected fast|scalar, got {v:?}"))?;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: aon-serve [--addr HOST:PORT] [--threads N] [--for SECS] [--no-obs]"
+                    "usage: aon-serve [--addr HOST:PORT] [--threads N] [--for SECS] [--no-obs] \
+                     [--parse-mode fast|scalar]"
                 );
                 return Ok(());
             }

@@ -80,6 +80,9 @@ pub struct LiveBenchReport {
     pub connections: u64,
     /// Use-case labels driven (request mix).
     pub use_cases: Vec<String>,
+    /// Parser implementation the server ran (`"scalar"` | `"fast"`);
+    /// `None` against an external server whose mode is unknown.
+    pub parse_mode: Option<String>,
     /// Requests completed with the expected status.
     pub requests_ok: u64,
     /// Requests that failed (see [`LoadgenErrors`]).
@@ -129,6 +132,9 @@ impl LiveBenchReport {
         s.push_str(&format!("  \"connections\": {},\n", self.connections));
         let cases: Vec<String> = self.use_cases.iter().map(|u| format!("\"{u}\"")).collect();
         s.push_str(&format!("  \"use_cases\": [{}],\n", cases.join(", ")));
+        if let Some(pm) = &self.parse_mode {
+            s.push_str(&format!("  \"parse_mode\": \"{pm}\",\n"));
+        }
         s.push_str(&format!("  \"requests_ok\": {},\n", self.requests_ok));
         s.push_str(&format!("  \"requests_failed\": {},\n", self.requests_failed));
         s.push_str(&format!("  \"requests_per_sec\": {:.2},\n", self.requests_per_sec()));
@@ -229,6 +235,7 @@ mod tests {
         assert!(j.contains("\"requests_per_sec\": 500.00"));
         assert!(j.contains("\"protocol_errors\": 0"));
         assert!(j.contains("\"use_cases\": [\"FR\", \"CBR\"]"));
+        assert!(j.contains("\"parse_mode\": \"fast\""));
         // The extended snapshot fields must be present in the report.
         assert!(j.contains("\"queue_depth_hwm\": 0"));
         assert!(j.contains("\"rejected_closed\": 0"));
@@ -269,6 +276,7 @@ mod tests {
             duration_secs: 2.0,
             connections: 4,
             use_cases: vec!["FR".to_string(), "CBR".to_string()],
+            parse_mode: Some("fast".to_string()),
             requests_ok: 1000,
             requests_failed: 0,
             errors: LoadgenErrors::default(),

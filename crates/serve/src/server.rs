@@ -17,7 +17,7 @@ use crate::obs::ServerObs;
 use aon_net::acceptq::{AcceptQueue, Pop, PushError};
 use aon_net::wire::{write_all, FrameBuf, WireError, WireLimits};
 use aon_obs::stage::{Stage, WallStages};
-use aon_server::engine::Engine;
+use aon_server::engine::{Engine, ParseMode};
 use aon_server::http::{self, Method};
 use aon_server::usecase::UseCase;
 use aon_trace::NullProbe;
@@ -55,6 +55,11 @@ pub struct ServeConfig {
     pub observe: bool,
     /// Flight-recorder capacity (most recent request events retained).
     pub flight_capacity: usize,
+    /// Which parser implementation the pipeline runs: `Fast` (SWAR lazy
+    /// parse + compiled automata, the default) or `Scalar` (the
+    /// byte-at-a-time counter-reference engines). Verdicts are identical;
+    /// only host instructions differ.
+    pub parse_mode: ParseMode,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +75,7 @@ impl Default for ServeConfig {
             default_use_case: UseCase::Fr,
             observe: true,
             flight_capacity: 1024,
+            parse_mode: ParseMode::Fast,
         }
     }
 }
@@ -548,9 +554,15 @@ fn handle_request(shared: &Shared, msg: &[u8], framed_body_len: usize) -> Reply 
         (Method::Post, _) => match route_use_case(shared, path) {
             Some(uc) => {
                 let mut stages = WallStages::new();
+                let mode = shared.cfg.parse_mode;
                 let outcome = match &shared.obs {
-                    Some(_) => shared.engine.process_native_staged(uc, body, &mut stages),
-                    None => shared.engine.process_native(uc, body),
+                    Some(_) => shared.engine.process_mode_staged(mode, uc, body, &mut stages),
+                    None => shared.engine.process_mode_staged(
+                        mode,
+                        uc,
+                        body,
+                        &mut aon_obs::stage::NoopStages,
+                    ),
                 };
                 let mut r = match outcome {
                     Ok(true) => Reply::new(200, "<aon routed=\"true\"/>".to_string(), close),
@@ -678,6 +690,41 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.requests_ok, 4);
         assert_eq!(stats.protocol_errors(), 0);
+    }
+
+    #[test]
+    fn scalar_and_fast_modes_serve_identical_outcomes() {
+        let corpus = aon_server::Corpus::generate(99, 6);
+        let mut outcomes: Vec<Vec<u16>> = Vec::new();
+        for mode in [ParseMode::Scalar, ParseMode::Fast] {
+            let server = Server::start(ServeConfig {
+                workers: 2,
+                parse_mode: mode,
+                ..ServeConfig::default()
+            })
+            .expect("bind");
+            let addr = server.addr();
+            let mut statuses = Vec::new();
+            for v in &corpus.variants {
+                let body = &v.http[v.body_start..];
+                for path in [&b"/aon/cbr"[..], b"/aon/sv"] {
+                    let got = roundtrip(addr, &post(path, body));
+                    let status: u16 = String::from_utf8_lossy(&got[9..12]).parse().unwrap();
+                    statuses.push(status);
+                }
+            }
+            // Garbage bodies must be rejected identically, not differently.
+            for bad in [&b"\xff\xfe"[..], b"<unclosed", b"<notsoap/>"] {
+                for path in [&b"/aon/cbr"[..], b"/aon/sv"] {
+                    let got = roundtrip(addr, &post(path, bad));
+                    let status: u16 = String::from_utf8_lossy(&got[9..12]).parse().unwrap();
+                    statuses.push(status);
+                }
+            }
+            server.shutdown();
+            outcomes.push(statuses);
+        }
+        assert_eq!(outcomes[0], outcomes[1], "parse modes must agree on every request");
     }
 
     #[test]

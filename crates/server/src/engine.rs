@@ -19,10 +19,50 @@ use crate::usecase::{UseCase, CBR_EXPECT, CBR_XPATH};
 use aon_obs::stage::{NoopStages, Stage, StageRecorder};
 use aon_trace::{NullProbe, Probe};
 use aon_xml::input::TBuf;
+use aon_xml::lazy::parse_document_lazy;
 use aon_xml::parser::parse_document;
-use aon_xml::schema::Schema;
-use aon_xml::soap::payload_root;
-use aon_xml::xpath::XPath;
+use aon_xml::schema::{Schema, SchemaAutomaton};
+use aon_xml::soap::{payload_root, payload_root_lazy};
+use aon_xml::xpath::{CompiledPath, XPath};
+use std::sync::Arc;
+
+/// Which parser implementation the live serving path runs.
+///
+/// Both modes produce identical routing verdicts (the differential suites
+/// in `aon-xml` pin this); they differ only in how many instructions the
+/// host spends getting there. The traced simulation path always uses the
+/// scalar engines — this knob exists so live throughput can be A/B
+/// measured against the same server build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParseMode {
+    /// Byte-at-a-time engines: eager DOM, interpreted XPath, interpreted
+    /// content models. The counter-reference twin of the traced path.
+    Scalar,
+    /// SWAR-scanned lazy DOM, compiled XPath pattern, compiled content-
+    /// model DFAs. Falls back to `Scalar` engines per-component when a
+    /// rule is outside the compilable subset.
+    #[default]
+    Fast,
+}
+
+impl ParseMode {
+    /// Parse a CLI/config token (`"scalar"` | `"fast"`).
+    pub fn from_str_opt(s: &str) -> Option<ParseMode> {
+        match s {
+            "scalar" => Some(ParseMode::Scalar),
+            "fast" => Some(ParseMode::Fast),
+            _ => None,
+        }
+    }
+
+    /// Stable label for reports and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            ParseMode::Scalar => "scalar",
+            ParseMode::Fast => "fast",
+        }
+    }
+}
 
 /// Why a message body could not be processed (all map to HTTP 422 at the
 /// serving layer: the HTTP envelope was fine, the content was not).
@@ -54,19 +94,44 @@ pub struct Engine {
     cbr: XPath,
     dpi: RuleSet,
     key: &'static [u8],
+    /// CBR expression compiled to a streaming byte pattern; `None` when
+    /// the expression is outside the streamable subset (DOM fallback).
+    cbr_fast: Option<Arc<CompiledPath>>,
+    /// Content models of the schema compiled to DFAs (with per-model
+    /// greedy fallback inside), shared read-only across workers.
+    schema_fast: Arc<SchemaAutomaton>,
 }
 
 impl Engine {
     /// Compile the device configuration (the corpus XSD, the paper's CBR
     /// expression, the default DPI rules). Inputs are static, so
-    /// compilation cannot fail.
+    /// compilation cannot fail. The fast-path automata are compiled here
+    /// too — once per rule table, never per message.
     pub fn new() -> Engine {
+        let schema = Schema::compile(CORPUS_XSD).expect("corpus schema is static and compiles");
+        let cbr = XPath::compile(CBR_XPATH).expect("CBR expression is static and compiles");
+        let cbr_fast = CompiledPath::compile(&cbr).map(Arc::new);
+        let schema_fast = Arc::new(SchemaAutomaton::compile(&schema));
         Engine {
-            schema: Schema::compile(CORPUS_XSD).expect("corpus schema is static and compiles"),
-            cbr: XPath::compile(CBR_XPATH).expect("CBR expression is static and compiles"),
+            schema,
+            cbr,
             dpi: RuleSet::default_rules(),
             key: b"aon-device-shared-key",
+            cbr_fast,
+            schema_fast,
         }
+    }
+
+    /// Is the CBR expression running as a compiled pattern (vs. DOM
+    /// fallback)? Reported in live bench metadata.
+    pub fn cbr_compiled(&self) -> bool {
+        self.cbr_fast.is_some()
+    }
+
+    /// How many content models compiled to DFAs (the rest use the greedy
+    /// interpreter). Reported in live bench metadata.
+    pub fn schema_dfa_count(&self) -> usize {
+        self.schema_fast.dfa_count()
     }
 
     /// Process one message body under `use_case`, emitting work onto `p`.
@@ -141,6 +206,75 @@ impl Engine {
         rec: &mut R,
     ) -> Result<bool, EngineError> {
         self.process_staged(use_case, TBuf::msg(body), &mut NullProbe, rec)
+    }
+
+    /// Dispatch on [`ParseMode`]: the live worker's single entry point.
+    pub fn process_mode_staged<R: StageRecorder>(
+        &self,
+        mode: ParseMode,
+        use_case: UseCase,
+        body: &[u8],
+        rec: &mut R,
+    ) -> Result<bool, EngineError> {
+        match mode {
+            ParseMode::Scalar => self.process_native_staged(use_case, body, rec),
+            ParseMode::Fast => self.process_fast_staged(use_case, body, rec),
+        }
+    }
+
+    /// The fast serving path: SWAR-scanned lazy parse, compiled XPath /
+    /// content-model automata. Untraced by construction — the traced
+    /// counter tables only ever see the scalar engines.
+    ///
+    /// Verdicts and [`EngineError`] classifications are identical to
+    /// [`Engine::process_native_staged`]:
+    /// * UTF-8 — `std::str::from_utf8` agrees with the traced validator
+    ///   (pinned by `aon_xml::utf8::tests::agrees_with_std`);
+    /// * well-formedness — the lazy parser reuses the fast lexer, whose
+    ///   tokens and errors are differentially pinned against the traced
+    ///   lexer;
+    /// * XPath / validation — [`CompiledPath`] and [`SchemaAutomaton`]
+    ///   only compile rules they can prove equivalent, and fall back to
+    ///   the scalar engines otherwise.
+    pub fn process_fast_staged<R: StageRecorder>(
+        &self,
+        use_case: UseCase,
+        body: &[u8],
+        rec: &mut R,
+    ) -> Result<bool, EngineError> {
+        match use_case {
+            UseCase::Cbr => {
+                let Some(cbr_fast) = &self.cbr_fast else {
+                    // Expression outside the streamable subset: whole-path
+                    // DOM fallback.
+                    return self.process_native_staged(use_case, body, rec);
+                };
+                let doc = rec.time(Stage::Parse, || {
+                    if std::str::from_utf8(body).is_err() {
+                        return Err(EngineError::BadUtf8);
+                    }
+                    parse_document_lazy(body).map_err(|_| EngineError::BadXml)
+                })?;
+                rec.time(Stage::XPath, || Ok(cbr_fast.string_equals(&doc, CBR_EXPECT)))
+            }
+            UseCase::Sv => {
+                let doc = rec.time(Stage::Parse, || {
+                    if std::str::from_utf8(body).is_err() {
+                        return Err(EngineError::BadUtf8);
+                    }
+                    parse_document_lazy(body).map_err(|_| EngineError::BadXml)
+                })?;
+                rec.time(Stage::Validate, || {
+                    let payload = payload_root_lazy(&doc).map_err(|_| EngineError::NotSoap)?;
+                    Ok(self.schema_fast.validate(&doc, payload))
+                })
+            }
+            // FR touches no content; DPI and crypto are not parse-bound
+            // and share one implementation with the scalar path.
+            UseCase::Fr | UseCase::Dpi | UseCase::Crypto => {
+                self.process_native_staged(use_case, body, rec)
+            }
+        }
     }
 }
 
@@ -231,6 +365,79 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fast_path_compiles_for_the_corpus_rules() {
+        let engine = Engine::new();
+        assert!(engine.cbr_compiled(), "//quantity/text() is streamable");
+        assert!(engine.schema_dfa_count() > 0, "corpus content models are 1-unambiguous");
+    }
+
+    #[test]
+    fn fast_and_scalar_agree_on_corpus() {
+        let engine = Engine::new();
+        let corpus = Corpus::generate(1234, 16);
+        for v in &corpus.variants {
+            let body = &v.http[v.body_start..];
+            for uc in UseCase::EXTENDED {
+                let fast = engine.process_fast_staged(uc, body, &mut NoopStages);
+                let scalar = engine.process_native(uc, body);
+                assert_eq!(fast, scalar, "{uc:?} fast/scalar divergence");
+            }
+            assert_eq!(
+                engine.process_fast_staged(UseCase::Cbr, body, &mut NoopStages),
+                Ok(v.cbr_match)
+            );
+            assert_eq!(
+                engine.process_fast_staged(UseCase::Sv, body, &mut NoopStages),
+                Ok(v.sv_valid)
+            );
+        }
+    }
+
+    #[test]
+    fn fast_and_scalar_agree_on_garbage() {
+        let engine = Engine::new();
+        let cases: &[&[u8]] = &[
+            b"\xff\xfe\x00",
+            b"<unclosed",
+            b"not xml at all",
+            b"",
+            b"<notsoap/>",
+            b"<soap:Envelope><soap:Header/></soap:Envelope>",
+            b"<soap:Envelope><soap:Body></soap:Body></soap:Envelope>",
+            b"<soap:Envelope><soap:Body><wrongroot/></soap:Body></soap:Envelope>",
+            b"<a>\xc3\x28</a>",
+            b"<a><b></a></b>",
+        ];
+        for bad in cases {
+            for uc in UseCase::EXTENDED {
+                assert_eq!(
+                    engine.process_fast_staged(uc, bad, &mut NoopStages),
+                    engine.process_native(uc, bad),
+                    "{uc:?} fast/scalar divergence on {bad:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mode_dispatch_routes_to_both_paths() {
+        use aon_obs::stage::WallStages;
+        let engine = Engine::new();
+        let corpus = Corpus::generate(5, 2);
+        let body = &corpus.variants[0].http[corpus.variants[0].body_start..];
+        for mode in [ParseMode::Scalar, ParseMode::Fast] {
+            let mut w = WallStages::new();
+            let got = engine.process_mode_staged(mode, UseCase::Sv, body, &mut w);
+            assert_eq!(got, Ok(corpus.variants[0].sv_valid), "{mode:?}");
+            assert!(w.get(Stage::Parse) > 0 && w.get(Stage::Validate) > 0, "{mode:?} stages");
+        }
+        assert_eq!(ParseMode::from_str_opt("fast"), Some(ParseMode::Fast));
+        assert_eq!(ParseMode::from_str_opt("scalar"), Some(ParseMode::Scalar));
+        assert_eq!(ParseMode::from_str_opt("turbo"), None);
+        assert_eq!(ParseMode::default(), ParseMode::Fast);
     }
 
     #[test]

@@ -46,5 +46,5 @@ pub mod usecase;
 
 pub use app::{build_server, ServerConfig};
 pub use corpus::Corpus;
-pub use engine::{Engine, EngineError};
+pub use engine::{Engine, EngineError, ParseMode};
 pub use usecase::UseCase;

@@ -63,10 +63,13 @@ pub fn site_pc(site: u32) -> VAddr {
 /// Compute a [`SiteId`] for the current source location.
 ///
 /// Usage: `probe.branch(site!(), cond)`. Expands to a compile-time constant.
+/// The inline-`const` block is load-bearing: `site_from` hashes the file
+/// path, and without the block the hash is a runtime call on every probe —
+/// dominating tight scan loops even under `NullProbe`.
 #[macro_export]
 macro_rules! site {
     () => {
-        $crate::code::site_from(file!(), line!(), column!())
+        const { $crate::code::site_from(file!(), line!(), column!()) }
     };
 }
 

@@ -1,0 +1,530 @@
+//! Lazy-span DOM for the fast (untraced) parse path.
+//!
+//! [`parse_document_lazy`] is the serving-path twin of
+//! [`crate::parser::parse_with_options`]: same token stream discipline
+//! (via [`Lexer::next_token_fast`]), same structural checks, same errors
+//! (kind *and* offset) — but text and attribute values stay as *undecoded
+//! spans into the input buffer*. Entity-bearing values are validated at
+//! parse time (so malformed references fail exactly where the eager parser
+//! fails) and only materialized — decoded into an owned buffer — on first
+//! access. FR/DPI-style consumers that never look at values pay no string
+//! copies at all; CBR/SV consumers touch a handful of values per message.
+//!
+//! The traced arena [`crate::dom::Document`] is untouched: it remains the
+//! simulator's counter reference. The differential suite in `tests/`
+//! asserts shape-and-content equivalence between the two.
+
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::lexer::{decode_text_fast, validate_entities_fast, Lexer, Span, Token};
+use crate::parser::ParseOptions;
+use std::cell::OnceCell;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a for the name-intern table: names are short, and FNV beats the
+/// default SipHash on sub-16-byte keys without pulling in a dependency.
+#[derive(Default)]
+pub struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvBuild = BuildHasherDefault<Fnv1a>;
+
+/// Index of a node in the lazy arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LazyId(pub u32);
+
+/// Interned name id (per-document, dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LazyName(pub u32);
+
+/// An undecoded value: a span of the input, plus how to materialize it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValRef {
+    /// No entity references: the value *is* the input span.
+    Raw {
+        /// Start offset in the input.
+        start: u32,
+        /// End offset (exclusive).
+        end: u32,
+    },
+    /// Contains entity references (validated at parse time); decoded into
+    /// slot `slot` on first access.
+    Lazy {
+        /// Start offset in the input.
+        start: u32,
+        /// End offset (exclusive).
+        end: u32,
+        /// Index into the document's decode-slot table.
+        slot: u32,
+    },
+}
+
+/// Node payload (the lazy mirror of [`crate::dom::NodeKind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LazyKind {
+    /// An element with an interned name.
+    Element(LazyName),
+    /// A text or CDATA node.
+    Text(ValRef),
+    /// A comment (content dropped).
+    Comment,
+    /// A processing instruction (target kept, data dropped).
+    Pi(ValRef),
+}
+
+/// One node in the lazy arena.
+#[derive(Debug, Clone)]
+pub struct LazyNode {
+    /// Payload.
+    pub kind: LazyKind,
+    /// Parent node, if any.
+    pub parent: Option<LazyId>,
+    /// First child, if any.
+    pub first_child: Option<LazyId>,
+    /// Last child, if any (O(1) append).
+    pub last_child: Option<LazyId>,
+    /// Next sibling, if any.
+    pub next_sibling: Option<LazyId>,
+    /// Attribute records `attrs[attr_start..attr_end]` (elements only).
+    pub attr_start: u32,
+    /// End of this element's attribute range.
+    pub attr_end: u32,
+}
+
+/// One attribute (undecoded value).
+#[derive(Debug, Clone, Copy)]
+pub struct LazyAttr {
+    /// Interned attribute name.
+    pub name: LazyName,
+    /// Undecoded value.
+    pub value: ValRef,
+}
+
+/// A lazily-parsed XML document borrowing the input buffer.
+#[derive(Debug)]
+pub struct LazyDoc<'a> {
+    input: &'a [u8],
+    nodes: Vec<LazyNode>,
+    attrs: Vec<LazyAttr>,
+    names: Vec<&'a [u8]>,
+    name_lookup: HashMap<&'a [u8], LazyName, FnvBuild>,
+    // Single-threaded decode memo (the serving path builds one LazyDoc per
+    // request on one worker); `OnceCell` keeps `value()` a `&self` borrow.
+    decoded: Vec<OnceCell<Vec<u8>>>,
+    root: Option<LazyId>,
+}
+
+impl<'a> LazyDoc<'a> {
+    /// The input buffer this document borrows.
+    pub fn input(&self) -> &'a [u8] {
+        self.input
+    }
+
+    /// The root element. Errors if the document has none.
+    pub fn root(&self) -> XmlResult<LazyId> {
+        self.root.ok_or(XmlError::at(XmlErrorKind::NoRoot, 0))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of attributes across all elements.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: LazyId) -> &LazyNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Node payload.
+    pub fn kind(&self, id: LazyId) -> LazyKind {
+        self.nodes[id.0 as usize].kind
+    }
+
+    /// First child, if any.
+    pub fn first_child(&self, id: LazyId) -> Option<LazyId> {
+        self.nodes[id.0 as usize].first_child
+    }
+
+    /// Next sibling, if any.
+    pub fn next_sibling(&self, id: LazyId) -> Option<LazyId> {
+        self.nodes[id.0 as usize].next_sibling
+    }
+
+    /// Parent, if any.
+    pub fn parent(&self, id: LazyId) -> Option<LazyId> {
+        self.nodes[id.0 as usize].parent
+    }
+
+    /// The bytes of an interned name.
+    pub fn name_bytes(&self, id: LazyName) -> &'a [u8] {
+        self.names[id.0 as usize]
+    }
+
+    /// Look up a name id without interning (`None` if the name never
+    /// appears in the document — a cheap "cannot match" signal).
+    pub fn find_name(&self, name: &[u8]) -> Option<LazyName> {
+        self.name_lookup.get(name).copied()
+    }
+
+    /// The attribute records of an element.
+    pub fn attrs(&self, id: LazyId) -> &[LazyAttr] {
+        let n = &self.nodes[id.0 as usize];
+        &self.attrs[n.attr_start as usize..n.attr_end as usize]
+    }
+
+    /// Materialize a value: raw spans borrow the input; entity-bearing
+    /// spans decode into the slot table on first access and borrow it
+    /// afterwards.
+    pub fn value(&self, v: ValRef) -> &[u8] {
+        match v {
+            ValRef::Raw { start, end } => &self.input[start as usize..end as usize],
+            ValRef::Lazy { start, end, slot } => self.decoded[slot as usize].get_or_init(|| {
+                let mut out = Vec::new();
+                let span = Span { start: start as usize, end: end as usize };
+                // Entities were validated at parse time; re-decoding them
+                // cannot fail.
+                let ok = decode_text_fast(self.input, span, &mut out);
+                debug_assert!(ok.is_ok());
+                out
+            }),
+        }
+    }
+
+    /// The first attribute with the given name, materialized.
+    pub fn attr_value(&self, id: LazyId, name: &[u8]) -> Option<&[u8]> {
+        let want = self.find_name(name)?;
+        self.attrs(id).iter().find(|a| a.name == want).map(|a| self.value(a.value))
+    }
+
+    /// Concatenated text of all direct text children (the lazy mirror of
+    /// [`crate::dom::Document::text_of_t`]).
+    pub fn text_of(&self, id: LazyId) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut cur = self.first_child(id);
+        while let Some(c) = cur {
+            if let LazyKind::Text(v) = self.kind(c) {
+                out.extend_from_slice(self.value(v));
+            }
+            cur = self.next_sibling(c);
+        }
+        out
+    }
+
+    /// Does the concatenated direct text of `id` equal `expect`? Compares
+    /// incrementally — no concatenation buffer on the hot path.
+    pub fn text_eq(&self, id: LazyId, expect: &[u8]) -> bool {
+        let mut rest = expect;
+        let mut cur = self.first_child(id);
+        while let Some(c) = cur {
+            if let LazyKind::Text(v) = self.kind(c) {
+                let piece = self.value(v);
+                if piece.len() > rest.len() || &rest[..piece.len()] != piece {
+                    return false;
+                }
+                rest = &rest[piece.len()..];
+            }
+            cur = self.next_sibling(c);
+        }
+        rest.is_empty()
+    }
+
+    /// Depth-first pre-order iterator over all node ids.
+    pub fn descendants(&self, from: LazyId) -> LazyDescendants<'_, 'a> {
+        LazyDescendants { doc: self, stack: vec![from] }
+    }
+
+    fn push_node(&mut self, kind: LazyKind) -> LazyId {
+        let id = LazyId(self.nodes.len() as u32);
+        self.nodes.push(LazyNode {
+            kind,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            attr_start: 0,
+            attr_end: 0,
+        });
+        id
+    }
+
+    fn append_child(&mut self, parent: LazyId, child: LazyId) {
+        match self.nodes[parent.0 as usize].last_child {
+            Some(prev) => self.nodes[prev.0 as usize].next_sibling = Some(child),
+            None => self.nodes[parent.0 as usize].first_child = Some(child),
+        }
+        self.nodes[parent.0 as usize].last_child = Some(child);
+        self.nodes[child.0 as usize].parent = Some(parent);
+    }
+
+    fn intern_name(&mut self, bytes: &'a [u8]) -> LazyName {
+        if let Some(&id) = self.name_lookup.get(bytes) {
+            return id;
+        }
+        let id = LazyName(self.names.len() as u32);
+        self.names.push(bytes);
+        self.name_lookup.insert(bytes, id);
+        id
+    }
+
+    /// Turn a lexer span into a value reference, validating (but not
+    /// decoding) entity references so parse-time errors mirror the eager
+    /// parser's.
+    fn val_ref(&mut self, span: Span, has_entities: bool) -> XmlResult<ValRef> {
+        if !has_entities {
+            return Ok(ValRef::Raw { start: span.start as u32, end: span.end as u32 });
+        }
+        validate_entities_fast(self.input, span)?;
+        let slot = self.decoded.len() as u32;
+        self.decoded.push(OnceCell::new());
+        Ok(ValRef::Lazy { start: span.start as u32, end: span.end as u32, slot })
+    }
+}
+
+/// Iterator for [`LazyDoc::descendants`].
+pub struct LazyDescendants<'d, 'a> {
+    doc: &'d LazyDoc<'a>,
+    stack: Vec<LazyId>,
+}
+
+impl Iterator for LazyDescendants<'_, '_> {
+    type Item = LazyId;
+
+    fn next(&mut self) -> Option<LazyId> {
+        let id = self.stack.pop()?;
+        // Push children in reverse so iteration is document order.
+        let len = self.stack.len();
+        let mut c = self.doc.node(id).first_child;
+        while let Some(cid) = c {
+            self.stack.push(cid);
+            c = self.doc.node(cid).next_sibling;
+        }
+        self.stack[len..].reverse();
+        Some(id)
+    }
+}
+
+/// Parse a complete document lazily with default options.
+pub fn parse_document_lazy(input: &[u8]) -> XmlResult<LazyDoc<'_>> {
+    parse_lazy_with_options(input, ParseOptions::default())
+}
+
+/// Parse a complete document lazily.
+///
+/// Structural checks, skipping rules, and every error (kind and offset)
+/// match [`crate::parser::parse_with_options`] over the same bytes; the
+/// differential suite in `tests/` pins this.
+pub fn parse_lazy_with_options(input: &[u8], opts: ParseOptions) -> XmlResult<LazyDoc<'_>> {
+    let mut doc = LazyDoc {
+        input,
+        nodes: Vec::new(),
+        attrs: Vec::new(),
+        names: Vec::new(),
+        name_lookup: HashMap::default(),
+        decoded: Vec::new(),
+        root: None,
+    };
+    let mut lexer = Lexer::new(crate::input::TBuf::msg(input));
+    let mut stack: Vec<(LazyId, Span)> = Vec::new();
+    let mut saw_root = false;
+
+    loop {
+        let tok = lexer.next_token_fast()?;
+        match tok {
+            Token::Eof => {
+                if let Some(&(_, open)) = stack.last() {
+                    return Err(XmlError::at(XmlErrorKind::UnexpectedEof, open.start));
+                }
+                if !saw_root {
+                    return Err(XmlError::at(XmlErrorKind::NoRoot, lexer.pos()));
+                }
+                return Ok(doc);
+            }
+            Token::XmlDecl | Token::Doctype => {}
+            Token::Comment => {
+                if opts.keep_comments && !stack.is_empty() {
+                    let id = doc.push_node(LazyKind::Comment);
+                    if let Some(&(parent, _)) = stack.last() {
+                        doc.append_child(parent, id);
+                    }
+                }
+            }
+            Token::Pi { target } => {
+                if let Some(&(parent, _)) = stack.last() {
+                    let v = ValRef::Raw { start: target.start as u32, end: target.end as u32 };
+                    let id = doc.push_node(LazyKind::Pi(v));
+                    doc.append_child(parent, id);
+                }
+            }
+            Token::StartTag { name, attrs, self_closing } => {
+                if stack.is_empty() && saw_root {
+                    return Err(XmlError::at(XmlErrorKind::ExtraContent, name.start));
+                }
+                if stack.len() >= opts.max_depth {
+                    return Err(XmlError::at(XmlErrorKind::TooDeep, name.start));
+                }
+                let name_id = doc.intern_name(&input[name.start..name.end]);
+                let id = doc.push_node(LazyKind::Element(name_id));
+
+                let attr_start = doc.attrs.len() as u32;
+                for a in &attrs {
+                    let aname = doc.intern_name(&input[a.name.start..a.name.end]);
+                    let value = doc.val_ref(a.value, a.has_entities)?;
+                    doc.attrs.push(LazyAttr { name: aname, value });
+                }
+                doc.nodes[id.0 as usize].attr_start = attr_start;
+                doc.nodes[id.0 as usize].attr_end = doc.attrs.len() as u32;
+
+                match stack.last() {
+                    Some(&(parent, _)) => doc.append_child(parent, id),
+                    None => {
+                        doc.root = Some(id);
+                        saw_root = true;
+                    }
+                }
+                if !self_closing {
+                    stack.push((id, name));
+                }
+            }
+            Token::EndTag { name } => {
+                let Some((_, open)) = stack.pop() else {
+                    return Err(XmlError::at(XmlErrorKind::MismatchedTag, name.start));
+                };
+                if input[open.start..open.end] != input[name.start..name.end] {
+                    return Err(XmlError::at(XmlErrorKind::MismatchedTag, name.start));
+                }
+            }
+            Token::Text { span, has_entities } => {
+                if stack.is_empty() {
+                    let raw = &input[span.start..span.end];
+                    if raw.iter().any(|b| !b.is_ascii_whitespace()) {
+                        return Err(XmlError::at(XmlErrorKind::ExtraContent, span.start));
+                    }
+                    continue;
+                }
+                let raw = &input[span.start..span.end];
+                let ws_only = raw.iter().all(|b| b.is_ascii_whitespace());
+                if ws_only && !opts.keep_whitespace_text {
+                    continue;
+                }
+                let v = doc.val_ref(span, has_entities)?;
+                let id = doc.push_node(LazyKind::Text(v));
+                let parent = stack.last().map(|&(n, _)| n).expect("checked non-empty");
+                doc.append_child(parent, id);
+            }
+            Token::Cdata { span } => {
+                if stack.is_empty() {
+                    return Err(XmlError::at(XmlErrorKind::ExtraContent, span.start));
+                }
+                let v = ValRef::Raw { start: span.start as u32, end: span.end as u32 };
+                let id = doc.push_node(LazyKind::Text(v));
+                let parent = stack.last().map(|&(n, _)| n).expect("checked non-empty");
+                doc.append_child(parent, id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_structure() {
+        let doc = parse_document_lazy(b"<a><b><c/></b><d>txt</d></a>").unwrap();
+        let root = doc.root().unwrap();
+        assert_eq!(
+            doc.name_bytes(match doc.kind(root) {
+                LazyKind::Element(n) => n,
+                other => panic!("unexpected {other:?}"),
+            }),
+            b"a"
+        );
+        let b = doc.first_child(root).unwrap();
+        let d = doc.next_sibling(b).unwrap();
+        assert_eq!(doc.text_of(d), b"txt");
+        assert!(doc.text_eq(d, b"txt"));
+        assert!(!doc.text_eq(d, b"tx"));
+        assert!(!doc.text_eq(d, b"txty"));
+    }
+
+    #[test]
+    fn values_stay_raw_until_accessed() {
+        let doc = parse_document_lazy(br#"<a x="1 &amp; 2" y="plain">t &lt; u</a>"#).unwrap();
+        let root = doc.root().unwrap();
+        // Entity-bearing attr: decoded lazily.
+        assert_eq!(doc.attr_value(root, b"x").unwrap(), b"1 & 2");
+        // Raw attr: borrows the input.
+        let y = doc.attr_value(root, b"y").unwrap();
+        assert_eq!(y, b"plain");
+        let input_range = doc.input().as_ptr_range();
+        assert!(input_range.contains(&y.as_ptr()), "raw value must borrow the input");
+        assert_eq!(doc.text_of(root), b"t < u");
+    }
+
+    #[test]
+    fn bad_entities_fail_at_parse_time() {
+        let err = parse_document_lazy(b"<a>x &nope; y</a>").unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::BadEntity);
+        let err = parse_document_lazy(br#"<a v="&nope;"/>"#).unwrap_err();
+        assert_eq!(err.kind, XmlErrorKind::BadEntity);
+    }
+
+    #[test]
+    fn structural_errors_match_eager_kinds() {
+        for (input, kind) in [
+            (&b"<a><b></a></b>"[..], XmlErrorKind::MismatchedTag),
+            (b"<a><b></b>", XmlErrorKind::UnexpectedEof),
+            (b"<a/><b/>", XmlErrorKind::ExtraContent),
+            (b"", XmlErrorKind::NoRoot),
+            (b"<a/>junk", XmlErrorKind::ExtraContent),
+        ] {
+            assert_eq!(parse_document_lazy(input).unwrap_err().kind, kind, "{input:?}");
+        }
+    }
+
+    #[test]
+    fn cdata_and_pi_nodes_mirror_eager_shape() {
+        let doc = parse_document_lazy(b"<r><?go now?><![CDATA[<x>&amp;]]></r>").unwrap();
+        let root = doc.root().unwrap();
+        let pi = doc.first_child(root).unwrap();
+        assert!(matches!(doc.kind(pi), LazyKind::Pi(_)));
+        let cd = doc.next_sibling(pi).unwrap();
+        match doc.kind(cd) {
+            LazyKind::Text(v) => assert_eq!(doc.value(v), b"<x>&amp;"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn descendants_pre_order() {
+        let doc = parse_document_lazy(b"<r><a><b/></a><c/></r>").unwrap();
+        let root = doc.root().unwrap();
+        let names: Vec<&[u8]> = doc
+            .descendants(root)
+            .filter_map(|id| match doc.kind(id) {
+                LazyKind::Element(n) => Some(doc.name_bytes(n)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec![&b"r"[..], b"a", b"b", b"c"]);
+    }
+}

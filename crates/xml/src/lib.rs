@@ -38,9 +38,11 @@ pub mod arena;
 pub mod dom;
 pub mod error;
 pub mod input;
+pub mod lazy;
 pub mod lexer;
 pub mod parser;
 pub mod samples;
+pub mod scan;
 pub mod schema;
 pub mod serialize;
 pub mod soap;

@@ -25,12 +25,14 @@
 //! paper's observation that SV shows the best temporal locality of the
 //! three use cases (lowest L2MPI, Figure 4).
 
+pub mod automaton;
 mod parse;
 pub mod pattern;
 mod types;
 mod validate;
 mod value;
 
+pub use automaton::SchemaAutomaton;
 pub use pattern::Pattern;
 pub use types::{
     AttrDecl, BuiltinType, ComplexType, ContentModel, ElemDecl, Facets, Particle, SimpleType,

@@ -328,7 +328,11 @@ impl<P: Probe> Validator<'_, '_, P> {
 
 /// Try to match `particle` against `names[pos..]`; returns the new position
 /// on success. Backtracking matcher over the (short) child list.
-fn match_particle<P: Probe>(
+///
+/// `pub(super)` so [`super::automaton`] can fall back to the exact same
+/// greedy algorithm (with `NullProbe`) for content models it cannot prove
+/// DFA-equivalent — fallback then cannot change a verdict by construction.
+pub(super) fn match_particle<P: Probe>(
     particle: &Particle,
     names: &[&[u8]],
     pos: usize,
@@ -443,7 +447,7 @@ fn match_group<P: Probe>(
 }
 
 /// Find the declared type of a child element anywhere in the particle tree.
-fn find_child_decl(particle: &Particle, name: &[u8]) -> Option<TypeRef> {
+pub(super) fn find_child_decl(particle: &Particle, name: &[u8]) -> Option<TypeRef> {
     match particle {
         Particle::Element { name: n, ty, .. } => {
             if n.as_slice() == name {

@@ -7,6 +7,7 @@
 
 use crate::dom::{Document, NodeId, NodeKind};
 use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use crate::lazy::{LazyDoc, LazyId, LazyKind};
 use aon_trace::Probe;
 
 /// Does this element's (possibly prefixed) name have the given local part?
@@ -50,6 +51,50 @@ pub fn payload_root<P: Probe>(doc: &Document, p: &mut P) -> XmlResult<NodeId> {
             return Ok(c);
         }
         cur = doc.next_sibling_t(c, p);
+    }
+    Err(XmlError::at(XmlErrorKind::NoRoot, 0))
+}
+
+/// Lazy-DOM twin of [`local_name_is`] (untraced; fast serving path).
+fn local_name_is_lazy(doc: &LazyDoc<'_>, node: LazyId, local: &[u8]) -> bool {
+    match doc.kind(node) {
+        LazyKind::Element(nm) => {
+            let bytes = doc.name_bytes(nm);
+            let stripped = match bytes.iter().rposition(|&b| b == b':') {
+                Some(i) => &bytes[i + 1..],
+                None => bytes,
+            };
+            stripped == local
+        }
+        _ => false,
+    }
+}
+
+/// Lazy-DOM twin of [`find_body`]: same walk, same errors.
+pub fn find_body_lazy(doc: &LazyDoc<'_>) -> XmlResult<LazyId> {
+    let root = doc.root()?;
+    if !local_name_is_lazy(doc, root, b"Envelope") {
+        return Err(XmlError::at(XmlErrorKind::UnexpectedByte, 0));
+    }
+    let mut cur = doc.first_child(root);
+    while let Some(c) = cur {
+        if local_name_is_lazy(doc, c, b"Body") {
+            return Ok(c);
+        }
+        cur = doc.next_sibling(c);
+    }
+    Err(XmlError::at(XmlErrorKind::NoRoot, 0))
+}
+
+/// Lazy-DOM twin of [`payload_root`].
+pub fn payload_root_lazy(doc: &LazyDoc<'_>) -> XmlResult<LazyId> {
+    let body = find_body_lazy(doc)?;
+    let mut cur = doc.first_child(body);
+    while let Some(c) = cur {
+        if matches!(doc.kind(c), LazyKind::Element(_)) {
+            return Ok(c);
+        }
+        cur = doc.next_sibling(c);
     }
     Err(XmlError::at(XmlErrorKind::NoRoot, 0))
 }

@@ -1,0 +1,355 @@
+//! Compiled path patterns for the fast (untraced) serving path.
+//!
+//! [`XPath::string_equals`] walks the expression AST and the traced DOM on
+//! every message. For the router's actual rule shapes — fixed location
+//! paths like the paper's `//quantity/text()` — that is wasted generality:
+//! the path can be compiled *once* into a flat step program evaluated
+//! directly over the lazy document, with element names resolved to interned
+//! ids up front so matching is integer compares instead of byte compares.
+//!
+//! [`CompiledPath::compile`] accepts the *streamable subset*: location
+//! paths built from `child::`/`descendant::` name steps and the `//`
+//! desugar, with an optional trailing `text()` step and no predicates.
+//! Anything richer returns `None` and the caller falls back to the DOM
+//! evaluator — so compilation can never change a verdict, only the cost of
+//! reaching it. The differential suite pins
+//! [`CompiledPath::string_equals`] against [`XPath::string_equals`] over
+//! the same inputs.
+//!
+//! Compiled patterns are plain data (`Send + Sync`): rule tables share one
+//! `Arc<CompiledPath>` per expression across worker threads.
+
+use super::ast::{Axis, Expr, NodeTest};
+use super::XPath;
+use crate::lazy::{LazyDoc, LazyId, LazyKind, LazyName};
+
+/// One element-name step of a compiled path.
+#[derive(Debug, Clone)]
+struct PatStep {
+    /// Match at any depth below the previous match (`//a`, `descendant::a`)
+    /// rather than only among direct children.
+    descendant: bool,
+    /// The element name to match.
+    name: Vec<u8>,
+}
+
+/// A location path compiled to a flat matcher over [`LazyDoc`].
+#[derive(Debug, Clone)]
+pub struct CompiledPath {
+    /// Path starts at the document node (`/…`) vs. the context element.
+    absolute: bool,
+    /// Element steps, outermost first.
+    steps: Vec<PatStep>,
+    /// Final `text()` step: compare each matched element's direct text
+    /// children instead of its whole-subtree string value.
+    trailing_text: bool,
+}
+
+impl CompiledPath {
+    /// Compile `xp` if it falls in the streamable subset, `None` otherwise.
+    pub fn compile(xp: &XPath) -> Option<CompiledPath> {
+        let Expr::Path { absolute, steps } = xp.expr() else {
+            return None;
+        };
+        let mut out: Vec<PatStep> = Vec::new();
+        let mut pending_desc = false;
+        let mut trailing_text = false;
+        for (i, step) in steps.iter().enumerate() {
+            if !step.predicates.is_empty() {
+                return None;
+            }
+            let last = i + 1 == steps.len();
+            match (&step.axis, &step.test) {
+                // The `//` desugar: fold into a descendant flag on the next
+                // named step. A trailing one has no step to fold into.
+                (Axis::DescendantOrSelf, NodeTest::AnyNode) => {
+                    if last {
+                        return None;
+                    }
+                    pending_desc = true;
+                }
+                (Axis::Child, NodeTest::Name(n)) => {
+                    out.push(PatStep { descendant: pending_desc, name: n.clone() });
+                    pending_desc = false;
+                }
+                // `descendant::a` after `//` is still just "descendant".
+                (Axis::Descendant, NodeTest::Name(n)) => {
+                    out.push(PatStep { descendant: true, name: n.clone() });
+                    pending_desc = false;
+                }
+                (Axis::Child, NodeTest::Text) if last && !pending_desc => {
+                    trailing_text = true;
+                }
+                // `self::`/`parent::`/`attribute::`, wildcards, explicit
+                // `descendant-or-self::name` (self can match): DOM fallback.
+                _ => return None,
+            }
+        }
+        if pending_desc {
+            return None;
+        }
+        Some(CompiledPath { absolute: *absolute, steps: out, trailing_text })
+    }
+
+    /// The router's question, over the lazy document: does any node the
+    /// path selects have string-value `expect`? Verdict-equivalent to
+    /// [`XPath::string_equals`] on the eager DOM of the same bytes.
+    pub fn string_equals(&self, doc: &LazyDoc<'_>, expect: &[u8]) -> bool {
+        let Ok(root) = doc.root() else {
+            return false;
+        };
+        // Resolve step names against the document's intern table once. A
+        // name that never occurs in the document means nothing can match.
+        let mut names: Vec<LazyName> = Vec::with_capacity(self.steps.len());
+        for s in &self.steps {
+            match doc.find_name(&s.name) {
+                Some(id) => names.push(id),
+                None => return false,
+            }
+        }
+        let ctx = if self.absolute { Ctx::Document(root) } else { Ctx::Node(root) };
+        self.match_from(doc, ctx, &names, 0, expect)
+    }
+
+    /// Try to extend a partial match: `ctx` matched `steps[..i]`; succeed
+    /// if any completion reaches a node whose string-value is `expect`.
+    fn match_from(
+        &self,
+        doc: &LazyDoc<'_>,
+        ctx: Ctx,
+        names: &[LazyName],
+        i: usize,
+        expect: &[u8],
+    ) -> bool {
+        if i == self.steps.len() {
+            return self.final_check(doc, ctx, expect);
+        }
+        let want = names[i];
+        let descend = self.steps[i].descendant;
+        match ctx {
+            // The document node's only element child is the root (top-level
+            // PIs and comments are not kept by either parser).
+            Ctx::Document(root) => {
+                if descend {
+                    for id in doc.descendants(root) {
+                        if doc.kind(id) == LazyKind::Element(want)
+                            && self.match_from(doc, Ctx::Node(id), names, i + 1, expect)
+                        {
+                            return true;
+                        }
+                    }
+                } else if doc.kind(root) == LazyKind::Element(want)
+                    && self.match_from(doc, Ctx::Node(root), names, i + 1, expect)
+                {
+                    return true;
+                }
+            }
+            Ctx::Node(n) => {
+                if descend {
+                    // Strict descendants: skip the context node itself.
+                    for id in doc.descendants(n).skip(1) {
+                        if doc.kind(id) == LazyKind::Element(want)
+                            && self.match_from(doc, Ctx::Node(id), names, i + 1, expect)
+                        {
+                            return true;
+                        }
+                    }
+                } else {
+                    let mut cur = doc.first_child(n);
+                    while let Some(c) = cur {
+                        if doc.kind(c) == LazyKind::Element(want)
+                            && self.match_from(doc, Ctx::Node(c), names, i + 1, expect)
+                        {
+                            return true;
+                        }
+                        cur = doc.next_sibling(c);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// All steps matched at `ctx`: apply the value comparison.
+    fn final_check(&self, doc: &LazyDoc<'_>, ctx: Ctx, expect: &[u8]) -> bool {
+        match ctx {
+            // Bare `/`: the document's string-value is the root's.
+            Ctx::Document(root) => !self.trailing_text && subtree_text_eq(doc, root, expect),
+            Ctx::Node(n) => {
+                if self.trailing_text {
+                    // `text()` selects each direct text child as its own
+                    // node; XPath `=` over a node-set is existential.
+                    let mut cur = doc.first_child(n);
+                    while let Some(c) = cur {
+                        if let LazyKind::Text(v) = doc.kind(c) {
+                            if doc.value(v) == expect {
+                                return true;
+                            }
+                        }
+                        cur = doc.next_sibling(c);
+                    }
+                    false
+                } else {
+                    subtree_text_eq(doc, n, expect)
+                }
+            }
+        }
+    }
+}
+
+/// A match context: the document node or an element.
+#[derive(Debug, Clone, Copy)]
+enum Ctx {
+    /// The virtual document node (carries the root element id).
+    Document(LazyId),
+    /// An element node.
+    Node(LazyId),
+}
+
+/// Does the element's string-value — the concatenation of every descendant
+/// text node in document order — equal `expect`? Compares incrementally,
+/// no concatenation buffer.
+fn subtree_text_eq(doc: &LazyDoc<'_>, id: LazyId, expect: &[u8]) -> bool {
+    fn walk(doc: &LazyDoc<'_>, id: LazyId, rest: &mut &[u8]) -> bool {
+        let mut cur = doc.first_child(id);
+        while let Some(c) = cur {
+            match doc.kind(c) {
+                LazyKind::Text(v) => {
+                    let piece = doc.value(v);
+                    if piece.len() > rest.len() || &rest[..piece.len()] != piece {
+                        return false;
+                    }
+                    *rest = &rest[piece.len()..];
+                }
+                LazyKind::Element(_) => {
+                    if !walk(doc, c, rest) {
+                        return false;
+                    }
+                }
+                LazyKind::Comment | LazyKind::Pi(_) => {}
+            }
+            cur = doc.next_sibling(c);
+        }
+        true
+    }
+    let mut rest = expect;
+    walk(doc, id, &mut rest) && rest.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::TBuf;
+    use crate::lazy::parse_document_lazy;
+    use crate::parser::parse_document;
+    use aon_trace::NullProbe;
+
+    const PO: &[u8] = br#"<order id="7">
+        <item><name>bolt</name><quantity>1</quantity></item>
+        <item><name>nut</name><quantity>25</quantity></item>
+        <note lang="en">rush</note>
+    </order>"#;
+
+    /// Compiled verdict must equal the DOM evaluator's on the same bytes.
+    fn assert_differential(source: &str, input: &[u8], expects: &[&[u8]]) {
+        let xp = XPath::compile(source).unwrap();
+        let cp =
+            CompiledPath::compile(&xp).unwrap_or_else(|| panic!("{source:?} should be streamable"));
+        let eager = parse_document(TBuf::msg(input), &mut NullProbe).unwrap();
+        let lazy = parse_document_lazy(input).unwrap();
+        for expect in expects {
+            let want = xp.string_equals(&eager, expect, &mut NullProbe).unwrap();
+            let got = cp.string_equals(&lazy, expect);
+            assert_eq!(got, want, "{source:?} = {:?}", String::from_utf8_lossy(expect));
+        }
+    }
+
+    #[test]
+    fn paper_expression_matches() {
+        assert_differential("//quantity/text()", PO, &[b"1", b"25", b"99", b"", b"rush"]);
+    }
+
+    #[test]
+    fn absolute_child_paths() {
+        assert_differential("/order/item/name/text()", PO, &[b"bolt", b"nut", b"x", b""]);
+        assert_differential("/order/note/text()", PO, &[b"rush", b"bolt"]);
+        assert_differential("/wrong/item/text()", PO, &[b"bolt", b""]);
+    }
+
+    #[test]
+    fn relative_paths_start_below_the_root() {
+        // Relative paths are evaluated with the root element as context.
+        assert_differential("item/name/text()", PO, &[b"bolt", b"order", b""]);
+        assert_differential("note/text()", PO, &[b"rush"]);
+        // `order` is the root itself, not a child of the context.
+        assert_differential("order/note/text()", PO, &[b"rush"]);
+    }
+
+    #[test]
+    fn element_string_value_concatenates_descendants() {
+        // No trailing text(): compare the element's whole-subtree text.
+        assert_differential("//item", PO, &[b"bolt1", b"nut25", b"bolt", b"1"]);
+        assert_differential("/order/note", PO, &[b"rush", b""]);
+    }
+
+    #[test]
+    fn descendant_step_mid_path() {
+        let input = b"<r><a><b><q>7</q></b></a><q>8</q></r>";
+        assert_differential("//a//q/text()", input, &[b"7", b"8", b""]);
+        assert_differential("/r//q/text()", input, &[b"7", b"8"]);
+    }
+
+    #[test]
+    fn split_text_nodes_stay_separate_under_text_test() {
+        // CDATA splits the text into two nodes; text() compares each alone,
+        // while the element string-value concatenates them.
+        let input = b"<r><q>ab<![CDATA[cd]]></q></r>";
+        assert_differential("//q/text()", input, &[b"ab", b"cd", b"abcd"]);
+        assert_differential("//q", input, &[b"abcd", b"ab"]);
+    }
+
+    #[test]
+    fn entity_bearing_text_is_decoded_for_comparison() {
+        let input = b"<r><q>a&amp;b</q></r>";
+        assert_differential("//q/text()", input, &[b"a&b", b"a&amp;b"]);
+    }
+
+    #[test]
+    fn bare_root_path() {
+        assert_differential("/", b"<r>ab<c>cd</c></r>", &[b"abcd", b"ab"]);
+    }
+
+    #[test]
+    fn missing_name_short_circuits() {
+        let xp = XPath::compile("//nosuch/text()").unwrap();
+        let cp = CompiledPath::compile(&xp).unwrap();
+        let lazy = parse_document_lazy(PO).unwrap();
+        assert!(!cp.string_equals(&lazy, b"1"));
+    }
+
+    #[test]
+    fn non_streamable_shapes_fall_back() {
+        for source in [
+            "//item[2]/name",       // positional predicate
+            "//item[quantity='1']", // comparison predicate
+            "/order/@id",           // attribute axis
+            "//name | //note",      // union
+            "count(//item)",        // function call
+            "//quantity/..",        // parent axis
+            "/order/*",             // wildcard name test
+            "//quantity/node()",    // node() test mid/trailing
+            ".",                    // self axis
+        ] {
+            let xp = XPath::compile(source).unwrap();
+            assert!(CompiledPath::compile(&xp).is_none(), "{source:?} should not be streamable");
+        }
+    }
+
+    #[test]
+    fn streamable_shapes_compile() {
+        for source in ["//quantity/text()", "/order/item", "item/name", "//a//b//c/text()", "/"] {
+            let xp = XPath::compile(source).unwrap();
+            assert!(CompiledPath::compile(&xp).is_some(), "{source:?} should compile");
+        }
+    }
+}

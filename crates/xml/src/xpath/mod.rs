@@ -22,11 +22,13 @@
 //! chasing (DOM), warm static data (compiled path), and byte comparisons.
 
 mod ast;
+pub mod compile;
 mod eval;
 mod lexer;
 mod parser;
 
 pub use ast::{Axis, Expr, NodeTest, Step};
+pub use compile::CompiledPath;
 pub use eval::XPathValue;
 
 use crate::dom::{Document, NodeId};

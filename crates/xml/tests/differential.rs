@@ -1,0 +1,390 @@
+//! Differential equivalence suite: the fast serving-path engines against
+//! the traced byte-at-a-time references.
+//!
+//! The live server runs [`Lexer::next_token_fast`], [`parse_document_lazy`]
+//! and the compiled automata; the simulator's counter tables come from the
+//! traced twins. The twin-path invariant — identical tokens, spans, DOM
+//! shape, decoded values, and errors (kind *and* offset) on every input —
+//! is what lets the fast path exist without touching a single simulated
+//! number. This suite pins that invariant over the sample corpus,
+//! handwritten adversarial inputs, and deterministic byte-level fuzzing.
+
+use aon_trace::NullProbe;
+use aon_xml::dom::{Document, NodeId, NodeKind};
+use aon_xml::error::XmlError;
+use aon_xml::input::TBuf;
+use aon_xml::lazy::{parse_document_lazy, LazyDoc, LazyId, LazyKind};
+use aon_xml::lexer::{decode_text_fast, Lexer, Span, Token};
+use aon_xml::parser::parse_document;
+use aon_xml::{samples, soap};
+
+/// Tokenize to completion on the traced path (under `NullProbe`).
+fn lex_traced(input: &[u8]) -> (Vec<Token>, Option<XmlError>) {
+    let mut lx = Lexer::new(TBuf::msg(input));
+    let mut toks = Vec::new();
+    loop {
+        match lx.next_token(&mut NullProbe) {
+            Ok(Token::Eof) => return (toks, None),
+            Ok(t) => toks.push(t),
+            Err(e) => return (toks, Some(e)),
+        }
+    }
+}
+
+/// Tokenize to completion on the fast path.
+fn lex_fast(input: &[u8]) -> (Vec<Token>, Option<XmlError>) {
+    let mut lx = Lexer::new(TBuf::msg(input));
+    let mut toks = Vec::new();
+    loop {
+        match lx.next_token_fast() {
+            Ok(Token::Eof) => return (toks, None),
+            Ok(t) => toks.push(t),
+            Err(e) => return (toks, Some(e)),
+        }
+    }
+}
+
+/// Assert the two lexers agree exactly on `input`: same token sequence
+/// (including every span) and the same error kind at the same offset.
+fn assert_lexers_agree(input: &[u8]) {
+    let (traced, te) = lex_traced(input);
+    let (fast, fe) = lex_fast(input);
+    assert_eq!(traced, fast, "token divergence on {:?}", String::from_utf8_lossy(input));
+    assert_eq!(te, fe, "error divergence on {:?}", String::from_utf8_lossy(input));
+}
+
+/// Walk the eager and lazy documents in lockstep, comparing node kinds,
+/// names, decoded text, and attributes.
+fn assert_same_shape(eager: &Document, lazy: &LazyDoc<'_>) {
+    let er = eager.root().ok();
+    let lr = lazy.root().ok();
+    assert_eq!(er.is_some(), lr.is_some(), "root presence differs");
+    if let (Some(er), Some(lr)) = (er, lr) {
+        assert_nodes_equal(eager, er, lazy, lr);
+    }
+}
+
+fn assert_nodes_equal(ed: &Document, en: NodeId, ld: &LazyDoc<'_>, ln: LazyId) {
+    match (ed.kind_t(en, &mut NullProbe), ld.kind(ln)) {
+        (NodeKind::Element(enm), LazyKind::Element(lnm)) => {
+            assert_eq!(ed.name_bytes(enm), ld.name_bytes(lnm), "element name differs");
+            let ea = ed.attrs_t(en, &mut NullProbe);
+            let la = ld.attrs(ln);
+            assert_eq!(ea.len(), la.len(), "attr count differs on <{:?}>", ed.name_bytes(enm));
+            for (e, l) in ea.iter().zip(la) {
+                assert_eq!(ed.name_bytes(e.name), ld.name_bytes(l.name), "attr name differs");
+                assert_eq!(ed.str_bytes(e.value), ld.value(l.value), "attr value differs");
+            }
+        }
+        (NodeKind::Text(sv), LazyKind::Text(v)) => {
+            assert_eq!(ed.str_bytes(sv), ld.value(v), "text content differs");
+        }
+        (NodeKind::Comment, LazyKind::Comment) => {}
+        (NodeKind::Pi(st), LazyKind::Pi(v)) => {
+            assert_eq!(ed.str_bytes(st), ld.value(v), "PI target differs");
+        }
+        (ek, lk) => panic!("node kind differs: eager {ek:?} vs lazy {lk:?}"),
+    }
+    let mut ec = ed.first_child_t(en, &mut NullProbe);
+    let mut lc = ld.first_child(ln);
+    loop {
+        match (ec, lc) {
+            (Some(e), Some(l)) => {
+                assert_nodes_equal(ed, e, ld, l);
+                ec = ed.next_sibling_t(e, &mut NullProbe);
+                lc = ld.next_sibling(l);
+            }
+            (None, None) => return,
+            (e, l) => panic!("child count differs: eager has {:?}, lazy has {:?}", e, l),
+        }
+    }
+}
+
+/// Assert the eager and lazy parsers agree on `input`: same error (kind
+/// and offset) on rejection, same tree shape on acceptance.
+fn assert_parsers_agree(input: &[u8]) {
+    let eager = parse_document(TBuf::msg(input), &mut NullProbe);
+    let lazy = parse_document_lazy(input);
+    match (&eager, &lazy) {
+        (Ok(ed), Ok(ld)) => assert_same_shape(ed, ld),
+        (Err(ee), Err(le)) => {
+            assert_eq!(ee, le, "parse error divergence on {:?}", String::from_utf8_lossy(input));
+        }
+        _ => panic!(
+            "accept/reject divergence on {:?}: eager {:?}, lazy {:?}",
+            String::from_utf8_lossy(input),
+            eager.as_ref().map(|_| ()),
+            lazy.as_ref().map(|_| ()),
+        ),
+    }
+}
+
+fn assert_all_agree(input: &[u8]) {
+    assert_lexers_agree(input);
+    assert_parsers_agree(input);
+}
+
+/// The well-formed side of the corpus: samples and envelope variants.
+fn well_formed_corpus() -> Vec<Vec<u8>> {
+    let mut v: Vec<Vec<u8>> = vec![
+        samples::PURCHASE_ORDER_OK.to_vec(),
+        samples::PURCHASE_ORDER_BAD.to_vec(),
+        samples::SOAP_CBR_MATCH.to_vec(),
+        soap::wrap_envelope(samples::PURCHASE_ORDER_OK),
+        b"<r/>".to_vec(),
+        b"<r a=\"1\" b=\"two\"><c/><c>x</c>tail</r>".to_vec(),
+        b"<?xml version=\"1.0\"?><!-- c --><r><?pi data?><![CDATA[<raw>&amp;]]></r>".to_vec(),
+        b"<r>&lt;&gt;&amp;&quot;&apos;&#65;&#x42;</r>".to_vec(),
+        b"<r a=\"&amp;&#x20;\">mixed &amp; text</r>".to_vec(),
+        b"<ns:r xmlns:ns=\"u\"><ns:c ns:a=\"v\"/></ns:r>".to_vec(),
+        "<r>\u{1F600} caf\u{e9} \u{65E5}\u{672C}</r>".as_bytes().to_vec(),
+        "<caf\u{e9} attr\u{e9}=\"v\"><\u{65E5}\u{672C}/></caf\u{e9}>".as_bytes().to_vec(),
+        b"<r><![CDATA[a]]><![CDATA[b]]>c</r>".to_vec(),
+        b"<r  \t\r\n a = \"s p\" >  <c\t/>\r\n</r>".to_vec(),
+    ];
+    // A deep and a wide document (recursion/arena stress).
+    let mut deep = Vec::new();
+    for _ in 0..64 {
+        deep.extend_from_slice(b"<d>");
+    }
+    deep.extend_from_slice(b"x");
+    for _ in 0..64 {
+        deep.extend_from_slice(b"</d>");
+    }
+    v.push(deep);
+    let mut wide = b"<w>".to_vec();
+    for i in 0..200 {
+        wide.extend_from_slice(format!("<c n=\"{i}\">{i}</c>").as_bytes());
+    }
+    wide.extend_from_slice(b"</w>");
+    v.push(wide);
+    v
+}
+
+/// Handwritten adversarial inputs: every rejection class the lexer has,
+/// plus near-misses that must be accepted.
+fn adversarial_corpus() -> Vec<Vec<u8>> {
+    [
+        &b""[..],
+        b" \t\n",
+        b"<",
+        b"<>",
+        b"< r/>",
+        b"<r",
+        b"<r/",
+        b"<r/>trailing<",
+        b"<r></q>",
+        b"<r></r",
+        b"<r><c></r></c>",
+        b"<r a>",
+        b"<r a=>",
+        b"<r a='v`>",
+        b"<r a=\"v>",
+        b"<r a=\"v\" a=\"w\"/>",
+        b"<r>&unknown;</r>",
+        b"<r>&amp</r>",
+        b"<r>&#xZZ;</r>",
+        b"<r>&#; </r>",
+        b"<r>&;</r>",
+        b"<!-- unterminated",
+        b"<!--a--->",
+        b"<r><!-- -- --></r>",
+        b"<![CDATA[loose]]>",
+        b"<r><![CDATA[unterminated</r>",
+        b"<?pi unterminated",
+        b"<?xml?><?xml?>",
+        b"<!DOCTYPE r><r/>",
+        b"<!DOCTYPE",
+        b"text only",
+        b"</r>",
+        b"<r/><q/>",
+        b"<r>]]></r>",
+        b"\xEF\xBB\xBF<r/>", // BOM
+        b"<r>\x00</r>",
+        b"<r a=\"\x01\"/>",
+    ]
+    .iter()
+    .map(|s| s.to_vec())
+    .collect()
+}
+
+#[test]
+fn lexers_and_parsers_agree_on_well_formed_corpus() {
+    for input in well_formed_corpus() {
+        // These must actually parse — a vacuous both-reject pass would
+        // hide a broken corpus.
+        assert!(
+            parse_document(TBuf::msg(&input), &mut NullProbe).is_ok(),
+            "corpus input no longer parses: {:?}",
+            String::from_utf8_lossy(&input)
+        );
+        assert_all_agree(&input);
+    }
+}
+
+#[test]
+fn lexers_and_parsers_agree_on_adversarial_corpus() {
+    for input in adversarial_corpus() {
+        assert_all_agree(&input);
+    }
+}
+
+/// Satellite regression: UTF-8 handling inside names. The scalar lexer
+/// historically accepted any `>= 0x80` byte as a name byte, letting
+/// ill-formed UTF-8 (stray continuations, truncated or overlong
+/// sequences, surrogates) through as element/attribute names even though
+/// the document-level UTF-8 gate would catch it only on some paths. Both
+/// lexers now validate name bytes as UTF-8 and must agree exactly.
+#[test]
+fn utf8_name_boundary_cases_agree_and_reject() {
+    let accepted: &[&[u8]] = &[
+        "<caf\u{e9}/>".as_bytes(),         // 2-byte sequence
+        "<\u{65E5}\u{672C}/>".as_bytes(),  // 3-byte sequences
+        "<r \u{1F600}=\"v\"/>".as_bytes(), // 4-byte sequence in attr name
+        "<\u{e9}:\u{e9}/>".as_bytes(),     // multibyte around ':'
+    ];
+    for input in accepted {
+        assert!(
+            parse_document(TBuf::msg(input), &mut NullProbe).is_ok(),
+            "well-formed UTF-8 name rejected: {:?}",
+            String::from_utf8_lossy(input)
+        );
+        assert_all_agree(input);
+    }
+    let rejected: &[&[u8]] = &[
+        b"<a\x80/>",            // lone continuation inside a name
+        b"<\xC3/>",             // truncated 2-byte sequence
+        b"<\xC3>x</\xC3>",      // truncated sequence, non-empty element
+        b"<\xC0\xAF/>",         // overlong encoding
+        b"<\xED\xA0\x80/>",     // UTF-16 surrogate
+        b"<\xF5\x80\x80\x80/>", // beyond U+10FFFF
+        b"<\xFF\xFE/>",         // not UTF-8 at all
+        b"<r \xC3=\"v\"/>",     // truncated sequence in attr name
+        b"<r><\xE2\x82/></r>",  // truncated 3-byte sequence, nested
+    ];
+    for input in rejected {
+        assert!(
+            parse_document(TBuf::msg(input), &mut NullProbe).is_err(),
+            "ill-formed UTF-8 name accepted by the traced path: {input:?}"
+        );
+        assert!(parse_document_lazy(input).is_err(), "ill-formed UTF-8 name accepted: {input:?}");
+        assert_all_agree(input);
+    }
+}
+
+/// Deterministic xorshift64* generator — the suite must not depend on a
+/// rand crate or wall-clock seeding.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A value in `0..n`.
+    fn below(&mut self, n: usize) -> usize {
+        usize::try_from(self.next() % u64::try_from(n.max(1)).expect("usize fits u64"))
+            .expect("remainder fits usize")
+    }
+}
+
+#[test]
+fn fuzzed_mutations_of_samples_agree() {
+    let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+    let bases: Vec<Vec<u8>> = vec![
+        samples::SOAP_CBR_MATCH.to_vec(),
+        samples::PURCHASE_ORDER_OK.to_vec(),
+        b"<r a=\"&amp;1\"><c>text &lt;here&gt;</c><!--x--><![CDATA[d]]></r>".to_vec(),
+    ];
+    for base in &bases {
+        for _ in 0..400 {
+            let mut m = base.clone();
+            // 1-3 point mutations: overwrite, insert, or delete a byte.
+            for _ in 0..(rng.next() % 3 + 1) {
+                let i = rng.below(m.len());
+                match rng.next() % 3 {
+                    0 => m[i] = (rng.next() & 0xFF) as u8,
+                    1 => m.insert(i, (rng.next() & 0xFF) as u8),
+                    _ => {
+                        m.remove(i);
+                    }
+                }
+            }
+            assert_all_agree(&m);
+        }
+    }
+}
+
+#[test]
+fn fuzzed_markup_soup_agrees() {
+    // Biased soup: mostly structural bytes so inputs reach deep into the
+    // lexer instead of failing on the first byte.
+    const ALPHA: &[u8] = b"<>/=\"'&;ab1 \t\n!?-[]CDATA#x\xC3\xA9\x80\xFF";
+    let mut rng = XorShift(0xDEAD_BEEF_CAFE_F00D);
+    for _ in 0..2000 {
+        let len = rng.below(64);
+        let input: Vec<u8> = (0..len).map(|_| ALPHA[rng.below(ALPHA.len())]).collect();
+        assert_all_agree(&input);
+    }
+}
+
+/// Entity decoding: the lazy DOM materializes values with
+/// [`decode_text_fast`]; the traced DOM decodes during parsing. Values
+/// compared node-by-node in the shape walk above already cover documents;
+/// this pins the span-level decoder on standalone runs.
+#[test]
+fn text_decoders_agree_on_entity_runs() {
+    let runs: &[&[u8]] = &[
+        b"plain",
+        b"&amp;&lt;&gt;&quot;&apos;",
+        b"a&#65;b&#x42;c&#x1F600;d",
+        b"&amp;amp;",
+        b"mixed &amp; text with &#xe9; refs",
+    ];
+    for run in runs {
+        let doc = format!("<r>{}</r>", String::from_utf8_lossy(run));
+        assert_all_agree(doc.as_bytes());
+    }
+}
+
+#[test]
+fn lazy_spans_materialize_identical_values_on_demand() {
+    // Entity-free text borrows the input; entity-bearing text decodes on
+    // first access. Both must equal the eager DOM's stored bytes.
+    let input = b"<r><plain>no entities here</plain><ent>a &amp; b</ent></r>";
+    let eager = parse_document(TBuf::msg(input), &mut NullProbe).unwrap();
+    let lazy = parse_document_lazy(input).unwrap();
+    assert_same_shape(&eager, &lazy);
+    // Repeated access hits the memo and stays identical.
+    let root = lazy.root().unwrap();
+    let mut texts = Vec::new();
+    let mut cur = lazy.first_child(root);
+    while let Some(c) = cur {
+        texts.push(lazy.text_of(c));
+        cur = lazy.next_sibling(c);
+    }
+    assert_eq!(texts, vec![b"no entities here".to_vec(), b"a & b".to_vec()]);
+    let root_e = eager.root().unwrap();
+    let mut ec = eager.first_child_t(root_e, &mut NullProbe);
+    let mut etexts = Vec::new();
+    while let Some(c) = ec {
+        etexts.push(eager.text_of_t(c, &mut NullProbe));
+        ec = eager.next_sibling_t(c, &mut NullProbe);
+    }
+    assert_eq!(texts, etexts);
+}
+
+#[test]
+fn decode_text_fast_rejects_what_parsing_rejected() {
+    // decode_text_fast is only called on spans validated at parse time,
+    // but its error behavior still mirrors the traced decoder.
+    let input = b"x&nope;y";
+    let span = Span { start: 0, end: input.len() };
+    let mut out = Vec::new();
+    assert!(decode_text_fast(input, span, &mut out).is_err());
+}

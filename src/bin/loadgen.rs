@@ -22,6 +22,7 @@ use aon_serve::loadgen::{run, scrape, LoadgenConfig};
 use aon_serve::metrics::{LiveBenchReport, ObsOverhead};
 use aon_serve::server::{ServeConfig, Server};
 use aon_server::usecase::UseCase;
+use aon_server::ParseMode;
 use aon_trace::num::exact_f64;
 use std::time::Duration;
 
@@ -35,6 +36,7 @@ struct Args {
     observe: bool,
     scrape_path: Option<String>,
     obs_overhead: bool,
+    parse_mode: ParseMode,
 }
 
 fn main() {
@@ -118,8 +120,12 @@ fn drive(args: &Args, observe: bool, scrape_path: Option<&str>) -> RunOutcome {
     let server = match &args.addr {
         Some(_) => None,
         None => Some(
-            Server::start(ServeConfig { observe, ..ServeConfig::default() })
-                .expect("bind loopback"),
+            Server::start(ServeConfig {
+                observe,
+                parse_mode: args.parse_mode,
+                ..ServeConfig::default()
+            })
+            .expect("bind loopback"),
         ),
     };
     let target = match (&server, &args.addr) {
@@ -136,15 +142,19 @@ fn drive(args: &Args, observe: bool, scrape_path: Option<&str>) -> RunOutcome {
         ..LoadgenConfig::default()
     };
     eprintln!(
-        "loadgen: {} connections x {}s against {} ({}, observability {})",
+        "loadgen: {} connections x {}s against {} ({}, observability {}, parse mode {})",
         cfg.connections,
         args.duration_secs,
         target,
         if server.is_some() { "in-process server" } else { "external server" },
         if observe { "on" } else { "off" },
+        args.parse_mode.label(),
     );
 
     let mut report = run(&cfg);
+    if server.is_some() {
+        report.parse_mode = Some(args.parse_mode.label().to_string());
+    }
     let mut scrape_mismatch = false;
 
     // Scrape the *live* server (before shutdown) so the file matches what
@@ -216,6 +226,7 @@ fn parse_args() -> Args {
         observe: true,
         scrape_path: None,
         obs_overhead: false,
+        parse_mode: ParseMode::Fast,
     };
 
     let mut it = std::env::args().skip(1);
@@ -239,11 +250,17 @@ fn parse_args() -> Args {
             "--no-obs" => args.observe = false,
             "--scrape-metrics" => args.scrape_path = Some(value("--scrape-metrics")),
             "--obs-overhead" => args.obs_overhead = true,
+            "--parse-mode" => {
+                let v = value("--parse-mode");
+                args.parse_mode = ParseMode::from_str_opt(&v)
+                    .unwrap_or_else(|| usage(&format!("--parse-mode: fast|scalar, got {v:?}")));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--duration SECS] [--connections N] \
                      [--use-case fr|cbr|sv|dpi|crypto]... [--addr HOST:PORT] [--out FILE] \
-                     [--no-obs] [--scrape-metrics FILE] [--obs-overhead]"
+                     [--no-obs] [--scrape-metrics FILE] [--obs-overhead] \
+                     [--parse-mode fast|scalar]"
                 );
                 std::process::exit(0);
             }
