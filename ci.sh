@@ -86,25 +86,131 @@ say "fast-scan smoke (fast path must beat scalar on the 5 KB corpus message)"
 # SV. No absolute thresholds — exits 1 only if fast is not faster.
 ./target/release/fastscan_smoke
 
-say "BENCH_history drift check (warn-only)"
-# Compares the live smoke's throughput against the most recent recorded
-# run in BENCH_history/. Hosts differ, so this never fails the build; it
-# prints a warning when throughput fell below half the recorded figure.
+say "overload smoke (open-loop sweep, goodput must not collapse)"
+# Two-point open-loop sweep: an unloaded one-shot baseline (0.5x measured
+# capacity) and a 3x-capacity overload window. The binary itself exits 1
+# when hot goodput falls below 80% of the baseline, on any wrong-status
+# response, or on any server-side protocol error — graceful degradation,
+# not collapse, is the gate.
+./target/release/loadgen --overload-smoke --duration 1 \
+    --out /tmp/BENCH_overload_smoke.json >/dev/null
 python3 - <<'EOF'
-import glob, json
+import json
+with open("/tmp/BENCH_overload_smoke.json") as f:
+    report = json.load(f)
+ov = report["overload"]
+assert ov["capacity_per_sec"] > 0
+assert len(ov["points"]) == 2, ov["points"]
+base, hot = ov["points"]
+assert hot["wrong_status"] == 0 and base["wrong_status"] == 0
+assert base["goodput_per_sec"] > 0
+ratio = hot["goodput_per_sec"] / base["goodput_per_sec"]
+print(f"overload smoke ok: capacity {ov['capacity_per_sec']:.0f} req/s, "
+      f"{base['multiplier']}x goodput {base['goodput_per_sec']:.0f}/s, "
+      f"{hot['multiplier']}x goodput {hot['goodput_per_sec']:.0f}/s "
+      f"(retention {ratio:.2f}, shed {hot['shed']})")
+EOF
+
+say "BENCH_history regression gate (same-host records fail the build)"
+# Compares the live smoke against the most recent record in
+# BENCH_history/. Records carry a host fingerprint (CPU model + count):
+# when the recorded host matches this one, a >10% req/s drop or a >10%
+# p99 rise fails the build; on a different host (or a legacy record with
+# no fingerprint) the comparison is advisory only, since absolute figures
+# do not transfer across machines.
+python3 - <<'EOF'
+import glob, json, os, sys
+
+def host_fingerprint():
+    model = ""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    model = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return {"cpu_model": model, "cpus": os.cpu_count() or 0}
+
 hist = sorted(glob.glob("BENCH_history/pr*.json"))
 if not hist:
     print("no BENCH_history records yet — skipped")
+    sys.exit(0)
+with open(hist[-1]) as f:
+    rec = json.load(f)
+with open("/tmp/BENCH_live_smoke.json") as f:
+    cur = json.load(f)
+ref = rec["smoke_reference"]
+now_rps = cur["requests_per_sec"]
+now_p99 = cur["latency_us"]["p99"]
+ref_rps = ref["requests_per_sec"]
+ref_p99 = ref.get("latency_p99_us")
+fp = host_fingerprint()
+same_host = rec.get("host") == fp and rec.get("host") is not None
+print(f"{hist[-1]}: recorded {ref_rps:.0f} req/s"
+      + (f", p99 {ref_p99:.0f}us" if ref_p99 else "")
+      + f"; current {now_rps:.0f} req/s, p99 {now_p99:.0f}us"
+      + ("" if same_host else " (different/unknown host — advisory only)"))
+failures = []
+if now_rps < ref_rps * 0.9:
+    failures.append(f"req/s regressed >10%: {now_rps:.0f} < 0.9 * {ref_rps:.0f}")
+if ref_p99 is not None and now_p99 > ref_p99 * 1.1:
+    failures.append(f"p99 regressed >10%: {now_p99:.0f}us > 1.1 * {ref_p99:.0f}us")
+if failures:
+    for f_ in failures:
+        print(("FAIL: " if same_host else "warning (host differs): ") + f_)
+    if same_host:
+        sys.exit(1)
 else:
-    with open(hist[-1]) as f:
-        rec = json.load(f)
-    with open("/tmp/BENCH_live_smoke.json") as f:
-        cur = json.load(f)
-    ref = rec["smoke_reference"]["requests_per_sec"]
-    now = cur["requests_per_sec"]
-    verdict = "ok" if now >= ref * 0.5 else "WARNING: below half of recorded"
-    print(f"{hist[-1]}: recorded {ref:.0f} req/s, current {now:.0f} req/s — {verdict}")
+    print("within 10% of recorded reference — ok")
 EOF
+
+if [ -n "${BENCH_SNAPSHOT:-}" ]; then
+    say "BENCH_history snapshot (${BENCH_SNAPSHOT})"
+    # Writes BENCH_history/${BENCH_SNAPSHOT}.json (e.g. BENCH_SNAPSHOT=pr9)
+    # from this run's smoke artifacts, stamped with the host fingerprint
+    # so future runs of the regression gate above can tell whether the
+    # comparison is apples-to-apples. Every PR should ship one.
+    python3 - <<'EOF'
+import datetime, json, os
+
+def host_fingerprint():
+    model = ""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    model = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return {"cpu_model": model, "cpus": os.cpu_count() or 0}
+
+name = os.environ["BENCH_SNAPSHOT"]
+with open("/tmp/BENCH_live_smoke.json") as f:
+    cur = json.load(f)
+with open("/tmp/BENCH_overload_smoke.json") as f:
+    ov = json.load(f)["overload"]
+snap = {
+    "pr": int(name.removeprefix("pr")) if name.removeprefix("pr").isdigit() else name,
+    "date": datetime.date.today().isoformat(),
+    "host": host_fingerprint(),
+    "smoke_reference": {
+        "command": "loadgen --duration 2 (default mixed use cases, observability on)",
+        "requests_per_sec": round(cur["requests_per_sec"]),
+        "latency_p99_us": round(cur["latency_us"]["p99"]),
+        "parse_mode": "fast",
+    },
+    "overload_smoke": ov,
+}
+path = f"BENCH_history/{name}.json"
+with open(path, "w") as f:
+    json.dump(snap, f, indent=2)
+    f.write("\n")
+print(f"wrote {path}")
+EOF
+fi
 
 if [ "${CI_CONCURRENCY:-0}" = "1" ]; then
     say "schedule-stress harness (extended rounds, seeds printed for replay)"

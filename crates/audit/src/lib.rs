@@ -66,6 +66,7 @@ pub const CAST_ENFORCED_FILES: &[&str] = &[
     "crates/obs/src/registry.rs",
     "crates/obs/src/scrape.rs",
     "crates/obs/src/stage.rs",
+    "crates/serve/src/governor.rs",
     "crates/serve/src/loadgen.rs",
     "crates/serve/src/metrics.rs",
     "crates/serve/src/obs.rs",

@@ -124,6 +124,14 @@ impl<T> AcceptQueue<T> {
         self.available.notify_all();
     }
 
+    /// The bound: the depth at which pushes start failing with
+    /// [`PushError::Full`]. A `Full` refusal therefore *means* the queue
+    /// stood at exactly this depth — the shed-path depth accounting in
+    /// the server's listener relies on that.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Queued items right now.
     pub fn len(&self) -> usize {
         self.state.lock().expect("accept queue poisoned").items.len()
@@ -143,10 +151,11 @@ mod tests {
     #[test]
     fn bounded_push_sheds_overload_and_reports_depth() {
         let q = AcceptQueue::new(2);
+        assert_eq!(q.capacity(), 2);
         assert_eq!(q.push(1), Ok(1));
         assert_eq!(q.push(2), Ok(2));
         assert_eq!(q.push(3), Err(PushError::Full(3)));
-        assert_eq!(q.len(), 2);
+        assert_eq!(q.len(), 2, "a Full refusal happens with the queue at capacity");
         assert_eq!(q.push(4).expect_err("full").into_inner(), 4);
     }
 

@@ -175,39 +175,49 @@ impl FrameBuf {
         Ok(Frame { head_len, body_len })
     }
 
-    /// One `read` into the buffer, honoring the deadline. `idle` marks a
-    /// read that may legitimately see a clean close (start of a message).
+    /// One successful `read` into the buffer, honoring the deadline.
+    /// `idle` marks a read that may legitimately see a clean close (start
+    /// of a message).
+    ///
+    /// `EINTR` (`ErrorKind::Interrupted`) is not a connection failure —
+    /// the kernel delivered a signal before any bytes arrived — so the
+    /// read is retried within whatever deadline budget remains instead of
+    /// surfacing as a hard [`WireError::Io`] that would tear down a
+    /// healthy connection. The deadline still bounds an interrupt storm.
     fn fill<S: WireStream>(
         &mut self,
         stream: &mut S,
         deadline: Instant,
         idle: bool,
     ) -> Result<(), WireError> {
-        let remaining = deadline.saturating_duration_since(Instant::now());
-        if remaining.is_zero() {
-            return Err(WireError::TimedOut);
-        }
-        stream.arm_read_timeout(remaining).map_err(|e| WireError::Io(e.kind()))?;
-        let mut chunk = [0u8; 8192];
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                if idle && self.buf.is_empty() {
-                    Err(WireError::Closed)
-                } else {
-                    Err(WireError::UnexpectedEof)
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(WireError::TimedOut);
+            }
+            stream.arm_read_timeout(remaining).map_err(|e| WireError::Io(e.kind()))?;
+            let mut chunk = [0u8; 8192];
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if idle && self.buf.is_empty() {
+                        Err(WireError::Closed)
+                    } else {
+                        Err(WireError::UnexpectedEof)
+                    };
                 }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(());
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Err(WireError::TimedOut);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(WireError::Io(e.kind())),
             }
-            Ok(n) => {
-                self.buf.extend_from_slice(&chunk[..n]);
-                Ok(())
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                Err(WireError::TimedOut)
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
-            Err(e) => Err(WireError::Io(e.kind())),
         }
     }
 }
@@ -266,27 +276,38 @@ pub fn write_all<S: WireStream>(stream: &mut S, bytes: &[u8]) -> Result<(), Wire
 mod tests {
     use super::*;
 
-    /// A fake stream feeding scripted chunks; deadlines are ignored.
+    /// A fake stream feeding scripted read results — data chunks or
+    /// errors (e.g. an `Interrupted` read mid-message); deadlines are
+    /// ignored.
     struct Script {
-        chunks: Vec<Vec<u8>>,
+        steps: Vec<Result<Vec<u8>, io::ErrorKind>>,
         next: usize,
     }
 
     impl Script {
         fn of(chunks: &[&[u8]]) -> Script {
-            Script { chunks: chunks.iter().map(|c| c.to_vec()).collect(), next: 0 }
+            Script { steps: chunks.iter().map(|c| Ok(c.to_vec())).collect(), next: 0 }
+        }
+
+        fn steps(steps: &[Result<&[u8], io::ErrorKind>]) -> Script {
+            Script { steps: steps.iter().map(|s| (*s).map(<[u8]>::to_vec)).collect(), next: 0 }
         }
     }
 
     impl Read for Script {
         fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
-            if self.next >= self.chunks.len() {
+            if self.next >= self.steps.len() {
                 return Ok(0); // EOF
             }
-            let chunk = &self.chunks[self.next];
+            let step = self.steps[self.next].clone();
             self.next += 1;
-            out[..chunk.len()].copy_from_slice(chunk);
-            Ok(chunk.len())
+            match step {
+                Ok(chunk) => {
+                    out[..chunk.len()].copy_from_slice(&chunk);
+                    Ok(chunk.len())
+                }
+                Err(kind) => Err(io::Error::from(kind)),
+            }
         }
     }
 
@@ -376,6 +397,67 @@ mod tests {
             Script::of(&[b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok"]);
         let f = FrameBuf::new().read_frame(&mut s, &WireLimits::default(), deadline()).unwrap();
         assert_eq!(f.body_len, 2);
+    }
+
+    #[test]
+    fn interrupted_reads_retry_instead_of_dropping_the_connection() {
+        // EINTR before the head, inside the head, and inside the body:
+        // each is retried and the message still frames completely.
+        let mut s = Script::steps(&[
+            Err(io::ErrorKind::Interrupted),
+            Ok(b"POST / HTTP/1.1\r\nContent-"),
+            Err(io::ErrorKind::Interrupted),
+            Err(io::ErrorKind::Interrupted),
+            Ok(b"Length: 5\r\n\r\n"),
+            Err(io::ErrorKind::Interrupted),
+            Ok(b"hello"),
+        ]);
+        let mut fb = FrameBuf::new();
+        let f = fb.read_frame(&mut s, &WireLimits::default(), deadline()).unwrap();
+        assert_eq!(f.body_len, 5);
+        assert_eq!(&fb.bytes()[f.head_len..f.total()], b"hello");
+    }
+
+    #[test]
+    fn interrupt_storm_is_bounded_by_the_deadline() {
+        // A stream that only ever returns EINTR cannot spin forever: the
+        // deadline check in the retry loop converts it to a timeout.
+        struct AlwaysInterrupted;
+        impl Read for AlwaysInterrupted {
+            fn read(&mut self, _out: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::from(io::ErrorKind::Interrupted))
+            }
+        }
+        impl Write for AlwaysInterrupted {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        impl WireStream for AlwaysInterrupted {
+            fn arm_read_timeout(&mut self, _remaining: Duration) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut fb = FrameBuf::new();
+        let short = Instant::now() + Duration::from_millis(20);
+        assert_eq!(
+            fb.read_frame(&mut AlwaysInterrupted, &WireLimits::default(), short).unwrap_err(),
+            WireError::TimedOut
+        );
+    }
+
+    #[test]
+    fn non_eintr_errors_still_surface_as_io() {
+        let mut s =
+            Script::steps(&[Ok(b"POST / HTTP/1.1\r\n"), Err(io::ErrorKind::ConnectionReset)]);
+        let mut fb = FrameBuf::new();
+        assert_eq!(
+            fb.read_frame(&mut s, &WireLimits::default(), deadline()).unwrap_err(),
+            WireError::Io(io::ErrorKind::ConnectionReset)
+        );
     }
 
     #[test]

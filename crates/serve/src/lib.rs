@@ -29,22 +29,37 @@
 //! pool. Admin hits are counted separately so scraping never perturbs
 //! the request totals it reports.
 //!
+//! Past saturation the server degrades *gracefully*: an SLO-aware
+//! capacity governor ([`governor`]) samples the windowed service-time
+//! p99 and accept-queue depth against budgets and sheds by use-case cost
+//! class (SV first, then CBR, then DPI/CRYPTO — FR is never shed) with
+//! `503 + Retry-After`, recovering hysteretically once the signals
+//! clear. An operator can pin the FR-only bypass mode outright.
+//!
 //! Modules:
 //!
 //! * [`server`] — the serving half: [`server::Server`],
 //!   [`server::ServeConfig`], [`server::ServeStats`];
+//! * [`governor`] — SLO-aware admission control:
+//!   [`governor::Governor`], [`governor::GovernorConfig`],
+//!   [`governor::ShedLevel`];
 //! * [`obs`] — the observability half: [`obs::ServerObs`] metric
 //!   families, stage histograms, flight recorder;
 //! * [`loadgen`] — the measuring half: closed-loop request/response
-//!   threads ([`loadgen::LoadgenConfig`], [`loadgen::run`]);
+//!   threads ([`loadgen::LoadgenConfig`], [`loadgen::run`]) and the
+//!   open-loop overload scenario ([`loadgen::OverloadConfig`],
+//!   [`loadgen::run_overload`]) that draws the goodput-vs-offered-load
+//!   curve;
 //! * [`metrics`] — latency summaries and the `BENCH_live.json` report
 //!   ([`metrics::LiveBenchReport`]).
 
+pub mod governor;
 pub mod loadgen;
 pub mod metrics;
 pub mod obs;
 pub mod server;
 
+pub use governor::{Governor, GovernorConfig, ShedLevel};
 pub use loadgen::{run as run_loadgen, LoadgenConfig};
 pub use metrics::LiveBenchReport;
 pub use obs::ServerObs;

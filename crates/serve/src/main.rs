@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! aon-serve [--addr 127.0.0.1:8080] [--threads N] [--for SECS] [--no-obs]
-//!           [--parse-mode fast|scalar]
+//!           [--parse-mode fast|scalar] [--no-governor] [--fr-only]
+//!           [--p99-budget-ms N] [--queue-budget N]
 //! ```
 //!
 //! Binds, prints the bound address (the OS picks a port when `:0` is
@@ -45,10 +46,23 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 cfg.parse_mode = aon_server::ParseMode::from_str_opt(&v)
                     .ok_or_else(|| format!("--parse-mode: expected fast|scalar, got {v:?}"))?;
             }
+            "--no-governor" => cfg.governor.enabled = false,
+            "--fr-only" => cfg.governor.fr_only = true,
+            "--p99-budget-ms" => {
+                let ms: u64 = value("--p99-budget-ms")?
+                    .parse()
+                    .map_err(|e| format!("--p99-budget-ms: {e}"))?;
+                cfg.governor.p99_budget = Duration::from_millis(ms);
+            }
+            "--queue-budget" => {
+                cfg.governor.queue_depth_budget =
+                    value("--queue-budget")?.parse().map_err(|e| format!("--queue-budget: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: aon-serve [--addr HOST:PORT] [--threads N] [--for SECS] [--no-obs] \
-                     [--parse-mode fast|scalar]"
+                     [--parse-mode fast|scalar] [--no-governor] [--fr-only] \
+                     [--p99-budget-ms N] [--queue-budget N]"
                 );
                 return Ok(());
             }
@@ -76,12 +90,13 @@ fn run(args: Vec<String>) -> Result<(), String> {
 
     let stats = server.shutdown();
     println!(
-        "aon-serve: done — accepted {}, served {} ({} ok, {} routed-reject), \
+        "aon-serve: done — accepted {}, served {} ({} ok, {} routed-reject, {} shed), \
          {} bad requests, {} too large, {} timeouts, {} dropped at backlog",
         stats.accepted,
         stats.requests_total(),
         stats.requests_ok,
         stats.requests_rejected,
+        stats.requests_shed,
         stats.bad_request,
         stats.too_large,
         stats.timeouts,

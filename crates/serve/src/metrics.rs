@@ -25,10 +25,16 @@ pub struct LoadgenErrors {
     pub io: u64,
     /// Reconnects after the server's keep-alive cap (not failures).
     pub reconnects: u64,
+    /// `503` responses from the capacity governor. Tracked apart from
+    /// `status_mismatch` because a shed is the server *working as
+    /// designed* under overload — and the smoke gate asserts it is zero
+    /// under nominal load, which a lumped mismatch count couldn't.
+    pub shed: u64,
 }
 
 impl LoadgenErrors {
-    /// Failures that count against the run (reconnects do not).
+    /// Failures that count against the run (reconnects and governor
+    /// sheds do not — a shed is an answered, well-formed refusal).
     pub fn failed(&self) -> u64 {
         self.status_mismatch + self.wire + self.io
     }
@@ -71,6 +77,106 @@ impl ObsOverhead {
     }
 }
 
+/// One offered-load step of the overload sweep: open-loop arrivals at
+/// `multiplier ×` the measured closed-loop capacity, classified by what
+/// came back.
+#[derive(Debug, Clone)]
+pub struct OverloadPoint {
+    /// Offered load as a multiple of the measured capacity.
+    pub multiplier: f64,
+    /// Target arrival rate for this step (requests/second).
+    pub offered_per_sec: f64,
+    /// Arrivals attempted (connects initiated on schedule).
+    pub sent: u64,
+    /// Responses with the expected routing status — the goodput numerator.
+    pub good: u64,
+    /// `503` refusals from the capacity governor (graceful shed).
+    pub shed: u64,
+    /// Responses with any other unexpected status.
+    pub wrong_status: u64,
+    /// Arrivals that got no response: connect/write/read failures —
+    /// including connections dropped at the full accept queue.
+    pub dropped: u64,
+    /// Scheduled arrivals skipped because the generator fell behind its
+    /// own schedule (reported, never silently compressed into a lower
+    /// offered rate).
+    pub missed_slots: u64,
+    /// Wall-clock length of this step's window, seconds.
+    pub duration_secs: f64,
+    /// Latency percentiles of the `good` responses only.
+    pub latency: LatencySummary,
+}
+
+impl OverloadPoint {
+    /// Good responses per wall second — the goodput axis of the curve.
+    /// Zero for a degenerate window (all-shed, or zero elapsed time);
+    /// never a division by zero.
+    pub fn goodput_per_sec(&self) -> f64 {
+        if self.duration_secs > 0.0 {
+            exact_f64(self.good) / self.duration_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The goodput-vs-offered-load curve: capacity measured closed-loop,
+/// then one [`OverloadPoint`] per multiplier.
+#[derive(Debug, Clone, Default)]
+pub struct OverloadReport {
+    /// Closed-loop capacity baseline (requests/second).
+    pub capacity_per_sec: f64,
+    /// Whether the server under test had its governor enabled.
+    pub governor_enabled: bool,
+    /// One step per offered-load multiplier. Empty when the capacity
+    /// phase completed zero requests (a sweep relative to zero capacity
+    /// is meaningless).
+    pub points: Vec<OverloadPoint>,
+}
+
+impl OverloadReport {
+    /// Render as a JSON value (an object), lines indented by `indent`.
+    pub fn to_json_value(&self, indent: &str) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str(&format!("{indent}  \"capacity_per_sec\": {:.2},\n", self.capacity_per_sec));
+        s.push_str(&format!("{indent}  \"governor_enabled\": {},\n", self.governor_enabled));
+        if self.points.is_empty() {
+            s.push_str(&format!("{indent}  \"points\": []\n"));
+        } else {
+            s.push_str(&format!("{indent}  \"points\": [\n"));
+            let rows: Vec<String> = self
+                .points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{indent}    {{\"multiplier\": {:.1}, \"offered_per_sec\": {:.2}, \
+                         \"sent\": {}, \"good\": {}, \"shed\": {}, \"wrong_status\": {}, \
+                         \"dropped\": {}, \"missed_slots\": {}, \"duration_secs\": {:.3}, \
+                         \"goodput_per_sec\": {:.2}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+                        p.multiplier,
+                        p.offered_per_sec,
+                        p.sent,
+                        p.good,
+                        p.shed,
+                        p.wrong_status,
+                        p.dropped,
+                        p.missed_slots,
+                        p.duration_secs,
+                        p.goodput_per_sec(),
+                        p.latency.p50_us,
+                        p.latency.p99_us,
+                    )
+                })
+                .collect();
+            s.push_str(&rows.join(",\n"));
+            s.push_str(&format!("\n{indent}  ]\n"));
+        }
+        s.push_str(&format!("{indent}}}"));
+        s
+    }
+}
+
 /// The netperf-style closed-loop result — serialized as `BENCH_live.json`.
 #[derive(Debug, Clone)]
 pub struct LiveBenchReport {
@@ -99,6 +205,9 @@ pub struct LiveBenchReport {
     /// Observability probe-overhead comparison (present only when the
     /// run measured both modes, e.g. `loadgen --obs-overhead`).
     pub obs_overhead: Option<ObsOverhead>,
+    /// Goodput-vs-offered-load curve (present only when the run included
+    /// the overload scenario, e.g. `loadgen --overload`).
+    pub overload: Option<OverloadReport>,
     /// Server counters at the end of the run (when the server was
     /// in-process; `None` against a remote server).
     pub server: Option<ServeStatsSnapshot>,
@@ -150,7 +259,8 @@ impl LiveBenchReport {
         s.push_str(&format!("    \"status_mismatch\": {},\n", self.errors.status_mismatch));
         s.push_str(&format!("    \"wire\": {},\n", self.errors.wire));
         s.push_str(&format!("    \"io\": {},\n", self.errors.io));
-        s.push_str(&format!("    \"reconnects\": {}\n", self.errors.reconnects));
+        s.push_str(&format!("    \"reconnects\": {},\n", self.errors.reconnects));
+        s.push_str(&format!("    \"shed\": {}\n", self.errors.shed));
         s.push_str("  },\n");
         let cells: Vec<String> = self
             .stages
@@ -173,6 +283,10 @@ impl LiveBenchReport {
             s.push_str(&format!("    \"p50_us_obs_on\": {:.1},\n", o.p50_us_obs_on));
             s.push_str(&format!("    \"delta_pct\": {:.2}\n", o.delta_pct()));
             s.push_str("  }");
+        }
+        if let Some(ov) = &self.overload {
+            s.push_str(",\n  \"overload\": ");
+            s.push_str(&ov.to_json_value("  "));
         }
         if let Some(srv) = &self.server {
             s.push_str(",\n  \"server\": ");
@@ -202,6 +316,7 @@ impl ServeStatsSnapshot {
         field("queue_depth_hwm", self.queue_depth_hwm, false);
         field("requests_ok", self.requests_ok, false);
         field("requests_rejected", self.requests_rejected, false);
+        field("requests_shed", self.requests_shed, false);
         field("not_found", self.not_found, false);
         field("bad_request", self.bad_request, false);
         field("too_large", self.too_large, false);
@@ -264,6 +379,63 @@ mod tests {
     }
 
     #[test]
+    fn json_carries_overload_curve_when_present() {
+        let mut r = report_fixture();
+        r.errors.shed = 3;
+        r.overload = Some(OverloadReport {
+            capacity_per_sec: 1000.0,
+            governor_enabled: true,
+            points: vec![OverloadPoint {
+                multiplier: 2.0,
+                offered_per_sec: 2000.0,
+                sent: 900,
+                good: 700,
+                shed: 150,
+                wrong_status: 0,
+                dropped: 50,
+                missed_slots: 20,
+                duration_secs: 0.5,
+                latency: LatencySummary::default(),
+            }],
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"shed\": 3"), "{j}");
+        assert!(j.contains("\"capacity_per_sec\": 1000.00"), "{j}");
+        assert!(j.contains("\"governor_enabled\": true"));
+        assert!(j.contains("\"goodput_per_sec\": 1400.00"));
+        assert!(j.contains("\"missed_slots\": 20"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(!j.contains(",\n}"));
+        assert!(!j.contains(",\n  }"));
+    }
+
+    #[test]
+    fn degenerate_overload_points_never_divide_by_zero() {
+        // All-shed window: zero good responses, empty latency set.
+        let p = OverloadPoint {
+            multiplier: 4.0,
+            offered_per_sec: 100.0,
+            sent: 50,
+            good: 0,
+            shed: 50,
+            wrong_status: 0,
+            dropped: 0,
+            missed_slots: 0,
+            duration_secs: 0.5,
+            latency: LatencySummary::default(),
+        };
+        assert_eq!(p.goodput_per_sec(), 0.0);
+        // Zero-length window (clock went nowhere): still finite.
+        let z = OverloadPoint { duration_secs: 0.0, ..p.clone() };
+        assert_eq!(z.goodput_per_sec(), 0.0);
+        // An empty report (capacity phase served nothing) serializes.
+        let empty = OverloadReport::default();
+        let j = empty.to_json_value("");
+        assert!(j.contains("\"points\": []"), "{j}");
+        assert!(j.contains("\"capacity_per_sec\": 0.00"));
+    }
+
+    #[test]
     fn overhead_delta_is_relative() {
         let o = ObsOverhead { p50_us_obs_off: 200.0, p50_us_obs_on: 190.0 };
         assert!((o.delta_pct() + 5.0).abs() < 0.001, "faster-with-obs is negative");
@@ -290,6 +462,7 @@ mod tests {
             },
             stages: Vec::new(),
             obs_overhead: None,
+            overload: None,
             server: None,
         }
     }

@@ -16,28 +16,37 @@
 //! * `aon_connections_accepted_total`,
 //!   `aon_connections_dropped_total{reason}` — edge admission;
 //! * `aon_accept_queue_depth_hwm` — accept-queue depth high-water mark;
+//! * `aon_governor_shed_level`, `aon_governor_window_p99_ns`,
+//!   `aon_governor_window_queue_peak` — the capacity governor's
+//!   published level and the signals of its most recent sample window;
+//! * `aon_governor_breaches_total{signal}`,
+//!   `aon_governor_transitions_total{direction}` — budget breaches by
+//!   signal (`p99` / `queue`) and level transitions (`up` = more
+//!   shedding, `down` = recovery);
 //! * `aon_admin_requests_total` — `/metrics`, `/stats.json`,
 //!   `/flight.jsonl` hits, counted **separately** so scraping never
 //!   perturbs the request totals it reports.
 //!
 //! This file is on the `aon-audit` cast-enforced list.
 
+use crate::governor::ShedLevel;
 use crate::metrics::StageCell;
 use aon_obs::flight::{FlightRecorder, RequestEvent};
-use aon_obs::metric::{Counter, Gauge, Histogram};
+use aon_obs::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
 use aon_obs::registry::Registry;
 use aon_obs::stage::{Stage, WallStages, STAGE_COUNT};
 use aon_server::usecase::UseCase;
 use std::sync::Arc;
 
 /// Response statuses the server can produce (one counter series each).
-pub const STATUSES: [u16; 6] = [200, 400, 404, 408, 413, 422];
+pub const STATUSES: [u16; 7] = [200, 400, 404, 408, 413, 422, 503];
 
 /// Per-use-case instrument handles.
 #[derive(Debug)]
 struct UseCaseObs {
     ok: Arc<Counter>,
     rejected: Arc<Counter>,
+    shed: Arc<Counter>,
     payload_bytes: Arc<Counter>,
     service_ns: Arc<Histogram>,
     stage_ns: [Arc<Histogram>; STAGE_COUNT],
@@ -51,12 +60,19 @@ pub struct ServerObs {
     /// Ring buffer of recent request events behind `GET /flight.jsonl`.
     pub flight: FlightRecorder,
     per_use: [UseCaseObs; 5],
-    responses: [Arc<Counter>; 6],
+    responses: [Arc<Counter>; 7],
     conns_accepted: Arc<Counter>,
     conns_dropped_backlog: Arc<Counter>,
     conns_rejected_closed: Arc<Counter>,
     queue_depth_hwm: Arc<Gauge>,
     admin_requests: Arc<Counter>,
+    governor_level: Arc<Gauge>,
+    governor_window_p99_ns: Arc<Gauge>,
+    governor_window_queue_peak: Arc<Gauge>,
+    governor_breach_p99: Arc<Counter>,
+    governor_breach_queue: Arc<Counter>,
+    governor_up: Arc<Counter>,
+    governor_down: Arc<Counter>,
 }
 
 fn use_case_index(uc: UseCase) -> usize {
@@ -86,6 +102,11 @@ impl ServerObs {
                     "aon_requests_total",
                     "Engine-processed requests by routing outcome",
                     &[("use_case", label), ("outcome", "rejected")],
+                ),
+                shed: registry.counter(
+                    "aon_requests_total",
+                    "Engine-processed requests by routing outcome",
+                    &[("use_case", label), ("outcome", "shed")],
                 ),
                 payload_bytes: registry.counter(
                     "aon_payload_bytes_total",
@@ -140,6 +161,41 @@ impl ServerObs {
                 "Admin endpoint hits (excluded from request totals)",
                 &[],
             ),
+            governor_level: registry.gauge(
+                "aon_governor_shed_level",
+                "Capacity-governor shed level (0 none, 1 sv, 2 sv+cbr, 3 fr-only)",
+                &[],
+            ),
+            governor_window_p99_ns: registry.gauge(
+                "aon_governor_window_p99_ns",
+                "Windowed p99 of end-to-end service time at the last governor sample",
+                &[],
+            ),
+            governor_window_queue_peak: registry.gauge(
+                "aon_governor_window_queue_peak",
+                "Accept-queue depth peak within the last governor sample window",
+                &[],
+            ),
+            governor_breach_p99: registry.counter(
+                "aon_governor_breaches_total",
+                "Governor budget breaches by signal",
+                &[("signal", "p99")],
+            ),
+            governor_breach_queue: registry.counter(
+                "aon_governor_breaches_total",
+                "Governor budget breaches by signal",
+                &[("signal", "queue")],
+            ),
+            governor_up: registry.counter(
+                "aon_governor_transitions_total",
+                "Governor level transitions (up = more shedding, down = recovery)",
+                &[("direction", "up")],
+            ),
+            governor_down: registry.counter(
+                "aon_governor_transitions_total",
+                "Governor level transitions (up = more shedding, down = recovery)",
+                &[("direction", "down")],
+            ),
             flight: FlightRecorder::new(flight_capacity),
             per_use,
             responses,
@@ -192,6 +248,7 @@ impl ServerObs {
                 match status {
                     200 => u.ok.inc(),
                     422 => u.rejected.inc(),
+                    503 => u.shed.inc(),
                     _ => {}
                 }
                 u.payload_bytes.add(bytes);
@@ -242,6 +299,49 @@ impl ServerObs {
     pub fn requests_processed(&self) -> u64 {
         self.per_use.iter().map(|u| u.ok.get() + u.rejected.get()).sum()
     }
+
+    /// Requests refused by the capacity governor (503s) across use cases.
+    pub fn requests_shed(&self) -> u64 {
+        self.per_use.iter().map(|u| u.shed.get()).sum()
+    }
+
+    /// One merged snapshot of `aon_request_duration_ns` across every use
+    /// case — the governor diffs consecutive merges ([`HistogramSnapshot::
+    /// delta_since`]) to get a windowed service-time p99.
+    pub fn service_histogram_merged(&self) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for u in &self.per_use {
+            merged.merge(&u.service_ns.snapshot());
+        }
+        merged
+    }
+
+    /// Publish one governor sample window: the level in force and the
+    /// window's two signals, as gauges a scraper can plot directly.
+    pub fn governor_sample(&self, level: ShedLevel, p99_ns: u64, queue_peak: u64) {
+        self.governor_level.set(level.as_u64());
+        self.governor_window_p99_ns.set(p99_ns);
+        self.governor_window_queue_peak.set(queue_peak);
+    }
+
+    /// Count which budget(s) a breached window tripped.
+    pub fn governor_breach(&self, p99: bool, queue: bool) {
+        if p99 {
+            self.governor_breach_p99.inc();
+        }
+        if queue {
+            self.governor_breach_queue.inc();
+        }
+    }
+
+    /// Count a governor level transition (`up` = escalation).
+    pub fn governor_transition(&self, up: bool) {
+        if up {
+            self.governor_up.inc();
+        } else {
+            self.governor_down.inc();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +374,50 @@ mod tests {
         assert!(text.contains("aon_requests_total{use_case=\"CBR\",outcome=\"rejected\"} 1"));
         assert!(text.contains("aon_http_responses_total{status=\"400\"} 1"));
         assert!(text.contains("aon_payload_bytes_total{use_case=\"CBR\"} 480"));
+    }
+
+    #[test]
+    fn shed_outcome_is_a_distinct_series_excluded_from_processed() {
+        let obs = ServerObs::new(8);
+        let stages = WallStages::new();
+        obs.record_request(Some(UseCase::Sv), 200, 100, 900, &stages);
+        obs.record_request(Some(UseCase::Sv), 503, 0, 40, &stages);
+        obs.record_request(Some(UseCase::Sv), 503, 0, 35, &stages);
+
+        assert_eq!(obs.requests_processed(), 1, "shed requests never reached the engine");
+        assert_eq!(obs.requests_shed(), 2);
+        let text = obs.registry.render_prometheus();
+        assert!(text.contains("aon_requests_total{use_case=\"SV\",outcome=\"shed\"} 2"), "{text}");
+        assert!(text.contains("aon_http_responses_total{status=\"503\"} 2"));
+    }
+
+    #[test]
+    fn governor_series_publish_level_signals_and_transitions() {
+        let obs = ServerObs::new(4);
+        obs.governor_sample(ShedLevel::SvCbr, 7_000_000, 42);
+        obs.governor_breach(true, false);
+        obs.governor_breach(true, true);
+        obs.governor_transition(true);
+        obs.governor_transition(false);
+        let text = obs.registry.render_prometheus();
+        assert!(text.contains("aon_governor_shed_level 2"), "{text}");
+        assert!(text.contains("aon_governor_window_p99_ns 7000000"));
+        assert!(text.contains("aon_governor_window_queue_peak 42"));
+        assert!(text.contains("aon_governor_breaches_total{signal=\"p99\"} 2"));
+        assert!(text.contains("aon_governor_breaches_total{signal=\"queue\"} 1"));
+        assert!(text.contains("aon_governor_transitions_total{direction=\"up\"} 1"));
+        assert!(text.contains("aon_governor_transitions_total{direction=\"down\"} 1"));
+    }
+
+    #[test]
+    fn merged_service_histogram_folds_every_use_case() {
+        let obs = ServerObs::new(4);
+        let stages = WallStages::new();
+        obs.record_request(Some(UseCase::Fr), 200, 10, 1_000, &stages);
+        obs.record_request(Some(UseCase::Dpi), 200, 10, 4_000, &stages);
+        let merged = obs.service_histogram_merged();
+        assert_eq!(merged.count, 2);
+        assert_eq!(merged.sum, 5_000);
     }
 
     #[test]

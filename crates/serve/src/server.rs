@@ -13,6 +13,7 @@
 //! reports — the CI cross-check relies on exact equality with the load
 //! generator.
 
+use crate::governor::{Governor, GovernorConfig, GovernorCore};
 use crate::obs::ServerObs;
 use aon_net::acceptq::{AcceptQueue, Pop, PushError};
 use aon_net::wire::{write_all, FrameBuf, WireError, WireLimits};
@@ -60,6 +61,9 @@ pub struct ServeConfig {
     /// byte-at-a-time counter-reference engines). Verdicts are identical;
     /// only host instructions differ.
     pub parse_mode: ParseMode,
+    /// SLO-aware admission control ([`crate::governor`]): budgets, sample
+    /// cadence, hysteresis, and the FR-only bypass switch.
+    pub governor: GovernorConfig,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +80,7 @@ impl Default for ServeConfig {
             observe: true,
             flight_capacity: 1024,
             parse_mode: ParseMode::Fast,
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -101,6 +106,9 @@ pub struct ServeStats {
     /// Requests answered 422 (content did not route/validate).
     // audit:role(counter): monotonic; Relaxed, exact once threads join
     pub requests_rejected: AtomicU64,
+    /// Requests answered 503 (refused by the capacity governor).
+    // audit:role(counter): monotonic; Relaxed, exact once threads join
+    pub requests_shed: AtomicU64,
     /// Requests answered 404.
     // audit:role(counter): monotonic; Relaxed, exact once threads join
     pub not_found: AtomicU64,
@@ -137,6 +145,8 @@ pub struct ServeStatsSnapshot {
     pub requests_ok: u64,
     /// Requests answered 422.
     pub requests_rejected: u64,
+    /// Requests answered 503 (shed by the capacity governor).
+    pub requests_shed: u64,
     /// Requests answered 404.
     pub not_found: u64,
     /// Requests answered 400.
@@ -161,6 +171,7 @@ impl ServeStats {
             queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
             requests_ok: self.requests_ok.load(Ordering::Relaxed),
             requests_rejected: self.requests_rejected.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
             not_found: self.not_found.load(Ordering::Relaxed),
             bad_request: self.bad_request.load(Ordering::Relaxed),
             too_large: self.too_large.load(Ordering::Relaxed),
@@ -179,10 +190,12 @@ impl ServeStatsSnapshot {
         self.bad_request + self.too_large + self.timeouts
     }
 
-    /// All non-admin requests answered, any status.
+    /// All non-admin requests answered, any status (shed 503s included:
+    /// a graceful refusal is still an answered request).
     pub fn requests_total(&self) -> u64 {
         self.requests_ok
             + self.requests_rejected
+            + self.requests_shed
             + self.not_found
             + self.bad_request
             + self.too_large
@@ -200,6 +213,7 @@ struct Shared {
     stats: ServeStats,
     engine: Engine,
     obs: Option<ServerObs>,
+    governor: Governor,
 }
 
 /// A running live server. Create with [`Server::start`], stop with
@@ -210,6 +224,7 @@ pub struct Server {
     shared: Arc<Shared>,
     listener: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -225,6 +240,7 @@ impl Server {
             std::thread::available_parallelism().map(usize::from).unwrap_or(2)
         };
         let obs = cfg.observe.then(|| ServerObs::new(cfg.flight_capacity));
+        let governor = Governor::new(cfg.governor.clone());
         let shared = Arc::new(Shared {
             queue: AcceptQueue::new(cfg.accept_backlog),
             cfg,
@@ -232,6 +248,7 @@ impl Server {
             stats: ServeStats::default(),
             engine: Engine::new(),
             obs,
+            governor,
         });
 
         let listener_handle = {
@@ -248,8 +265,25 @@ impl Server {
                     .spawn(move || worker_loop(&shared))
             })
             .collect::<io::Result<Vec<_>>>()?;
+        // FR-only bypass mode needs no sampler: the level is pinned.
+        let sampler = if shared.cfg.governor.enabled && !shared.cfg.governor.fr_only {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("aon-governor".to_string())
+                    .spawn(move || sampler_loop(&shared))?,
+            )
+        } else {
+            None
+        };
 
-        Ok(Server { addr, shared, listener: Some(listener_handle), workers: worker_handles })
+        Ok(Server {
+            addr,
+            shared,
+            listener: Some(listener_handle),
+            workers: worker_handles,
+            sampler,
+        })
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -265,6 +299,11 @@ impl Server {
     /// The observability layer, when [`ServeConfig::observe`] is on.
     pub fn obs(&self) -> Option<&ServerObs> {
         self.shared.obs.as_ref()
+    }
+
+    /// The capacity governor (always present; inert when disabled).
+    pub fn governor(&self) -> &Governor {
+        &self.shared.governor
     }
 
     /// The Prometheus exposition `GET /metrics` would return right now
@@ -295,6 +334,9 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        if let Some(h) = self.sampler.take() {
+            let _ = h.join();
+        }
         self.shared.stats.snapshot()
     }
 }
@@ -319,24 +361,30 @@ fn listener_loop(listener: &TcpListener, shared: &Shared) {
                 }
                 match shared.queue.push(stream) {
                     Ok(depth) => {
-                        let depth = u64::try_from(depth).unwrap_or(u64::MAX);
-                        shared.stats.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
-                        if let Some(obs) = &shared.obs {
-                            obs.queue_depth(depth);
-                        }
+                        note_queue_depth(shared, u64::try_from(depth).unwrap_or(u64::MAX));
                     }
                     Err(PushError::Full(_)) => {
                         // Bounded backlog: shed at the edge, like listen(2).
+                        // A Full refusal means the queue stood at exactly
+                        // its capacity, so record that depth too — without
+                        // it, a window in which *every* push was refused
+                        // (queue pinned full) would report a zero depth
+                        // peak and the governor would read a saturated
+                        // queue as healthy.
                         shared.stats.dropped_backlog.fetch_add(1, Ordering::Relaxed);
                         if let Some(obs) = &shared.obs {
                             obs.connection_dropped_backlog();
                         }
+                        let cap = u64::try_from(shared.queue.capacity()).unwrap_or(u64::MAX);
+                        note_queue_depth(shared, cap);
                     }
                     Err(PushError::Closed(_)) => {
                         shared.stats.rejected_closed.fetch_add(1, Ordering::Relaxed);
                         if let Some(obs) = &shared.obs {
                             obs.connection_rejected_closed();
                         }
+                        let len = u64::try_from(shared.queue.len()).unwrap_or(u64::MAX);
+                        note_queue_depth(shared, len);
                     }
                 }
             }
@@ -350,6 +398,57 @@ fn listener_loop(listener: &TcpListener, shared: &Shared) {
         }
     }
     shared.queue.close();
+}
+
+/// Record one observed accept-queue depth everywhere it matters: the
+/// all-time high-water mark (stats + gauge) and the governor's
+/// per-window peak. Called on every push outcome — see the `Full` arm in
+/// [`listener_loop`] for why refused pushes must be counted too.
+fn note_queue_depth(shared: &Shared, depth: u64) {
+    shared.stats.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+    if let Some(obs) = &shared.obs {
+        obs.queue_depth(depth);
+    }
+    shared.governor.note_queue_depth(depth);
+}
+
+/// The governor's sample loop: every [`GovernorConfig::sample_interval`],
+/// read the window's signals (queue-depth peak, and — when observability
+/// is on — the windowed service-time p99 from consecutive histogram
+/// snapshot deltas), judge them against the budgets, feed the verdict to
+/// the [`GovernorCore`], and publish the resulting level for the request
+/// path to read.
+fn sampler_loop(shared: &Shared) {
+    let mut core = GovernorCore::new(shared.governor.level());
+    let mut prev = shared.obs.as_ref().map(|o| o.service_histogram_merged()).unwrap_or_default();
+    while !shared.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(shared.governor.cfg.sample_interval);
+        let queue_peak = shared.governor.take_window_queue_peak();
+        let (p99_ns, samples) = match &shared.obs {
+            Some(obs) => {
+                let now = obs.service_histogram_merged();
+                let window = now.delta_since(&prev);
+                prev = now;
+                (window.percentile(99), window.count)
+            }
+            // Observability off: no latency signal; the queue signal
+            // still protects the server.
+            None => (0, 0),
+        };
+        let verdict = shared.governor.judge(p99_ns, samples, queue_peak);
+        if let Some((from, to)) = core.observe(verdict, shared.governor.cfg.recover_after) {
+            shared.governor.publish(to);
+            if let Some(obs) = &shared.obs {
+                obs.governor_transition(to > from);
+            }
+        }
+        if let Some(obs) = &shared.obs {
+            if verdict.breached() {
+                obs.governor_breach(verdict.p99_breach, verdict.queue_breach);
+            }
+            obs.governor_sample(core.level(), p99_ns, queue_peak);
+        }
+    }
 }
 
 /// Pull connections until the queue is closed *and* drained.
@@ -371,6 +470,8 @@ struct Reply {
     content_type: &'static str,
     /// Admin endpoints count in [`ServeStats::admin`] only.
     admin: bool,
+    /// `Retry-After` seconds advertised on governor-shed 503s.
+    retry_after: Option<u64>,
     /// Engine use case, when the request reached the pipeline.
     use_case: Option<UseCase>,
     /// Request payload bytes handed to the engine.
@@ -387,6 +488,7 @@ impl Reply {
             close,
             content_type: "text/xml",
             admin: false,
+            retry_after: None,
             use_case: None,
             payload_bytes: 0,
             stages: WallStages::new(),
@@ -419,6 +521,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                         "<aon error=\"request timeout\"/>",
                         true,
                         "text/xml",
+                        None,
                     );
                 }
                 break;
@@ -426,14 +529,21 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             Err(WireError::HeadTooLarge | WireError::BodyTooLarge) => {
                 shared.stats.too_large.fetch_add(1, Ordering::Relaxed);
                 record_wire_error(shared, 413);
-                let _ =
-                    send(&mut stream, 413, "<aon error=\"message too large\"/>", true, "text/xml");
+                let _ = send(
+                    &mut stream,
+                    413,
+                    "<aon error=\"message too large\"/>",
+                    true,
+                    "text/xml",
+                    None,
+                );
                 break;
             }
             Err(WireError::BadFrame) => {
                 shared.stats.bad_request.fetch_add(1, Ordering::Relaxed);
                 record_wire_error(shared, 400);
-                let _ = send(&mut stream, 400, "<aon error=\"bad request\"/>", true, "text/xml");
+                let _ =
+                    send(&mut stream, 400, "<aon error=\"bad request\"/>", true, "text/xml", None);
                 break;
             }
             Err(WireError::UnexpectedEof | WireError::Io(_)) => {
@@ -461,12 +571,20 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             match reply.status {
                 200 => shared.stats.requests_ok.fetch_add(1, Ordering::Relaxed),
                 422 => shared.stats.requests_rejected.fetch_add(1, Ordering::Relaxed),
+                503 => shared.stats.requests_shed.fetch_add(1, Ordering::Relaxed),
                 404 => shared.stats.not_found.fetch_add(1, Ordering::Relaxed),
                 _ => shared.stats.bad_request.fetch_add(1, Ordering::Relaxed),
             };
         }
         let write_start = Instant::now();
-        let sent = send(&mut stream, reply.status, &reply.body, reply.close, reply.content_type);
+        let sent = send(
+            &mut stream,
+            reply.status,
+            &reply.body,
+            reply.close,
+            reply.content_type,
+            reply.retry_after,
+        );
         if shared.obs.is_some() && !reply.admin {
             let write_ns = u64::try_from(write_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             reply.stages.add(Stage::Write, write_ns);
@@ -552,6 +670,23 @@ fn handle_request(shared: &Shared, msg: &[u8], framed_body_len: usize) -> Reply 
             None => not_found(close),
         },
         (Method::Post, _) => match route_use_case(shared, path) {
+            // Admission control happens after routing (so the refusal is
+            // attributed to a cost class) but before the engine touches
+            // the payload — a shed request costs the server one header
+            // write and nothing else.
+            Some(uc) if shared.governor.should_shed(uc) => {
+                let level = shared.governor.level();
+                let mut r = Reply::new(
+                    503,
+                    format!("<aon shed=\"true\" level=\"{}\"/>", level.label()),
+                    // Close so the refused client's keep-alive slot frees
+                    // a worker for admitted traffic.
+                    true,
+                );
+                r.retry_after = Some(shared.cfg.governor.retry_after_secs);
+                r.use_case = Some(uc);
+                r
+            }
             Some(uc) => {
                 let mut stages = WallStages::new();
                 let mode = shared.cfg.parse_mode;
@@ -601,13 +736,15 @@ fn route_use_case(shared: &Shared, path: &[u8]) -> Option<UseCase> {
     }
 }
 
-/// Serialize and write one response.
+/// Serialize and write one response. `retry_after` adds a `Retry-After`
+/// header (governor-shed 503s only).
 fn send(
     stream: &mut TcpStream,
     status: u16,
     body: &str,
     close: bool,
     content_type: &str,
+    retry_after: Option<u64>,
 ) -> Result<(), WireError> {
     let reason = match status {
         200 => "OK",
@@ -616,11 +753,16 @@ fn send(
         408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
         _ => "Unknown",
     };
     let connection = if close { "close" } else { "keep-alive" };
+    let retry = match retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{retry}Connection: {connection}\r\n\r\n",
         body.len()
     );
     let mut out = head.into_bytes();
@@ -631,6 +773,7 @@ fn send(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::governor::ShedLevel;
     use std::io::{Read, Write};
 
     fn tiny_server() -> Server {
@@ -799,6 +942,78 @@ mod tests {
         let n = s.read(&mut buf).unwrap_or(0);
         assert_eq!(n, 0, "server must close after the keep-alive cap");
         assert_eq!(server.shutdown().requests_ok, 3);
+    }
+
+    #[test]
+    fn fr_only_mode_sheds_expensive_classes_with_retry_after() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            governor: GovernorConfig {
+                fr_only: true,
+                retry_after_secs: 7,
+                ..GovernorConfig::default()
+            },
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = server.addr();
+        assert_eq!(server.governor().level(), ShedLevel::FrOnly);
+        let corpus = aon_server::Corpus::generate(42, 2);
+        let v = &corpus.variants[0];
+        let body = &v.http[v.body_start..];
+
+        let got = roundtrip(addr, &post(b"/aon/sv", body));
+        let text = String::from_utf8_lossy(&got);
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable"), "{text}");
+        assert!(text.contains("Retry-After: 7"), "{text}");
+        assert!(text.contains("Connection: close"), "shed responses free the worker: {text}");
+        assert!(text.contains("shed=\"true\""), "{text}");
+
+        let got = roundtrip(addr, &post(b"/aon/fr", body));
+        assert!(got.starts_with(b"HTTP/1.1 200"), "FR stays admitted in bypass mode");
+
+        let metrics = server.metrics_text().expect("observability on");
+        assert!(
+            metrics.contains("aon_requests_total{use_case=\"SV\",outcome=\"shed\"} 1"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("aon_http_responses_total{status=\"503\"} 1"));
+
+        let stats = server.shutdown();
+        assert_eq!(stats.requests_shed, 1);
+        assert_eq!(stats.requests_ok, 1);
+        assert_eq!(stats.requests_total(), 2, "a shed request is still an answered request");
+        assert_eq!(stats.protocol_errors(), 0);
+    }
+
+    #[test]
+    fn refused_pushes_record_queue_depth_at_capacity() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            accept_backlog: 1,
+            read_timeout: Duration::from_millis(400),
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = server.addr();
+        // Occupy the only worker with a stalled request...
+        let mut stall = TcpStream::connect(addr).unwrap();
+        stall.write_all(b"POST /aon/fr HTTP/1.1\r\nContent-").unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // ...fill the one-slot queue...
+        let _queued = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        // ...then overflow it: the refused push must still record that the
+        // queue stood at capacity (the depth signal on the shed path).
+        let _dropped = TcpStream::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.stats().dropped_backlog == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let stats = server.shutdown();
+        assert!(stats.dropped_backlog >= 1, "third connection must be shed at the edge");
+        assert_eq!(stats.queue_depth_hwm, 1, "hwm records the capacity the Full refusal saw");
+        drop(stall);
     }
 
     #[test]

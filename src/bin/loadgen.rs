@@ -15,11 +15,14 @@
 //! cargo run --release --bin loadgen -- --use-case sv --connections 8
 //! cargo run --release --bin loadgen -- --scrape-metrics metrics.prom
 //! cargo run --release --bin loadgen -- --obs-overhead          # off-vs-on p50
+//! cargo run --release --bin loadgen -- --overload              # goodput curve
+//! cargo run --release --bin loadgen -- --overload-smoke        # CI overload gate
 //! ```
 
 use aon_obs::scrape::{parse_prometheus, sum_samples};
-use aon_serve::loadgen::{run, scrape, LoadgenConfig};
-use aon_serve::metrics::{LiveBenchReport, ObsOverhead};
+use aon_serve::governor::GovernorConfig;
+use aon_serve::loadgen::{run, run_overload, scrape, LoadgenConfig, OverloadConfig};
+use aon_serve::metrics::{LiveBenchReport, ObsOverhead, OverloadReport};
 use aon_serve::server::{ServeConfig, Server};
 use aon_server::usecase::UseCase;
 use aon_server::ParseMode;
@@ -37,6 +40,30 @@ struct Args {
     scrape_path: Option<String>,
     obs_overhead: bool,
     parse_mode: ParseMode,
+    overload: bool,
+    overload_smoke: bool,
+    governor: bool,
+    fr_only: bool,
+    p99_budget_ms: Option<u64>,
+    queue_budget: Option<u64>,
+}
+
+impl Args {
+    /// The governor the in-process server under test runs with.
+    fn governor_config(&self) -> GovernorConfig {
+        let mut g = GovernorConfig {
+            enabled: self.governor,
+            fr_only: self.fr_only,
+            ..GovernorConfig::default()
+        };
+        if let Some(ms) = self.p99_budget_ms {
+            g.p99_budget = Duration::from_millis(ms);
+        }
+        if let Some(q) = self.queue_budget {
+            g.queue_depth_budget = q;
+        }
+        g
+    }
 }
 
 fn main() {
@@ -63,6 +90,15 @@ fn main() {
             p50_us_obs_on: outcome.report.latency.p50_us,
         });
     }
+
+    // Overload scenario: its own in-process server (the nominal closed
+    // loop above stays an unperturbed baseline), folded into the report.
+    let mut overload_failed = false;
+    if args.overload || args.overload_smoke {
+        let (ov, failed) = overload_scenario(&args);
+        outcome.report.overload = Some(ov);
+        overload_failed = failed;
+    }
     let report = &outcome.report;
 
     let json = report.to_json();
@@ -86,16 +122,107 @@ fn main() {
         );
     }
 
-    if outcome.failed() {
+    if outcome.failed() || overload_failed {
         eprintln!(
-            "loadgen: FAILED (failed={}, ok={}, server protocol errors={}, scrape mismatch={})",
+            "loadgen: FAILED (failed={}, ok={}, server protocol errors={}, scrape mismatch={}, \
+             unexpected sheds={}, overload gate failed={overload_failed})",
             report.requests_failed,
             report.requests_ok,
             outcome.server_protocol_errors,
-            outcome.scrape_mismatch
+            outcome.scrape_mismatch,
+            outcome.unexpected_shed,
         );
         std::process::exit(1);
     }
+}
+
+/// Run the overload sweep against a dedicated in-process server and, in
+/// `--overload-smoke` mode, gate on graceful degradation: an unloaded
+/// one-shot point (0.5×) sets the baseline, and at 3× offered load the
+/// goodput must hold at least 80% of it with zero wrong-status responses
+/// and zero server protocol errors.
+fn overload_scenario(args: &Args) -> (OverloadReport, bool) {
+    if args.addr.is_some() {
+        usage("--overload/--overload-smoke need an in-process server (drop --addr)");
+    }
+    let server = Server::start(ServeConfig {
+        parse_mode: args.parse_mode,
+        governor: args.governor_config(),
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback");
+    let smoke = args.overload_smoke;
+    let cfg = OverloadConfig {
+        addr: server.addr(),
+        threads: args.connections.max(2),
+        multipliers: if smoke { vec![0.5, 3.0] } else { vec![0.5, 2.0, 4.0, 6.0, 8.0, 10.0] },
+        window: if smoke { Duration::from_secs(2) } else { Duration::from_secs(1) },
+        capacity_window: Duration::from_secs(1),
+        capacity_connections: args.connections,
+        use_cases: args.use_cases.clone(),
+        ..OverloadConfig::default()
+    };
+    eprintln!(
+        "loadgen: overload sweep {:?}x capacity ({} arrival threads, governor {})",
+        cfg.multipliers,
+        cfg.threads,
+        if args.governor { "on" } else { "off" },
+    );
+    let mut report = run_overload(&cfg);
+    report.governor_enabled = args.governor;
+    let stats = server.shutdown();
+
+    for p in &report.points {
+        eprintln!(
+            "loadgen: overload {:.1}x: offered {:.0}/s -> goodput {:.0}/s \
+             (good {}, shed {}, wrong {}, dropped {}, missed slots {})",
+            p.multiplier,
+            p.offered_per_sec,
+            p.goodput_per_sec(),
+            p.good,
+            p.shed,
+            p.wrong_status,
+            p.dropped,
+            p.missed_slots,
+        );
+    }
+
+    let mut failed = false;
+    if smoke {
+        match (report.points.first(), report.points.get(1)) {
+            (Some(base), Some(hot)) if base.good > 0 => {
+                let floor = base.goodput_per_sec() * 0.8;
+                if hot.goodput_per_sec() < floor {
+                    eprintln!(
+                        "loadgen: overload smoke FAILED: goodput {:.0}/s at 3x is below 80% \
+                         of the unloaded baseline {:.0}/s",
+                        hot.goodput_per_sec(),
+                        base.goodput_per_sec(),
+                    );
+                    failed = true;
+                }
+                if base.wrong_status + hot.wrong_status > 0 {
+                    eprintln!(
+                        "loadgen: overload smoke FAILED: {} wrong-status responses",
+                        base.wrong_status + hot.wrong_status
+                    );
+                    failed = true;
+                }
+            }
+            _ => {
+                eprintln!("loadgen: overload smoke FAILED: no usable unloaded baseline");
+                failed = true;
+            }
+        }
+        if stats.protocol_errors() > 0 {
+            eprintln!(
+                "loadgen: overload smoke FAILED: {} server protocol errors",
+                stats.protocol_errors()
+            );
+            failed = true;
+        }
+    }
+    (report, failed)
 }
 
 /// The result of one measured run plus its gate inputs.
@@ -103,6 +230,9 @@ struct RunOutcome {
     report: LiveBenchReport,
     server_protocol_errors: u64,
     scrape_mismatch: bool,
+    /// Governor sheds during a run that was not configured to shed:
+    /// nominal load must never breach the (generous) default budgets.
+    unexpected_shed: bool,
 }
 
 impl RunOutcome {
@@ -111,6 +241,7 @@ impl RunOutcome {
             || self.report.requests_ok == 0
             || self.server_protocol_errors > 0
             || self.scrape_mismatch
+            || self.unexpected_shed
     }
 }
 
@@ -123,6 +254,7 @@ fn drive(args: &Args, observe: bool, scrape_path: Option<&str>) -> RunOutcome {
             Server::start(ServeConfig {
                 observe,
                 parse_mode: args.parse_mode,
+                governor: args.governor_config(),
                 ..ServeConfig::default()
             })
             .expect("bind loopback"),
@@ -161,13 +293,14 @@ fn drive(args: &Args, observe: bool, scrape_path: Option<&str>) -> RunOutcome {
     // an external Prometheus would have collected.
     if let Some(path) = scrape_path {
         if observe {
-            let text = scrape_settled(target, report.requests_ok);
+            let text = scrape_settled(target, report.requests_ok, report.errors.shed);
             // Exact-equality cross-check is only sound against a server
             // this process drove exclusively.
-            if server.is_some() && !metrics_agree(&text, report.requests_ok) {
+            if server.is_some() && !metrics_agree(&text, report.requests_ok, report.errors.shed) {
                 eprintln!(
-                    "loadgen: /metrics totals disagree with client counts (expected {})",
-                    report.requests_ok
+                    "loadgen: /metrics totals disagree with client counts \
+                     (expected {} processed + {} shed)",
+                    report.requests_ok, report.errors.shed
                 );
                 scrape_mismatch = true;
             }
@@ -188,18 +321,20 @@ fn drive(args: &Args, observe: bool, scrape_path: Option<&str>) -> RunOutcome {
         }
         None => 0,
     };
-    RunOutcome { report, server_protocol_errors, scrape_mismatch }
+    let unexpected_shed = report.errors.shed > 0 && !args.fr_only;
+    RunOutcome { report, server_protocol_errors, scrape_mismatch, unexpected_shed }
 }
 
-/// Scrape `/metrics` until the request totals settle at `expected` (the
-/// server records a request just *after* writing its response, so the
-/// final few events can trail the client by a scheduling quantum).
-fn scrape_settled(addr: std::net::SocketAddr, expected: u64) -> String {
+/// Scrape `/metrics` until the request totals settle at the expected
+/// counts (the server records a request just *after* writing its
+/// response, so the final few events can trail the client by a
+/// scheduling quantum).
+fn scrape_settled(addr: std::net::SocketAddr, expected: u64, expected_shed: u64) -> String {
     let timeout = Duration::from_secs(5);
     let mut text = String::new();
     for _ in 0..40 {
         text = scrape(addr, "/metrics", timeout).unwrap_or_default();
-        if metrics_agree(&text, expected) {
+        if metrics_agree(&text, expected, expected_shed) {
             return text;
         }
         std::thread::sleep(Duration::from_millis(25));
@@ -207,13 +342,14 @@ fn scrape_settled(addr: std::net::SocketAddr, expected: u64) -> String {
     text
 }
 
-/// Does the scraped exposition's processed-request total equal the
-/// client's completed-request count exactly?
-fn metrics_agree(text: &str, expected: u64) -> bool {
+/// Does the scraped exposition agree with the client exactly, outcome by
+/// outcome — processed (`ok` + `rejected`) and governor-shed?
+fn metrics_agree(text: &str, expected: u64, expected_shed: u64) -> bool {
     let samples = parse_prometheus(text);
     let ok = sum_samples(&samples, "aon_requests_total", &[("outcome", "ok")]);
     let rejected = sum_samples(&samples, "aon_requests_total", &[("outcome", "rejected")]);
-    ok + rejected == exact_f64(expected)
+    let shed = sum_samples(&samples, "aon_requests_total", &[("outcome", "shed")]);
+    ok + rejected == exact_f64(expected) && shed == exact_f64(expected_shed)
 }
 
 fn parse_args() -> Args {
@@ -227,6 +363,12 @@ fn parse_args() -> Args {
         scrape_path: None,
         obs_overhead: false,
         parse_mode: ParseMode::Fast,
+        overload: false,
+        overload_smoke: false,
+        governor: true,
+        fr_only: false,
+        p99_budget_ms: None,
+        queue_budget: None,
     };
 
     let mut it = std::env::args().skip(1);
@@ -255,12 +397,31 @@ fn parse_args() -> Args {
                 args.parse_mode = ParseMode::from_str_opt(&v)
                     .unwrap_or_else(|| usage(&format!("--parse-mode: fast|scalar, got {v:?}")));
             }
+            "--overload" => args.overload = true,
+            "--overload-smoke" => args.overload_smoke = true,
+            "--no-governor" => args.governor = false,
+            "--fr-only" => args.fr_only = true,
+            "--p99-budget-ms" => {
+                args.p99_budget_ms = Some(
+                    value("--p99-budget-ms")
+                        .parse()
+                        .unwrap_or_else(|e| usage(&format!("--p99-budget-ms: {e}"))),
+                );
+            }
+            "--queue-budget" => {
+                args.queue_budget = Some(
+                    value("--queue-budget")
+                        .parse()
+                        .unwrap_or_else(|e| usage(&format!("--queue-budget: {e}"))),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--duration SECS] [--connections N] \
                      [--use-case fr|cbr|sv|dpi|crypto]... [--addr HOST:PORT] [--out FILE] \
                      [--no-obs] [--scrape-metrics FILE] [--obs-overhead] \
-                     [--parse-mode fast|scalar]"
+                     [--parse-mode fast|scalar] [--overload] [--overload-smoke] \
+                     [--no-governor] [--fr-only] [--p99-budget-ms N] [--queue-budget N]"
                 );
                 std::process::exit(0);
             }
