@@ -111,6 +111,37 @@ print(f"overload smoke ok: capacity {ov['capacity_per_sec']:.0f} req/s, "
       f"(retention {ratio:.2f}, shed {hot['shed']})")
 EOF
 
+say "trace smoke (tail-sampler retention, complete span trees, admin reads free)"
+# Mixed load against an FR-only server with tracing on: the binary exits
+# 1 unless every governor-shed request's span tree is retained in
+# /trace.jsonl (dropped_keep == 0 — the 100%-tail-retention proof),
+# every retained tree is structurally complete, and reading the dump
+# moved no request total (server count == client count exactly).
+./target/release/loadgen --trace-smoke --duration 2 \
+    --out /tmp/BENCH_trace_smoke.json >/dev/null
+
+say "hw smoke (hardware-counter plane, probe-and-degrade)"
+# Runs the closed loop with per-worker perf counter groups requested.
+# On hosts without PMU access (most CI containers) the backend degrades
+# to noop and this is a clean skip recorded in the report; on a host
+# with a live PMU, zero attributed events is a failure.
+./target/release/hw-report --duration 1 --out /tmp/BENCH_hw_smoke.json >/dev/null
+python3 - <<'EOF'
+import json
+with open("/tmp/BENCH_hw_smoke.json") as f:
+    report = json.load(f)
+hw = report["hw"]
+assert hw["backend"] in ("perf_event", "noop"), hw
+if hw["backend"] == "perf_event":
+    assert hw["rows"], "live perf backend must attribute events"
+    for row in hw["rows"]:
+        assert row["instructions"] > 0 and row["cycles"] > 0, row
+    print(f"hw smoke ok: live backend, {len(hw['rows'])} use-case rows, "
+          f"FR cpi {hw['rows'][0]['cpi']:.2f}")
+else:
+    print(f"hw smoke ok: noop backend ({hw['reason']}) — degrade path exercised")
+EOF
+
 say "BENCH_history regression gate (same-host records fail the build)"
 # Compares the live smoke against the most recent record in
 # BENCH_history/. Records carry a host fingerprint (CPU model + count):
@@ -200,6 +231,7 @@ snap = {
         "command": "loadgen --duration 2 (default mixed use cases, observability on)",
         "requests_per_sec": round(cur["requests_per_sec"]),
         "latency_p99_us": round(cur["latency_us"]["p99"]),
+        "latency_p999_us": round(cur["latency_us"]["p999"]),
         "parse_mode": "fast",
     },
     "overload_smoke": ov,

@@ -60,10 +60,13 @@ pub const CAST_ENFORCED_FILES: &[&str] = &[
     "crates/core/src/cellcache.rs",
     "crates/core/src/metrics.rs",
     "crates/core/src/report.rs",
+    "crates/hw/src/counters.rs",
     "crates/obs/src/flight.rs",
+    "crates/obs/src/hwcounters.rs",
     "crates/obs/src/latency.rs",
     "crates/obs/src/metric.rs",
     "crates/obs/src/registry.rs",
+    "crates/obs/src/reqtrace.rs",
     "crates/obs/src/scrape.rs",
     "crates/obs/src/stage.rs",
     "crates/serve/src/governor.rs",
@@ -80,7 +83,9 @@ pub const CAST_ENFORCED_FILES: &[&str] = &[
 /// Files where rule 4 (doc comment on every `pub` item) is enforced.
 pub const DOC_ENFORCED_FILES: &[&str] = &[
     "crates/core/src/metrics.rs",
+    "crates/hw/src/counters.rs",
     "crates/obs/src/metric.rs",
+    "crates/obs/src/reqtrace.rs",
     "crates/sim/src/counters.rs",
     "crates/xml/src/scan.rs",
     "crates/xml/src/schema/automaton.rs",
@@ -438,10 +443,20 @@ pub fn check_unwrap_panic(rel_path: &Path, s: &Scrubbed) -> Vec<Finding> {
     out
 }
 
-/// Rule 3: the crate opts into the workspace lint gate. Accepts either a
+/// Crates exempt from the `unsafe_code = "forbid"` half of the lint
+/// gate: the audited unsafe islands (raw syscall bindings live in
+/// `aon-hw` and nowhere else). Exemption is not a free pass — the
+/// island's manifest must still replicate the rest of the workspace
+/// lint table (checked: `missing_docs = "warn"`), and its sources stay
+/// on the cast/doc enforcement lists above.
+pub const UNSAFE_ISLAND_MANIFESTS: &[&str] = &["crates/hw/Cargo.toml"];
+
+/// Rule 3: the crate opts into the workspace lint gate. Accepts a
 /// manifest `[lints] workspace = true` (with the workspace table defining
-/// `unsafe_code = "forbid"` and `missing_docs = "warn"`) or the equivalent
-/// crate-root attributes.
+/// `unsafe_code = "forbid"` and `missing_docs = "warn"`), the equivalent
+/// crate-root attributes, or — for [`UNSAFE_ISLAND_MANIFESTS`] only — a
+/// crate-local lint table that keeps `missing_docs = "warn"` while
+/// permitting the audited `unsafe`.
 pub fn check_lint_gate(
     rel_manifest: &Path,
     manifest: &str,
@@ -451,7 +466,9 @@ pub fn check_lint_gate(
     let inherits = manifest_inherits_workspace_lints(manifest);
     let has_attrs = root_source.contains("#![forbid(unsafe_code)]")
         && root_source.contains("#![warn(missing_docs)]");
-    if (inherits && workspace_defines_gate) || has_attrs {
+    let island = UNSAFE_ISLAND_MANIFESTS.iter().any(|m| Path::new(m) == rel_manifest)
+        && manifest.replace(' ', "").contains("missing_docs=\"warn\"");
+    if (inherits && workspace_defines_gate) || has_attrs || island {
         return Vec::new();
     }
     vec![Finding {
@@ -787,6 +804,21 @@ mod tests {
         assert!(check_lint_gate(rel, bare, attrs, true).is_empty());
         assert_eq!(check_lint_gate(rel, inherit, "", false).len(), 1);
         assert_eq!(check_lint_gate(rel, bare, "", true).len(), 1);
+    }
+
+    #[test]
+    fn lint_gate_exempts_only_the_listed_unsafe_island_with_its_own_docs_lint() {
+        let island_manifest =
+            "[package]\nname = \"aon-hw\"\n\n[lints.rust]\nmissing_docs = \"warn\"\n";
+        let island = Path::new("crates/hw/Cargo.toml");
+        assert!(check_lint_gate(island, island_manifest, "", true).is_empty());
+        // The same manifest in any other crate is still a violation...
+        assert_eq!(
+            check_lint_gate(Path::new("crates/x/Cargo.toml"), island_manifest, "", true).len(),
+            1
+        );
+        // ...and the island without its docs lint is too.
+        assert_eq!(check_lint_gate(island, "[package]\nname = \"aon-hw\"\n", "", true).len(), 1);
     }
 
     #[test]

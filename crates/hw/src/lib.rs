@@ -1,0 +1,39 @@
+//! # aon-hw — hardware performance counters for the live server
+//!
+//! The source paper's entire method is hardware performance-counter
+//! characterization: CPI, cache misses, and bus transactions read from
+//! the Pentium M / Pentium 4 PMUs under live XML load. The simulator
+//! half of this workspace *models* those counters and the `aon-obs`
+//! crate counts the server in *software*; this crate closes the loop by
+//! reading the real PMU of the machine the live server runs on, through
+//! the Linux `perf_event_open(2)` interface.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **No new dependencies.** The workspace is hermetic (no crates.io),
+//!    so there is no `libc` crate. The syscall bindings are raw
+//!    `extern "C"` declarations against the system libc that every
+//!    `*-linux-gnu` binary already links ([`sys`]).
+//! 2. **Probe and degrade, never fail.** Containers routinely block
+//!    `perf_event_open` (seccomp, `perf_event_paranoid`, missing PMU in
+//!    VMs). Opening a counter group is a *probe*: on any refusal the
+//!    caller gets an inert no-op group plus an errno-style reason
+//!    string, and everything downstream keeps working with zeroed
+//!    counters — the same probe-and-skip discipline the concurrency CI
+//!    stages use for miri/TSan.
+//! 3. **One syscall per snapshot.** The five events (cycles,
+//!    instructions, L1d misses, LLC misses, branch misses) are opened as
+//!    one perf *group* with `PERF_FORMAT_GROUP`, so a snapshot at a
+//!    stage boundary is a single `read(2)` that returns all five values
+//!    atomically (scheduled on and off the PMU together).
+//!
+//! The safe API is [`counters`]: [`counters::HwGroup`] (per-thread
+//! counter group), [`counters::HwSnapshot`] (plain-data values,
+//! subtractable), and [`counters::probe`] (the degrade matrix entry:
+//! backend + reason). The unsafe surface is confined to [`sys`] and is
+//! four calls: `syscall(SYS_perf_event_open)`, `ioctl`, `read`, `close`.
+
+pub mod counters;
+pub mod sys;
+
+pub use counters::{probe, HwEvent, HwGroup, HwProbe, HwSnapshot, EVENT_COUNT};

@@ -14,7 +14,34 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// An item stamped with its enqueue time, so the consumer can attribute
+/// queue wait — the gap between a connection being accepted and a worker
+/// picking it up — to the request it serves. The paper's service-time
+/// decomposition starts at TCP termination; without this stamp the
+/// server's own view starts only when a worker reads the first byte, and
+/// queueing delay silently disappears from every trace.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Timed<T> {
+    /// The queued item.
+    pub item: T,
+    /// When the producer enqueued it.
+    pub enqueued_at: Instant,
+}
+
+impl<T> Timed<T> {
+    /// Stamp `item` with the current instant.
+    pub fn now(item: T) -> Timed<T> {
+        Timed { item, enqueued_at: Instant::now() }
+    }
+
+    /// Nanoseconds since the item was enqueued (the queue wait, when
+    /// called at dequeue time).
+    pub fn wait_ns(&self) -> u64 {
+        u64::try_from(self.enqueued_at.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
 
 /// Result of a [`AcceptQueue::pop`].
 #[derive(Debug, PartialEq, Eq)]
@@ -200,6 +227,21 @@ mod tests {
         assert_eq!(q.pop(Duration::from_millis(1)), Pop::Item(2));
         assert_eq!(q.pop(Duration::from_millis(1)), Pop::<i32>::Closed);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn timed_wrapper_measures_queue_wait() {
+        let q: AcceptQueue<Timed<u32>> = AcceptQueue::new(4);
+        q.push(Timed::now(7)).expect("fits");
+        std::thread::sleep(Duration::from_millis(5));
+        let Pop::Item(t) = q.pop(Duration::from_millis(1)) else {
+            panic!("item queued above");
+        };
+        assert_eq!(t.item, 7);
+        assert!(t.wait_ns() >= 2_000_000, "waited ~5ms, got {}ns", t.wait_ns());
+        // The wait keeps growing monotonically after dequeue.
+        let first = t.wait_ns();
+        assert!(t.wait_ns() >= first);
     }
 
     #[test]

@@ -65,6 +65,18 @@ impl RequestEvent {
     }
 }
 
+/// What one [`FlightRecorder::record`] call did: the sequence number it
+/// assigned and how many old events it evicted to make room (0 or 1 in
+/// steady state; the type still carries a count so the accounting stays
+/// exact if the capacity invariant ever changes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recorded {
+    /// Sequence number assigned to the recorded event.
+    pub seq: u64,
+    /// Events evicted by this record call.
+    pub evicted: u64,
+}
+
 /// The recorder: last `capacity` events, newest last.
 #[derive(Debug)]
 pub struct FlightRecorder {
@@ -91,17 +103,25 @@ impl FlightRecorder {
     }
 
     /// Record one event (assigning its sequence number); evicts the
-    /// oldest event when full.
-    pub fn record(&self, mut event: RequestEvent) -> u64 {
+    /// oldest event when full. The eviction count is returned alongside
+    /// the sequence number so callers exporting metrics can bump an
+    /// externally visible drop counter without re-reading [`Self::dropped`]
+    /// (which would race with concurrent recorders).
+    pub fn record(&self, mut event: RequestEvent) -> Recorded {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         event.seq = seq;
         let mut events = self.events.lock().expect("flight recorder poisoned");
+        let mut evicted = 0u64;
         while events.len() >= self.capacity {
             events.pop_front();
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            evicted += 1;
         }
         events.push_back(event);
-        seq
+        drop(events);
+        if evicted > 0 {
+            self.dropped.fetch_add(evicted, Ordering::Relaxed);
+        }
+        Recorded { seq, evicted }
     }
 
     /// Events currently retained.
@@ -155,11 +175,15 @@ mod tests {
     #[test]
     fn ring_keeps_newest_and_counts_evictions() {
         let fr = FlightRecorder::new(3);
+        let mut evicted_total = 0;
         for i in 0..5u16 {
-            fr.record(event(200 + i));
+            let r = fr.record(event(200 + i));
+            assert_eq!(r.seq, u64::from(i));
+            evicted_total += r.evicted;
         }
         assert_eq!(fr.len(), 3);
         assert_eq!(fr.dropped(), 2);
+        assert_eq!(evicted_total, 2, "per-call eviction counts sum to dropped()");
         let statuses: Vec<u16> = fr.snapshot().iter().map(|e| e.status).collect();
         assert_eq!(statuses, vec![202, 203, 204]);
         let seqs: Vec<u64> = fr.snapshot().iter().map(|e| e.seq).collect();

@@ -21,6 +21,9 @@ pub struct LatencySummary {
     pub p50_us: f64,
     /// 99th percentile.
     pub p99_us: f64,
+    /// 99.9th percentile (advisory: the regression gate stays on p99,
+    /// p99.9 is recorded for tail visibility).
+    pub p999_us: f64,
     /// Worst observed.
     pub max_us: f64,
     /// Arithmetic mean.
@@ -40,6 +43,7 @@ pub fn summarize_latencies(samples_ns: &mut [u64]) -> LatencySummary {
         count,
         p50_us: to_us(percentile(samples_ns, 50)),
         p99_us: to_us(percentile(samples_ns, 99)),
+        p999_us: to_us(percentile_per_mille(samples_ns, 999)),
         max_us: to_us(*samples_ns.last().expect("non-empty")),
         mean_us: exact_f64(sum) / exact_f64(count) / 1000.0,
     }
@@ -49,6 +53,15 @@ pub fn summarize_latencies(samples_ns: &mut [u64]) -> LatencySummary {
 pub fn percentile(sorted: &[u64], pct: usize) -> u64 {
     debug_assert!(!sorted.is_empty() && pct <= 100);
     let idx = ((sorted.len() - 1) * pct + 50) / 100;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Nearest-rank per-mille percentile of a sorted slice (`per_mille` in
+/// 0..=1000, so 999 is p99.9) — the finer-grained sibling of
+/// [`percentile`] with the same rounding convention.
+pub fn percentile_per_mille(sorted: &[u64], per_mille: usize) -> u64 {
+    debug_assert!(!sorted.is_empty() && per_mille <= 1000);
+    let idx = ((sorted.len() - 1) * per_mille + 500) / 1000;
     sorted[idx.min(sorted.len() - 1)]
 }
 
@@ -63,6 +76,7 @@ mod tests {
         assert_eq!(s.count, 100);
         assert!((s.p50_us - 50.0).abs() <= 1.0, "p50 {}", s.p50_us);
         assert!((s.p99_us - 99.0).abs() <= 1.0, "p99 {}", s.p99_us);
+        assert!((s.p999_us - 100.0).abs() <= 1.0, "p999 {}", s.p999_us);
         assert_eq!(s.max_us, 100.0);
         assert!((s.mean_us - 50.5).abs() < 0.01);
     }
@@ -76,7 +90,15 @@ mod tests {
     #[test]
     fn single_sample_is_every_percentile() {
         let s = summarize_latencies(&mut [7_000]);
-        assert_eq!((s.p50_us, s.p99_us, s.max_us), (7.0, 7.0, 7.0));
+        assert_eq!((s.p50_us, s.p99_us, s.p999_us, s.max_us), (7.0, 7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn per_mille_percentile_sits_between_p99_and_max() {
+        let mut ns: Vec<u64> = (1..=10_000).collect();
+        let s = summarize_latencies(&mut ns);
+        assert!(s.p99_us <= s.p999_us && s.p999_us <= s.max_us);
+        assert!((s.p999_us - 9.990).abs() < 0.01, "p999 {}", s.p999_us);
     }
 
     #[test]

@@ -26,6 +26,17 @@
 //! * [`flight`] — a bounded ring-buffer [`flight::FlightRecorder`] of
 //!   recent request events, dumpable as JSONL.
 //!
+//! Two further planes close the loop with the paper's method:
+//!
+//! * [`hwcounters`] — hardware-counter stage attribution: a
+//!   [`hwcounters::RichStages`] recorder snapshots a per-thread
+//!   `aon-hw` perf group at stage boundaries, so every span carries
+//!   cycle/instruction/cache-miss deltas when the PMU is available
+//!   (and cleanly degrades to zeros when it is not);
+//! * [`reqtrace`] — tail-sampled per-request span traces: slow, shed,
+//!   and errored requests are always retained, the rest
+//!   reservoir-sampled deterministically ([`reqtrace::Tracer`]).
+//!
 //! Two support modules round it out: [`latency`] (the exact
 //! percentile summarization shared with the load generator) and
 //! [`scrape`] (a parser for the exposition format, used by
@@ -35,14 +46,21 @@
 //! [`aon_trace::num`] conversions.
 
 pub mod flight;
+pub mod hwcounters;
 pub mod latency;
 pub mod metric;
 pub mod registry;
+pub mod reqtrace;
 pub mod scrape;
 pub mod stage;
 
-pub use flight::{FlightRecorder, RequestEvent};
-pub use latency::{percentile, summarize_latencies, LatencySummary};
+pub use flight::{FlightRecorder, Recorded, RequestEvent};
+pub use hwcounters::{HwStageSet, RichStages};
+pub use latency::{percentile, percentile_per_mille, summarize_latencies, LatencySummary};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::Registry;
+pub use reqtrace::{
+    sample_decision, ParsedSpan, ParsedTrace, TraceClass, TraceConfig, TraceEvent, TraceRecord,
+    Tracer,
+};
 pub use stage::{NoopStages, Stage, StageRecorder, WallStages, STAGE_COUNT};

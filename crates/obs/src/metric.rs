@@ -236,6 +236,49 @@ impl HistogramSnapshot {
         bucket_bounds(BUCKETS - 1).1
     }
 
+    /// Interpolated per-mille percentile (`per_mille` in 0..=1000, so
+    /// 999 is p99.9). Unlike the bucket-upper-bound [`Self::percentile`],
+    /// this interpolates linearly *within* the rank's bucket — midpoint
+    /// convention, so rank r of b occupants sits at fraction
+    /// `(2r - 1) / 2b` of the bucket span — which matters for tail
+    /// estimates where one log2 bucket can span a 2x latency range.
+    /// Integer math throughout (the bucket spans near `u64::MAX` exceed
+    /// f64's exact range); the open-ended last bucket clamps to its
+    /// lower bound. Returns 0 for an empty histogram.
+    pub fn percentile_per_mille(&self, per_mille: u16) -> u64 {
+        let pm = u64::from(per_mille.min(1000));
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank_wide = (u128::from(total) * u128::from(pm)).div_ceil(1000);
+        let rank = u64::try_from(rank_wide).expect("rank <= total").max(1);
+        let mut cumulative = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            let before = cumulative;
+            cumulative += b;
+            if cumulative >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                if i == BUCKETS - 1 {
+                    return lo;
+                }
+                let span = u128::from(hi - lo);
+                let within = u128::from(rank - before);
+                let offset = span * (2 * within - 1) / (2 * u128::from(b));
+                return lo + u64::try_from(offset).expect("offset <= span");
+            }
+        }
+        bucket_bounds(BUCKETS - 1).0
+    }
+
+    /// Interpolated p99.9 estimate (see [`Self::percentile_per_mille`]).
+    pub fn p999(&self) -> u64 {
+        self.percentile_per_mille(999)
+    }
+
     /// Arithmetic mean of the recorded values (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -327,7 +370,44 @@ mod tests {
     #[test]
     fn empty_histogram_percentile_is_zero() {
         assert_eq!(HistogramSnapshot::default().percentile(99), 0);
+        assert_eq!(HistogramSnapshot::default().percentile_per_mille(999), 0);
         assert_eq!(HistogramSnapshot::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn interpolated_per_mille_refines_the_bucket_bound() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // The interpolated estimate stays inside the rank's bucket and
+        // beats the bucket-upper-bound estimate toward the true value.
+        let p999 = s.p999();
+        assert!(
+            (512..1024).contains(&p999),
+            "p99.9 of 1..=1000 interpolates in [512,1024): {p999}"
+        );
+        assert!(p999 >= s.percentile_per_mille(990), "monotone in per-mille");
+        // p50.0 per-mille agrees with the coarse p50 to within one bucket.
+        let fine = s.percentile_per_mille(500);
+        let coarse = s.percentile(50);
+        assert!(fine <= coarse, "interpolation never exceeds the bucket upper bound");
+        // Uniform occupancy inside [512,1023]: rank midpoints spread
+        // monotonically across the bucket.
+        let mut last = 0;
+        for pm in [900u16, 950, 990, 999, 1000] {
+            let v = s.percentile_per_mille(pm);
+            assert!(v >= last, "per-mille {pm}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn interpolated_last_bucket_clamps_to_lower_bound() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().percentile_per_mille(999), bucket_bounds(BUCKETS - 1).0);
     }
 
     #[test]

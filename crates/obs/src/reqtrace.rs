@@ -1,0 +1,811 @@
+//! Per-request tracing with tail-based sampling.
+//!
+//! The software counters (metrics, flight recorder) answer *how much*;
+//! a trace answers *where inside one request the time went*. Each traced
+//! request carries a 64-bit id and a span tree — queue wait, every
+//! pipeline stage, the response write, and governor events — with
+//! nanosecond offsets from the request's service origin. Traces land in
+//! a bounded ring dumped by the `GET /trace.jsonl` admin endpoint and
+//! reconstructed by `trace-report`.
+//!
+//! **Tail-based sampling.** The retention decision is made at the *end*
+//! of the request, when its fate is known:
+//!
+//! * slow (service time over the configured budget, by default the
+//!   governor's p99 budget), shed (503), and errored requests are
+//!   **always** kept;
+//! * everything else is reservoir-sampled at a configurable rate with a
+//!   **deterministic** per-id decision ([`sample_decision`]) seeded by
+//!   `AON_TRACE_SEED`, so a run can be replayed with the identical
+//!   sampling pattern (the PR 6 stress-harness convention).
+//!
+//! **Bounded, keep-class-preferring ring.** The ring never exceeds its
+//! capacity; under pressure it evicts the oldest *sampled* trace first
+//! and touches always-keep traces only when sampled ones are exhausted.
+//! Evictions are counted per class, so "100% of shed/slow/error traces
+//! retained" is a checkable claim (`dropped_keep == 0`), not a hope.
+//!
+//! This file is on the `aon-audit` cast- and doc-enforced lists.
+
+use crate::stage::Stage;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One span (or zero-duration point event) within a trace. `start_ns`
+/// is the offset from the trace origin (first byte of the request frame
+/// consumed — i.e. service start); the root span has `parent == None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span label: `"request"` (root), `"queue_wait"`, a stage label,
+    /// or a governor event.
+    pub label: &'static str,
+    /// Offset from the trace origin, nanoseconds. The `queue_wait` span
+    /// is the one span that *precedes* the origin; it reports offset 0.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds (0 for point events).
+    pub dur_ns: u64,
+    /// Index of the parent span within the record, `None` for the root.
+    pub parent: Option<u32>,
+}
+
+/// Why a finished trace was retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceClass {
+    /// Service time exceeded the slow budget.
+    Slow,
+    /// Refused by the capacity governor (503).
+    Shed,
+    /// The engine (or request parsing) reported an error.
+    Error,
+    /// Unremarkable request kept by the reservoir sampler.
+    Sampled,
+}
+
+impl TraceClass {
+    /// Every class, in retention-priority order.
+    pub const ALL: [TraceClass; 4] =
+        [TraceClass::Slow, TraceClass::Shed, TraceClass::Error, TraceClass::Sampled];
+
+    /// Stable label (JSON value, Prometheus label).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceClass::Slow => "slow",
+            TraceClass::Shed => "shed",
+            TraceClass::Error => "error",
+            TraceClass::Sampled => "sampled",
+        }
+    }
+
+    /// Dense index in `0..4`.
+    pub fn index(self) -> usize {
+        match self {
+            TraceClass::Slow => 0,
+            TraceClass::Shed => 1,
+            TraceClass::Error => 2,
+            TraceClass::Sampled => 3,
+        }
+    }
+
+    /// Inverse of [`TraceClass::label`].
+    pub fn from_label(s: &str) -> Option<TraceClass> {
+        TraceClass::ALL.into_iter().find(|c| c.label() == s)
+    }
+
+    /// True for the always-keep classes (everything but `Sampled`).
+    pub fn always_keep(self) -> bool {
+        !matches!(self, TraceClass::Sampled)
+    }
+}
+
+/// A finished, classified request trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// The request's trace id (unique per server lifetime).
+    pub id: u64,
+    /// Use-case label (`"FR"`, …) or `"-"` off the engine path.
+    pub use_case: &'static str,
+    /// HTTP status answered.
+    pub status: u16,
+    /// Why this trace was retained.
+    pub class: TraceClass,
+    /// End-to-end service nanoseconds (the root span's duration).
+    pub total_ns: u64,
+    /// The span tree; index 0 is the root `"request"` span.
+    pub spans: Vec<TraceEvent>,
+}
+
+impl TraceRecord {
+    /// Render as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(160 + self.spans.len() * 64);
+        s.push_str(&format!(
+            "{{\"id\":{},\"use_case\":\"{}\",\"status\":{},\"class\":\"{}\",\"total_ns\":{},\"spans\":[",
+            self.id,
+            self.use_case,
+            self.status,
+            self.class.label(),
+            self.total_ns
+        ));
+        for (i, sp) in self.spans.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let parent = sp.parent.map_or(-1i64, i64::from);
+            s.push_str(&format!(
+                "{{\"label\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"parent\":{}}}",
+                sp.label, sp.start_ns, sp.dur_ns, parent
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Tracing configuration (a [`crate::reqtrace::Tracer`]'s knobs).
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Master switch; off means no ids, no ring, a 404 `/trace.jsonl`.
+    pub enabled: bool,
+    /// Ring capacity in retained traces (keep + sampled together).
+    pub capacity: usize,
+    /// Reservoir rate for unremarkable requests, in parts per million
+    /// (10_000 = 1%). Slow/shed/error traces ignore this.
+    pub sample_per_million: u32,
+    /// Seed for the deterministic sampling decision (`AON_TRACE_SEED`).
+    pub seed: u64,
+    /// Slow threshold in nanoseconds; `None` adopts the governor's p99
+    /// budget when the server starts.
+    pub slow_budget_ns: Option<u64>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: true,
+            capacity: 512,
+            sample_per_million: 10_000,
+            seed: seed_from_env(),
+            slow_budget_ns: None,
+        }
+    }
+}
+
+/// The run's trace seed: `AON_TRACE_SEED` if set (replay), else 42 —
+/// deterministic by default, like the corpus seed.
+pub fn seed_from_env() -> u64 {
+    std::env::var("AON_TRACE_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42)
+}
+
+/// SplitMix64 output function over `seed ⊕ φ·id` — the same generator
+/// the corpus and the schedule-stress harness use. One evaluation per
+/// request; no state, so the decision for (seed, id) never depends on
+/// traffic interleaving.
+pub fn sample_decision(seed: u64, id: u64, per_million: u32) -> bool {
+    if per_million == 0 {
+        return false;
+    }
+    if per_million >= 1_000_000 {
+        return true;
+    }
+    let mut z = seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % 1_000_000) < u64::from(per_million)
+}
+
+/// What [`Tracer::finish`] did with a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreOutcome {
+    /// The class the trace was kept under (`None` = not sampled,
+    /// discarded without entering the ring).
+    pub kept: Option<TraceClass>,
+    /// Sampled traces evicted to make room (0 or 1).
+    pub evicted_sampled: u64,
+    /// Always-keep traces evicted because no sampled trace was left —
+    /// the counter that must stay 0 for the 100%-retention claim.
+    pub evicted_keep: u64,
+}
+
+struct Ring {
+    /// Always-keep traces (slow/shed/error), oldest first.
+    keep: VecDeque<TraceRecord>,
+    /// Reservoir-sampled traces, oldest first — evicted first.
+    sampled: VecDeque<TraceRecord>,
+}
+
+/// The tracing engine: id generation, tail classification, and the
+/// bounded keep-preferring ring.
+#[derive(Debug)]
+pub struct Tracer {
+    cfg: TraceConfig,
+    /// Resolved slow threshold (ns).
+    slow_budget_ns: u64,
+    // audit:role(seqgen): unique trace ids; Relaxed fetch_add suffices —
+    // only uniqueness matters, retention order comes from the ring
+    ids: AtomicU64,
+    // audit:role(queue): retained traces; the mutex orders all access
+    ring: Mutex<Ring>,
+    // audit:role(counter): monotonic sampled-trace evictions; Relaxed
+    dropped_sampled: AtomicU64,
+    // audit:role(counter): monotonic keep-class evictions; Relaxed.
+    // Nonzero means the 100%-retention guarantee was breached by sizing
+    dropped_keep: AtomicU64,
+}
+
+impl std::fmt::Debug for Ring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ring")
+            .field("keep", &self.keep.len())
+            .field("sampled", &self.sampled.len())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer with `cfg`; `default_slow_budget_ns` fills in the slow
+    /// threshold when the config leaves it `None` (the server passes its
+    /// governor p99 budget).
+    pub fn new(cfg: TraceConfig, default_slow_budget_ns: u64) -> Tracer {
+        assert!(cfg.capacity > 0, "a zero-capacity trace ring retains nothing");
+        let slow_budget_ns = cfg.slow_budget_ns.unwrap_or(default_slow_budget_ns);
+        Tracer {
+            slow_budget_ns,
+            cfg,
+            ids: AtomicU64::new(0),
+            ring: Mutex::new(Ring { keep: VecDeque::new(), sampled: VecDeque::new() }),
+            dropped_sampled: AtomicU64::new(0),
+            dropped_keep: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn cfg(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// The resolved slow threshold, nanoseconds.
+    pub fn slow_budget_ns(&self) -> u64 {
+        self.slow_budget_ns
+    }
+
+    /// A fresh trace id (unique for the tracer's lifetime).
+    pub fn next_id(&self) -> u64 {
+        self.ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Tail classification: the retention decision once a request's
+    /// fate is known. `None` means discard (not sampled).
+    pub fn classify(
+        &self,
+        id: u64,
+        status: u16,
+        errored: bool,
+        total_ns: u64,
+    ) -> Option<TraceClass> {
+        if status == 503 {
+            Some(TraceClass::Shed)
+        } else if errored {
+            Some(TraceClass::Error)
+        } else if total_ns > self.slow_budget_ns {
+            Some(TraceClass::Slow)
+        } else if sample_decision(self.cfg.seed, id, self.cfg.sample_per_million) {
+            Some(TraceClass::Sampled)
+        } else {
+            None
+        }
+    }
+
+    /// Store a classified trace, evicting (sampled-first) if at
+    /// capacity. The record's `class` decides which deque it enters.
+    pub fn store(&self, record: TraceRecord) -> StoreOutcome {
+        let mut out = StoreOutcome { kept: Some(record.class), ..StoreOutcome::default() };
+        let mut ring = self.ring.lock().expect("trace ring poisoned");
+        while ring.keep.len() + ring.sampled.len() >= self.cfg.capacity {
+            if ring.sampled.pop_front().is_some() {
+                out.evicted_sampled += 1;
+                self.dropped_sampled.fetch_add(1, Ordering::Relaxed);
+            } else if ring.keep.pop_front().is_some() {
+                out.evicted_keep += 1;
+                self.dropped_keep.fetch_add(1, Ordering::Relaxed);
+            } else {
+                break; // capacity >= 1 makes this unreachable; stay safe
+            }
+        }
+        if record.class.always_keep() {
+            ring.keep.push_back(record);
+        } else {
+            ring.sampled.push_back(record);
+        }
+        out
+    }
+
+    /// Classify-and-store in one call; discarded traces never touch the
+    /// ring (the common case — one branch, no lock).
+    pub fn finish(&self, mut record: TraceRecord, errored: bool) -> StoreOutcome {
+        match self.classify(record.id, record.status, errored, record.total_ns) {
+            Some(class) => {
+                record.class = class;
+                self.store(record)
+            }
+            None => StoreOutcome::default(),
+        }
+    }
+
+    /// Retained traces right now (keep + sampled).
+    pub fn len(&self) -> usize {
+        let ring = self.ring.lock().expect("trace ring poisoned");
+        ring.keep.len() + ring.sampled.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sampled traces evicted so far.
+    pub fn dropped_sampled(&self) -> u64 {
+        self.dropped_sampled.load(Ordering::Relaxed)
+    }
+
+    /// Always-keep traces evicted so far (0 ⇔ the retention guarantee
+    /// held for this capacity).
+    pub fn dropped_keep(&self) -> u64 {
+        self.dropped_keep.load(Ordering::Relaxed)
+    }
+
+    /// Copy out every retained trace, ordered by id.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let ring = self.ring.lock().expect("trace ring poisoned");
+        let mut all: Vec<TraceRecord> =
+            ring.keep.iter().chain(ring.sampled.iter()).cloned().collect();
+        drop(ring);
+        all.sort_by_key(|r| r.id);
+        all
+    }
+
+    /// Dump the retained traces as JSONL, id order, one per line.
+    pub fn dump_jsonl(&self) -> String {
+        let records = self.snapshot();
+        let mut out = String::with_capacity(records.len() * 256);
+        for r in &records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A span parsed back out of `/trace.jsonl` (owned label — the reader
+/// side of [`TraceEvent`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedSpan {
+    /// Span label.
+    pub label: String,
+    /// Offset from the trace origin, nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Parent span index, `None` for the root.
+    pub parent: Option<u32>,
+}
+
+/// A trace parsed back out of `/trace.jsonl`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedTrace {
+    /// Trace id.
+    pub id: u64,
+    /// Use-case label.
+    pub use_case: String,
+    /// HTTP status.
+    pub status: u16,
+    /// Retention class.
+    pub class: TraceClass,
+    /// Root duration, nanoseconds.
+    pub total_ns: u64,
+    /// The span tree.
+    pub spans: Vec<ParsedSpan>,
+}
+
+impl ParsedTrace {
+    /// Parse one JSONL dump (the exact shape [`TraceRecord::to_json`]
+    /// writes). Strict by design: an unrecognized shape is an error, not
+    /// a silently skipped line.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<ParsedTrace>, String> {
+        text.lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .map(|(i, l)| Self::parse_line(l).map_err(|e| format!("line {}: {e}", i + 1)))
+            .collect()
+    }
+
+    fn parse_line(line: &str) -> Result<ParsedTrace, String> {
+        let mut p = Scan { s: line.as_bytes(), at: 0 };
+        p.expect(b'{')?;
+        let id = p.field_u64("id")?;
+        p.expect(b',')?;
+        let use_case = p.field_str("use_case")?;
+        p.expect(b',')?;
+        let status = u16::try_from(p.field_u64("status")?).map_err(|_| "status range")?;
+        p.expect(b',')?;
+        let class_label = p.field_str("class")?;
+        let class =
+            TraceClass::from_label(&class_label).ok_or_else(|| format!("class {class_label:?}"))?;
+        p.expect(b',')?;
+        let total_ns = p.field_u64("total_ns")?;
+        p.expect(b',')?;
+        p.key("spans")?;
+        p.expect(b'[')?;
+        let mut spans = Vec::new();
+        if p.peek() == Some(b']') {
+            p.expect(b']')?;
+        } else {
+            loop {
+                p.expect(b'{')?;
+                let label = p.field_str("label")?;
+                p.expect(b',')?;
+                let start_ns = p.field_u64("start_ns")?;
+                p.expect(b',')?;
+                let dur_ns = p.field_u64("dur_ns")?;
+                p.expect(b',')?;
+                let parent = p.field_i64("parent")?;
+                p.expect(b'}')?;
+                let parent = if parent < 0 {
+                    None
+                } else {
+                    Some(u32::try_from(parent).map_err(|_| "parent range")?)
+                };
+                spans.push(ParsedSpan { label, start_ns, dur_ns, parent });
+                match p.next_byte()? {
+                    b',' => continue,
+                    b']' => break,
+                    other => return Err(format!("expected , or ] got {:?}", char::from(other))),
+                }
+            }
+        }
+        p.expect(b'}')?;
+        if p.at != p.s.len() {
+            return Err("trailing bytes".to_string());
+        }
+        Ok(ParsedTrace { id, use_case, status, class, total_ns, spans })
+    }
+
+    /// Structural check for the `trace_smoke` CI stage: exactly one root
+    /// (index 0, labeled `request`, duration = `total_ns`), every parent
+    /// reference resolves to an *earlier* span, and every span except
+    /// `queue_wait` (which precedes the origin by definition) lies
+    /// within the root window.
+    pub fn tree_complete(&self) -> Result<(), String> {
+        let Some(root) = self.spans.first() else {
+            return Err("no spans".to_string());
+        };
+        if root.label != "request" || root.parent.is_some() {
+            return Err(format!("span 0 is not the request root: {root:?}"));
+        }
+        if root.dur_ns != self.total_ns {
+            return Err(format!("root dur {} != total_ns {}", root.dur_ns, self.total_ns));
+        }
+        for (i, sp) in self.spans.iter().enumerate().skip(1) {
+            match sp.parent {
+                None => return Err(format!("span {i} ({}) is a second root", sp.label)),
+                Some(pidx) if usize::try_from(pidx).is_ok_and(|p| p < i) => {}
+                Some(pidx) => return Err(format!("span {i} parent {pidx} not earlier")),
+            }
+            if sp.label != "queue_wait" && sp.start_ns.saturating_add(sp.dur_ns) > self.total_ns {
+                return Err(format!(
+                    "span {i} ({}) [{}, +{}] exceeds root window {}",
+                    sp.label, sp.start_ns, sp.dur_ns, self.total_ns
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Nanoseconds spent in the span(s) labeled `label` (summed).
+    pub fn span_ns(&self, label: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.label == label)
+            .fold(0u64, |acc, s| acc.saturating_add(s.dur_ns))
+    }
+
+    /// Root time not attributed to any child span: read/dispatch
+    /// overhead between stages.
+    pub fn unattributed_ns(&self) -> u64 {
+        let children: u64 = self
+            .spans
+            .iter()
+            .skip(1)
+            .filter(|s| s.label != "queue_wait")
+            .fold(0u64, |acc, s| acc.saturating_add(s.dur_ns));
+        self.total_ns.saturating_sub(children)
+    }
+}
+
+/// Byte scanner for the canonical JSONL the writer emits (ASCII keys,
+/// no escapes, no insignificant whitespace).
+struct Scan<'a> {
+    s: &'a [u8],
+    at: usize,
+}
+
+impl Scan<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.at).copied()
+    }
+
+    fn next_byte(&mut self) -> Result<u8, String> {
+        let b = self.peek().ok_or("unexpected end")?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        let got = self.next_byte()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!(
+                "at {}: expected {:?} got {:?}",
+                self.at - 1,
+                char::from(want),
+                char::from(got)
+            ))
+        }
+    }
+
+    fn key(&mut self, name: &str) -> Result<(), String> {
+        let quoted = format!("\"{name}\":");
+        let end = self.at + quoted.len();
+        if self.s.get(self.at..end) == Some(quoted.as_bytes()) {
+            self.at = end;
+            Ok(())
+        } else {
+            Err(format!("at {}: expected key {name:?}", self.at))
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, String> {
+        let start = self.at;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.at += 1;
+        }
+        if self.at == start {
+            return Err(format!("at {start}: expected number"));
+        }
+        std::str::from_utf8(&self.s[start..self.at])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("at {start}: bad number"))
+    }
+
+    fn field_u64(&mut self, name: &str) -> Result<u64, String> {
+        self.key(name)?;
+        self.parse_u64()
+    }
+
+    fn field_i64(&mut self, name: &str) -> Result<i64, String> {
+        self.key(name)?;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.at += 1;
+        }
+        let raw = self.parse_u64()?;
+        let v = i64::try_from(raw).map_err(|_| "i64 range")?;
+        Ok(if negative { -v } else { v })
+    }
+
+    fn field_str(&mut self, name: &str) -> Result<String, String> {
+        self.key(name)?;
+        self.expect(b'"')?;
+        let start = self.at;
+        while self.peek().is_some_and(|b| b != b'"') {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.at])
+            .map_err(|_| "non-utf8 string")?
+            .to_string();
+        self.expect(b'"')?;
+        Ok(text)
+    }
+}
+
+/// Build the standard span list for a request: root placeholder first
+/// (duration filled by [`finish_spans`]), stage/queue/governor spans
+/// appended as the request progresses.
+pub fn new_spans() -> Vec<TraceEvent> {
+    let mut v = Vec::with_capacity(8);
+    v.push(TraceEvent { label: "request", start_ns: 0, dur_ns: 0, parent: None });
+    v
+}
+
+/// Close the root span with the request's total service time.
+pub fn finish_spans(spans: &mut [TraceEvent], total_ns: u64) {
+    if let Some(root) = spans.first_mut() {
+        root.dur_ns = total_ns;
+    }
+}
+
+/// Convenience: the trace label for a pipeline stage.
+pub fn stage_label(stage: Stage) -> &'static str {
+    stage.label()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, class: TraceClass, total_ns: u64) -> TraceRecord {
+        let mut spans = new_spans();
+        spans.push(TraceEvent { label: "parse", start_ns: 10, dur_ns: 100, parent: Some(0) });
+        finish_spans(&mut spans, total_ns);
+        TraceRecord { id, use_case: "FR", status: 200, class, total_ns, spans }
+    }
+
+    #[test]
+    fn roundtrip_json_parse_equals_writer() {
+        let mut spans = new_spans();
+        spans.push(TraceEvent { label: "queue_wait", start_ns: 0, dur_ns: 420, parent: Some(0) });
+        spans.push(TraceEvent { label: "parse", start_ns: 55, dur_ns: 1200, parent: Some(0) });
+        spans.push(TraceEvent { label: "write", start_ns: 1500, dur_ns: 300, parent: Some(0) });
+        finish_spans(&mut spans, 2000);
+        let rec = TraceRecord {
+            id: 9,
+            use_case: "CBR",
+            status: 200,
+            class: TraceClass::Sampled,
+            total_ns: 2000,
+            spans,
+        };
+        let parsed = ParsedTrace::parse_jsonl(&format!("{}\n", rec.to_json())).expect("parses");
+        assert_eq!(parsed.len(), 1);
+        let p = &parsed[0];
+        assert_eq!((p.id, p.status, p.class), (9, 200, TraceClass::Sampled));
+        assert_eq!(p.use_case, "CBR");
+        assert_eq!(p.spans.len(), 4);
+        assert_eq!(p.spans[0].label, "request");
+        assert_eq!(p.spans[0].parent, None);
+        assert_eq!(p.spans[2].label, "parse");
+        assert_eq!(p.spans[2].parent, Some(0));
+        p.tree_complete().expect("complete tree");
+        assert_eq!(p.span_ns("write"), 300);
+        assert_eq!(p.unattributed_ns(), 2000 - 1200 - 300);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_skips() {
+        assert!(ParsedTrace::parse_jsonl("{\"id\":1}").is_err());
+        assert!(ParsedTrace::parse_jsonl("not json").is_err());
+        let good = record(1, TraceClass::Slow, 99).to_json();
+        assert!(ParsedTrace::parse_jsonl(&format!("{good}\ngarbage")).is_err());
+    }
+
+    #[test]
+    fn tree_completeness_rejects_orphans_and_overflow() {
+        let mut p = ParsedTrace {
+            id: 1,
+            use_case: "FR".to_string(),
+            status: 200,
+            class: TraceClass::Sampled,
+            total_ns: 1000,
+            spans: vec![
+                ParsedSpan {
+                    label: "request".to_string(),
+                    start_ns: 0,
+                    dur_ns: 1000,
+                    parent: None,
+                },
+                ParsedSpan {
+                    label: "parse".to_string(),
+                    start_ns: 0,
+                    dur_ns: 500,
+                    parent: Some(0),
+                },
+            ],
+        };
+        p.tree_complete().expect("valid");
+        p.spans[1].parent = Some(5);
+        assert!(p.tree_complete().is_err(), "dangling parent");
+        p.spans[1].parent = Some(0);
+        p.spans[1].dur_ns = 2000;
+        assert!(p.tree_complete().is_err(), "span exceeds root window");
+        p.spans[1].dur_ns = 500;
+        p.spans[0].dur_ns = 900;
+        assert!(p.tree_complete().is_err(), "root dur must equal total_ns");
+    }
+
+    #[test]
+    fn classification_priority_shed_error_slow_sampled() {
+        let cfg = TraceConfig {
+            sample_per_million: 0,
+            slow_budget_ns: Some(1_000),
+            ..TraceConfig::default()
+        };
+        let t = Tracer::new(cfg, 0);
+        assert_eq!(t.classify(1, 503, true, 9_999), Some(TraceClass::Shed), "shed wins");
+        assert_eq!(t.classify(1, 422, true, 10), Some(TraceClass::Error));
+        assert_eq!(t.classify(1, 200, false, 1_001), Some(TraceClass::Slow));
+        assert_eq!(t.classify(1, 200, false, 1_000), None, "at budget is not over budget");
+    }
+
+    #[test]
+    fn slow_budget_defaults_to_fallback_when_unset() {
+        let t = Tracer::new(TraceConfig { slow_budget_ns: None, ..TraceConfig::default() }, 777);
+        assert_eq!(t.slow_budget_ns(), 777);
+        let t = Tracer::new(TraceConfig { slow_budget_ns: Some(5), ..TraceConfig::default() }, 777);
+        assert_eq!(t.slow_budget_ns(), 5);
+    }
+
+    #[test]
+    fn ring_evicts_sampled_before_keep_and_counts_both() {
+        let cfg = TraceConfig { capacity: 4, ..TraceConfig::default() };
+        let t = Tracer::new(cfg, 1_000_000);
+        // 2 sampled + 2 keep fills the ring.
+        t.store(record(0, TraceClass::Sampled, 10));
+        t.store(record(1, TraceClass::Slow, 10));
+        t.store(record(2, TraceClass::Sampled, 10));
+        t.store(record(3, TraceClass::Shed, 10));
+        assert_eq!(t.len(), 4);
+        // Two more keeps: both evictions must hit the sampled traces.
+        let o = t.store(record(4, TraceClass::Error, 10));
+        assert_eq!((o.evicted_sampled, o.evicted_keep), (1, 0));
+        let o = t.store(record(5, TraceClass::Slow, 10));
+        assert_eq!((o.evicted_sampled, o.evicted_keep), (1, 0));
+        assert_eq!(t.dropped_sampled(), 2);
+        assert_eq!(t.dropped_keep(), 0);
+        let ids: Vec<u64> = t.snapshot().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 3, 4, 5], "every keep-class trace retained, id order");
+        // Only with sampled exhausted does a keep eviction happen.
+        let o = t.store(record(6, TraceClass::Shed, 10));
+        assert_eq!((o.evicted_sampled, o.evicted_keep), (0, 1));
+        assert_eq!(t.dropped_keep(), 1);
+    }
+
+    #[test]
+    fn finish_discards_unsampled_without_touching_the_ring() {
+        let cfg = TraceConfig {
+            sample_per_million: 0,
+            slow_budget_ns: Some(u64::MAX),
+            ..TraceConfig::default()
+        };
+        let t = Tracer::new(cfg, 0);
+        let o = t.finish(record(0, TraceClass::Sampled, 10), false);
+        assert_eq!(o.kept, None);
+        assert!(t.is_empty());
+        // …but a 503 at the same settings is always kept.
+        let mut rec = record(1, TraceClass::Sampled, 10);
+        rec.status = 503;
+        let o = t.finish(rec, false);
+        assert_eq!(o.kept, Some(TraceClass::Shed));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn sample_decision_is_deterministic_and_rate_bounded() {
+        for id in 0..64u64 {
+            assert_eq!(sample_decision(7, id, 10_000), sample_decision(7, id, 10_000));
+            assert!(!sample_decision(7, id, 0));
+            assert!(sample_decision(7, id, 1_000_000));
+        }
+        // ~1% rate over 100k ids lands within loose bounds.
+        let hits = (0..100_000u64).filter(|&id| sample_decision(42, id, 10_000)).count();
+        assert!((500..2_000).contains(&hits), "1% of 100k ≈ 1000, got {hits}");
+        // Different seeds decorrelate.
+        let a: Vec<bool> = (0..256).map(|id| sample_decision(1, id, 500_000)).collect();
+        let b: Vec<bool> = (0..256).map(|id| sample_decision(2, id, 500_000)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dump_jsonl_is_parseable_and_id_ordered() {
+        let t = Tracer::new(TraceConfig::default(), 1_000_000);
+        t.store(record(5, TraceClass::Sampled, 10));
+        t.store(record(2, TraceClass::Slow, 10));
+        t.store(record(9, TraceClass::Shed, 10));
+        let parsed = ParsedTrace::parse_jsonl(&t.dump_jsonl()).expect("parses");
+        let ids: Vec<u64> = parsed.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+    }
+}

@@ -1,9 +1,11 @@
 //! Property tests for the observability core: histogram bucketing,
-//! snapshot merge algebra, percentile monotonicity, and a multi-thread
-//! registry stress test (atomic counters lose no increments).
+//! snapshot merge algebra, percentile monotonicity, tail-sampler
+//! decision determinism, and a multi-thread registry stress test
+//! (atomic counters lose no increments).
 
 use aon_obs::metric::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
 use aon_obs::registry::Registry;
+use aon_obs::reqtrace::sample_decision;
 use aon_trace::num::exact_f64;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -90,6 +92,46 @@ proptest! {
         let est = snap.percentile(pct);
         prop_assert_eq!(est, bucket_bounds(bucket_index(true_q)).1,
             "estimate for p{} must be the bucket bound of true quantile {}", pct, true_q);
+    }
+
+    #[test]
+    fn sample_decision_is_deterministic_and_monotone_in_rate(
+        seed in any::<u64>(),
+        id in any::<u64>(),
+        ppm in 0u32..=1_000_000,
+    ) {
+        // Stateless and pure: the decision for (seed, id, ppm) is a
+        // function of its inputs alone — this is what makes a run
+        // replayable under the same AON_TRACE_SEED.
+        let d = sample_decision(seed, id, ppm);
+        prop_assert_eq!(d, sample_decision(seed, id, ppm));
+        // Boundary rates are exact, not probabilistic.
+        prop_assert!(!sample_decision(seed, id, 0), "0 ppm keeps nothing");
+        prop_assert!(sample_decision(seed, id, 1_000_000), "1M ppm keeps all");
+        // Raising the rate can only turn discards into keeps: a request
+        // sampled at rate p stays sampled at every rate above p.
+        if d {
+            prop_assert!(sample_decision(seed, id, 1_000_000.min(ppm.saturating_add(1))));
+        } else if ppm > 0 {
+            prop_assert!(!sample_decision(seed, id, ppm - 1));
+        }
+    }
+
+    #[test]
+    fn sample_decision_rate_is_bounded_over_sequential_ids(
+        seed in any::<u64>(),
+        ppm in prop::sample::select(vec![1_000u32, 10_000, 100_000, 500_000]),
+    ) {
+        // Sequential ids are exactly what the tracer's id generator
+        // hands out; the kept fraction over a window must track the
+        // configured rate (loose 3x window — the hash is uniform, not
+        // perfect, and this must never flake).
+        const N: u64 = 4_000;
+        let kept = (0..N).filter(|&id| sample_decision(seed, id, ppm)).count();
+        let expected = exact_f64(N) * f64::from(ppm) / 1e6;
+        let kept = exact_f64(u64::try_from(kept).unwrap());
+        prop_assert!(kept < expected * 3.0 + 30.0, "kept {} vs expected {}", kept, expected);
+        prop_assert!(kept > expected / 3.0 - 30.0, "kept {} vs expected {}", kept, expected);
     }
 
     #[test]

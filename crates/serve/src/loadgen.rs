@@ -186,6 +186,7 @@ pub fn run(cfg: &LoadgenConfig) -> LiveBenchReport {
         stages: Vec::new(),
         obs_overhead: None,
         overload: None,
+        hw: None,
         server: None,
     }
 }

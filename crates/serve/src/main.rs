@@ -4,6 +4,8 @@
 //! aon-serve [--addr 127.0.0.1:8080] [--threads N] [--for SECS] [--no-obs]
 //!           [--parse-mode fast|scalar] [--no-governor] [--fr-only]
 //!           [--p99-budget-ms N] [--queue-budget N]
+//!           [--no-trace] [--trace-capacity N] [--trace-sample-ppm N]
+//!           [--trace-seed N] [--hw]
 //! ```
 //!
 //! Binds, prints the bound address (the OS picks a port when `:0` is
@@ -58,11 +60,29 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 cfg.governor.queue_depth_budget =
                     value("--queue-budget")?.parse().map_err(|e| format!("--queue-budget: {e}"))?;
             }
+            "--no-trace" => cfg.trace.enabled = false,
+            "--trace-capacity" => {
+                cfg.trace.capacity = value("--trace-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--trace-capacity: {e}"))?;
+            }
+            "--trace-sample-ppm" => {
+                cfg.trace.sample_per_million = value("--trace-sample-ppm")?
+                    .parse()
+                    .map_err(|e| format!("--trace-sample-ppm: {e}"))?;
+            }
+            "--trace-seed" => {
+                cfg.trace.seed =
+                    value("--trace-seed")?.parse().map_err(|e| format!("--trace-seed: {e}"))?;
+            }
+            "--hw" => cfg.hw_counters = true,
             "--help" | "-h" => {
                 println!(
                     "usage: aon-serve [--addr HOST:PORT] [--threads N] [--for SECS] [--no-obs] \
                      [--parse-mode fast|scalar] [--no-governor] [--fr-only] \
-                     [--p99-budget-ms N] [--queue-budget N]"
+                     [--p99-budget-ms N] [--queue-budget N] \
+                     [--no-trace] [--trace-capacity N] [--trace-sample-ppm N] [--trace-seed N] \
+                     [--hw]"
                 );
                 return Ok(());
             }

@@ -177,6 +177,106 @@ impl OverloadReport {
     }
 }
 
+/// One per-use-case row of the live hardware-counter characterization —
+/// the live analogue of the paper's Table 4 (CPI) and Figures 4/5
+/// (misses per workload), measured by `hw-report` from the `aon_hw_*`
+/// metric families.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwRow {
+    /// Use-case label (`"FR"`, `"CBR"`, …).
+    pub use_case: &'static str,
+    /// Requests the counted events are attributed to.
+    pub requests: u64,
+    /// CPU cycles across all pipeline stages.
+    pub cycles: u64,
+    /// Instructions retired across all pipeline stages.
+    pub instructions: u64,
+    /// L1 data-cache read misses.
+    pub l1d_miss: u64,
+    /// Last-level cache misses (the paper's L2 miss axis).
+    pub llc_miss: u64,
+    /// Branch mispredictions.
+    pub branch_miss: u64,
+    /// The simulator/paper CPI prediction for this use case, when one
+    /// exists (Table 4's single-processor Pentium M column).
+    pub predicted_cpi: Option<f64>,
+}
+
+impl HwRow {
+    /// Measured cycles per instruction (0.0 before any instruction
+    /// retires — e.g. the noop backend).
+    pub fn cpi(&self) -> f64 {
+        aon_trace::num::ratio(self.cycles, self.instructions)
+    }
+
+    /// Measured LLC misses per request (0.0 with no requests).
+    pub fn llc_miss_per_request(&self) -> f64 {
+        aon_trace::num::ratio(self.llc_miss, self.requests)
+    }
+
+    /// Measured branch misses per request (0.0 with no requests).
+    pub fn branch_miss_per_request(&self) -> f64 {
+        aon_trace::num::ratio(self.branch_miss, self.requests)
+    }
+}
+
+/// The `"hw"` section of `BENCH_live.json`: backend identification plus
+/// the per-use-case counter table. Present even when the PMU is
+/// unavailable — the `backend`/`reason` pair *is* the degrade report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwSection {
+    /// `"perf_event"` or `"noop"`.
+    pub backend: String,
+    /// Why the backend degraded (empty for a fully live PMU).
+    pub reason: String,
+    /// One row per use case driven (empty on the noop backend).
+    pub rows: Vec<HwRow>,
+}
+
+impl HwSection {
+    /// Render as a JSON value (an object), lines indented by `indent`.
+    pub fn to_json_value(&self, indent: &str) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str("{\n");
+        s.push_str(&format!("{indent}  \"backend\": \"{}\",\n", self.backend));
+        s.push_str(&format!("{indent}  \"reason\": \"{}\",\n", self.reason.replace('"', "'")));
+        if self.rows.is_empty() {
+            s.push_str(&format!("{indent}  \"rows\": []\n"));
+        } else {
+            s.push_str(&format!("{indent}  \"rows\": [\n"));
+            let rows: Vec<String> = self
+                .rows
+                .iter()
+                .map(|r| {
+                    let predicted =
+                        r.predicted_cpi.map_or("null".to_string(), |v| format!("{v:.3}"));
+                    format!(
+                        "{indent}    {{\"use_case\": \"{}\", \"requests\": {}, \
+                         \"cycles\": {}, \"instructions\": {}, \"cpi\": {:.3}, \
+                         \"l1d_miss\": {}, \"llc_miss\": {}, \"branch_miss\": {}, \
+                         \"llc_miss_per_request\": {:.2}, \"branch_miss_per_request\": {:.2}, \
+                         \"predicted_cpi\": {predicted}}}",
+                        r.use_case,
+                        r.requests,
+                        r.cycles,
+                        r.instructions,
+                        r.cpi(),
+                        r.l1d_miss,
+                        r.llc_miss,
+                        r.branch_miss,
+                        r.llc_miss_per_request(),
+                        r.branch_miss_per_request(),
+                    )
+                })
+                .collect();
+            s.push_str(&rows.join(",\n"));
+            s.push_str(&format!("\n{indent}  ]\n"));
+        }
+        s.push_str(&format!("{indent}}}"));
+        s
+    }
+}
+
 /// The netperf-style closed-loop result — serialized as `BENCH_live.json`.
 #[derive(Debug, Clone)]
 pub struct LiveBenchReport {
@@ -208,6 +308,9 @@ pub struct LiveBenchReport {
     /// Goodput-vs-offered-load curve (present only when the run included
     /// the overload scenario, e.g. `loadgen --overload`).
     pub overload: Option<OverloadReport>,
+    /// Live hardware-counter characterization (present only when the
+    /// run collected it, e.g. `hw-report`).
+    pub hw: Option<HwSection>,
     /// Server counters at the end of the run (when the server was
     /// in-process; `None` against a remote server).
     pub server: Option<ServeStatsSnapshot>,
@@ -252,6 +355,7 @@ impl LiveBenchReport {
         s.push_str(&format!("    \"count\": {},\n", self.latency.count));
         s.push_str(&format!("    \"p50\": {:.1},\n", self.latency.p50_us));
         s.push_str(&format!("    \"p99\": {:.1},\n", self.latency.p99_us));
+        s.push_str(&format!("    \"p999\": {:.1},\n", self.latency.p999_us));
         s.push_str(&format!("    \"max\": {:.1},\n", self.latency.max_us));
         s.push_str(&format!("    \"mean\": {:.1}\n", self.latency.mean_us));
         s.push_str("  },\n");
@@ -287,6 +391,10 @@ impl LiveBenchReport {
         if let Some(ov) = &self.overload {
             s.push_str(",\n  \"overload\": ");
             s.push_str(&ov.to_json_value("  "));
+        }
+        if let Some(hw) = &self.hw {
+            s.push_str(",\n  \"hw\": ");
+            s.push_str(&hw.to_json_value("  "));
         }
         if let Some(srv) = &self.server {
             s.push_str(",\n  \"server\": ");
@@ -457,13 +565,52 @@ mod tests {
                 count: 1000,
                 p50_us: 100.0,
                 p99_us: 900.0,
+                p999_us: 980.0,
                 max_us: 1000.0,
                 mean_us: 150.0,
             },
             stages: Vec::new(),
             obs_overhead: None,
             overload: None,
+            hw: None,
             server: None,
         }
+    }
+
+    #[test]
+    fn json_carries_hw_section_and_p999() {
+        let mut r = report_fixture();
+        r.hw = Some(HwSection {
+            backend: "perf_event".to_string(),
+            reason: String::new(),
+            rows: vec![HwRow {
+                use_case: "SV",
+                requests: 100,
+                cycles: 2_000_000,
+                instructions: 1_000_000,
+                l1d_miss: 5_000,
+                llc_miss: 1_000,
+                branch_miss: 700,
+                predicted_cpi: Some(1.23),
+            }],
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"p999\": 980.0"), "{j}");
+        assert!(j.contains("\"backend\": \"perf_event\""));
+        assert!(j.contains("\"cpi\": 2.000"), "{j}");
+        assert!(j.contains("\"llc_miss_per_request\": 10.00"), "{j}");
+        assert!(j.contains("\"predicted_cpi\": 1.230"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(!j.contains(",\n}"));
+        // The noop degrade report serializes with empty rows and null
+        // prediction handling intact.
+        r.hw = Some(HwSection {
+            backend: "noop".to_string(),
+            reason: "cycles: ENOENT".to_string(),
+            rows: Vec::new(),
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"backend\": \"noop\""));
+        assert!(j.contains("\"rows\": []"));
     }
 }

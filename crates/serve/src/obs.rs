@@ -24,16 +24,34 @@
 //!   signal (`p99` / `queue`) and level transitions (`up` = more
 //!   shedding, `down` = recovery);
 //! * `aon_admin_requests_total` — `/metrics`, `/stats.json`,
-//!   `/flight.jsonl` hits, counted **separately** so scraping never
-//!   perturbs the request totals it reports.
+//!   `/flight.jsonl`, `/trace.jsonl` hits, counted **separately** so
+//!   scraping never perturbs the request totals it reports;
+//! * `aon_flight_dropped_total` — events evicted from the flight ring
+//!   (capacity overflow), so a scraper can tell how much history the
+//!   ring has already lost;
+//! * `aon_queue_wait_ns` — time connections spent in the accept queue
+//!   before a worker picked them up (attributed to the first request);
+//! * `aon_trace_kept_total{class}`, `aon_trace_dropped_total{kind}` —
+//!   tail-sampler outcomes when tracing is on: traces retained by class
+//!   (`slow` / `shed` / `error` / `sampled`) and ring evictions by kind
+//!   (`sampled` is expected under pressure, `keep` must stay 0 for the
+//!   100%-tail-retention claim);
+//! * `aon_hw_events_total{use_case,stage,event}` and
+//!   `aon_hw_backend_active` — hardware-counter deltas attributed to
+//!   pipeline stages when the perf backend opened (the live analogue of
+//!   the paper's PMU characterization), plus a gauge saying whether any
+//!   worker thread actually has counters.
 //!
 //! This file is on the `aon-audit` cast-enforced list.
 
 use crate::governor::ShedLevel;
-use crate::metrics::StageCell;
+use crate::metrics::{HwRow, StageCell};
+use aon_hw::{HwEvent, EVENT_COUNT};
 use aon_obs::flight::{FlightRecorder, RequestEvent};
+use aon_obs::hwcounters::HwStageSet;
 use aon_obs::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
 use aon_obs::registry::Registry;
+use aon_obs::reqtrace::{StoreOutcome, TraceClass};
 use aon_obs::stage::{Stage, WallStages, STAGE_COUNT};
 use aon_server::usecase::UseCase;
 use std::sync::Arc;
@@ -52,6 +70,25 @@ struct UseCaseObs {
     stage_ns: [Arc<Histogram>; STAGE_COUNT],
 }
 
+/// Tail-sampler outcome counters, registered only when tracing is on so
+/// a tracing-off server exposes no dead series.
+#[derive(Debug)]
+struct TraceObs {
+    kept: [Arc<Counter>; 4],
+    dropped_sampled: Arc<Counter>,
+    dropped_keep: Arc<Counter>,
+}
+
+/// Hardware-counter series, registered only when the HW plane is
+/// enabled (5 use cases × 6 stages × 5 events = 150 counter series —
+/// too many to pay for when nobody asked for them).
+#[derive(Debug)]
+struct HwObs {
+    backend_active: Arc<Gauge>,
+    /// `events[use_case][stage][event]`.
+    events: [[[Arc<Counter>; EVENT_COUNT]; STAGE_COUNT]; 5],
+}
+
 /// All observability state for one [`crate::server::Server`].
 #[derive(Debug)]
 pub struct ServerObs {
@@ -61,6 +98,10 @@ pub struct ServerObs {
     pub flight: FlightRecorder,
     per_use: [UseCaseObs; 5],
     responses: [Arc<Counter>; 7],
+    flight_dropped: Arc<Counter>,
+    queue_wait_ns: Arc<Histogram>,
+    trace: Option<TraceObs>,
+    hw: Option<HwObs>,
     conns_accepted: Arc<Counter>,
     conns_dropped_backlog: Arc<Counter>,
     conns_rejected_closed: Arc<Counter>,
@@ -86,9 +127,54 @@ fn use_case_index(uc: UseCase) -> usize {
 }
 
 impl ServerObs {
-    /// Register every series the server will ever touch.
-    pub fn new(flight_capacity: usize) -> ServerObs {
+    /// Register every series the server will ever touch. The optional
+    /// planes (`hw_enabled`, `trace_enabled`) decide at construction
+    /// whether their families exist at all — the data path then only
+    /// ever checks an `Option`, never the registry.
+    pub fn new(flight_capacity: usize, hw_enabled: bool, trace_enabled: bool) -> ServerObs {
         let registry = Registry::new();
+        let trace = trace_enabled.then(|| TraceObs {
+            kept: std::array::from_fn(|i| {
+                registry.counter(
+                    "aon_trace_kept_total",
+                    "Traces retained by the tail sampler, by retention class",
+                    &[("class", TraceClass::ALL[i].label())],
+                )
+            }),
+            dropped_sampled: registry.counter(
+                "aon_trace_dropped_total",
+                "Traces evicted from the trace ring, by kind",
+                &[("kind", "sampled")],
+            ),
+            dropped_keep: registry.counter(
+                "aon_trace_dropped_total",
+                "Traces evicted from the trace ring, by kind",
+                &[("kind", "keep")],
+            ),
+        });
+        let hw = hw_enabled.then(|| HwObs {
+            backend_active: registry.gauge(
+                "aon_hw_backend_active",
+                "1 when at least one worker thread opened a perf counter group",
+                &[],
+            ),
+            events: std::array::from_fn(|u| {
+                let label = UseCase::EXTENDED[u].label();
+                std::array::from_fn(|s| {
+                    std::array::from_fn(|e| {
+                        registry.counter(
+                            "aon_hw_events_total",
+                            "Hardware counter deltas by use case, stage, and event",
+                            &[
+                                ("use_case", label),
+                                ("stage", Stage::ALL[s].label()),
+                                ("event", HwEvent::ALL[e].label()),
+                            ],
+                        )
+                    })
+                })
+            }),
+        });
         let per_use = std::array::from_fn(|i| {
             let uc = UseCase::EXTENDED[i];
             let label = uc.label();
@@ -196,6 +282,18 @@ impl ServerObs {
                 "Governor level transitions (up = more shedding, down = recovery)",
                 &[("direction", "down")],
             ),
+            flight_dropped: registry.counter(
+                "aon_flight_dropped_total",
+                "Events evicted from the flight-recorder ring (capacity overflow)",
+                &[],
+            ),
+            queue_wait_ns: registry.histogram(
+                "aon_queue_wait_ns",
+                "Accept-queue wait before a worker picked the connection up",
+                &[],
+            ),
+            trace,
+            hw,
             flight: FlightRecorder::new(flight_capacity),
             per_use,
             responses,
@@ -263,7 +361,7 @@ impl ServerObs {
             }
             None => "-",
         };
-        self.flight.record(RequestEvent {
+        let recorded = self.flight.record(RequestEvent {
             seq: 0,
             status,
             use_case: label,
@@ -271,6 +369,93 @@ impl ServerObs {
             total_ns,
             stage_ns: stages.ns,
         });
+        if recorded.evicted > 0 {
+            self.flight_dropped.add(recorded.evicted);
+        }
+    }
+
+    /// Record one connection's accept-queue wait (first request only —
+    /// later keep-alive requests never sat in the accept queue).
+    pub fn record_queue_wait(&self, wait_ns: u64) {
+        self.queue_wait_ns.record(wait_ns);
+    }
+
+    /// Publish one tail-sampler store outcome. A no-op when tracing
+    /// families were not registered (tracing off).
+    pub fn trace_outcome(&self, outcome: &StoreOutcome) {
+        let Some(t) = &self.trace else { return };
+        if let Some(class) = outcome.kept {
+            t.kept[class.index()].inc();
+        }
+        if outcome.evicted_sampled > 0 {
+            t.dropped_sampled.add(outcome.evicted_sampled);
+        }
+        if outcome.evicted_keep > 0 {
+            t.dropped_keep.add(outcome.evicted_keep);
+        }
+    }
+
+    /// Publish whether this worker's perf group actually opened. Workers
+    /// race to set the gauge; `record_max` keeps it 1 if *any* did.
+    pub fn hw_backend(&self, active: bool) {
+        if let Some(h) = &self.hw {
+            h.backend_active.record_max(u64::from(active));
+        }
+    }
+
+    /// Accumulate one request's per-stage hardware-counter deltas. A
+    /// no-op when the HW plane is off or the snapshot is empty (the
+    /// noop backend reads all-zero).
+    pub fn record_hw(&self, use_case: UseCase, hw: &HwStageSet) {
+        let Some(h) = &self.hw else { return };
+        let per_stage = &h.events[use_case_index(use_case)];
+        for stage in Stage::ALL {
+            let snap = hw.get(stage);
+            if snap.is_zero() {
+                continue;
+            }
+            for event in HwEvent::ALL {
+                let v = snap.get(event);
+                if v > 0 {
+                    per_stage[stage.index()][event.index()].add(v);
+                }
+            }
+        }
+    }
+
+    /// Per-use-case hardware-counter totals (events summed across
+    /// stages) for the `hw-report` characterization table. Requests are
+    /// everything the counters could have been attributed to (ok +
+    /// rejected + shed). Use cases with zero counted events are omitted,
+    /// so the noop backend yields an empty table rather than zero rows
+    /// pretending to be measurements. Predictions are left for the
+    /// caller to fill in ([`HwRow::predicted_cpi`] starts `None`).
+    pub fn hw_rows(&self) -> Vec<HwRow> {
+        let Some(h) = &self.hw else { return Vec::new() };
+        let mut out = Vec::new();
+        for (i, per_stage) in h.events.iter().enumerate() {
+            let mut totals = [0u64; EVENT_COUNT];
+            for stage in per_stage {
+                for (slot, counter) in totals.iter_mut().zip(stage.iter()) {
+                    *slot = slot.saturating_add(counter.get());
+                }
+            }
+            if totals.iter().all(|&v| v == 0) {
+                continue;
+            }
+            let u = &self.per_use[i];
+            out.push(HwRow {
+                use_case: UseCase::EXTENDED[i].label(),
+                requests: u.ok.get() + u.rejected.get() + u.shed.get(),
+                cycles: totals[HwEvent::Cycles.index()],
+                instructions: totals[HwEvent::Instructions.index()],
+                l1d_miss: totals[HwEvent::L1dMiss.index()],
+                llc_miss: totals[HwEvent::LlcMiss.index()],
+                branch_miss: totals[HwEvent::BranchMiss.index()],
+                predicted_cpi: None,
+            });
+        }
+        out
     }
 
     /// Per-(use case × stage) totals for the `BENCH_live.json` stage
@@ -350,7 +535,7 @@ mod tests {
 
     #[test]
     fn record_request_updates_outcome_payload_and_stages() {
-        let obs = ServerObs::new(16);
+        let obs = ServerObs::new(16, false, false);
         let mut stages = WallStages::new();
         stages.add(Stage::Parse, 1000);
         stages.add(Stage::XPath, 500);
@@ -378,7 +563,7 @@ mod tests {
 
     #[test]
     fn shed_outcome_is_a_distinct_series_excluded_from_processed() {
-        let obs = ServerObs::new(8);
+        let obs = ServerObs::new(8, false, false);
         let stages = WallStages::new();
         obs.record_request(Some(UseCase::Sv), 200, 100, 900, &stages);
         obs.record_request(Some(UseCase::Sv), 503, 0, 40, &stages);
@@ -393,7 +578,7 @@ mod tests {
 
     #[test]
     fn governor_series_publish_level_signals_and_transitions() {
-        let obs = ServerObs::new(4);
+        let obs = ServerObs::new(4, false, false);
         obs.governor_sample(ShedLevel::SvCbr, 7_000_000, 42);
         obs.governor_breach(true, false);
         obs.governor_breach(true, true);
@@ -411,7 +596,7 @@ mod tests {
 
     #[test]
     fn merged_service_histogram_folds_every_use_case() {
-        let obs = ServerObs::new(4);
+        let obs = ServerObs::new(4, false, false);
         let stages = WallStages::new();
         obs.record_request(Some(UseCase::Fr), 200, 10, 1_000, &stages);
         obs.record_request(Some(UseCase::Dpi), 200, 10, 4_000, &stages);
@@ -421,8 +606,156 @@ mod tests {
     }
 
     #[test]
+    fn flight_overfill_is_visible_as_a_metric() {
+        let obs = ServerObs::new(2, false, false);
+        let stages = WallStages::new();
+        for _ in 0..5 {
+            obs.record_request(Some(UseCase::Fr), 200, 10, 1_000, &stages);
+        }
+        assert_eq!(obs.flight.len(), 2);
+        assert_eq!(obs.flight.dropped(), 3);
+        let text = obs.registry.render_prometheus();
+        assert!(text.contains("aon_flight_dropped_total 3"), "{text}");
+    }
+
+    #[test]
+    fn queue_wait_histogram_records_independently_of_requests() {
+        let obs = ServerObs::new(4, false, false);
+        obs.record_queue_wait(1_500);
+        obs.record_queue_wait(3_000);
+        let text = obs.registry.render_prometheus();
+        assert!(text.contains("aon_queue_wait_ns_count 2"), "{text}");
+        assert!(text.contains("aon_queue_wait_ns_sum 4500"), "{text}");
+    }
+
+    #[test]
+    fn trace_families_exist_only_when_tracing_enabled() {
+        let off = ServerObs::new(4, false, false);
+        off.trace_outcome(&StoreOutcome {
+            kept: Some(TraceClass::Slow),
+            evicted_sampled: 1,
+            evicted_keep: 0,
+        });
+        assert!(!off.registry.render_prometheus().contains("aon_trace_"));
+
+        let on = ServerObs::new(4, false, true);
+        on.trace_outcome(&StoreOutcome {
+            kept: Some(TraceClass::Slow),
+            evicted_sampled: 0,
+            evicted_keep: 0,
+        });
+        on.trace_outcome(&StoreOutcome {
+            kept: Some(TraceClass::Sampled),
+            evicted_sampled: 1,
+            evicted_keep: 0,
+        });
+        on.trace_outcome(&StoreOutcome { kept: None, evicted_sampled: 0, evicted_keep: 0 });
+        let text = on.registry.render_prometheus();
+        assert!(text.contains("aon_trace_kept_total{class=\"slow\"} 1"), "{text}");
+        assert!(text.contains("aon_trace_kept_total{class=\"sampled\"} 1"));
+        assert!(text.contains("aon_trace_kept_total{class=\"shed\"} 0"));
+        assert!(text.contains("aon_trace_dropped_total{kind=\"sampled\"} 1"));
+        assert!(text.contains("aon_trace_dropped_total{kind=\"keep\"} 0"));
+    }
+
+    #[test]
+    fn hw_families_attribute_deltas_by_use_case_stage_and_event() {
+        let off = ServerObs::new(4, false, false);
+        off.hw_backend(true);
+        off.record_hw(UseCase::Fr, &HwStageSet::new());
+        assert!(!off.registry.render_prometheus().contains("aon_hw_"));
+
+        let on = ServerObs::new(4, true, false);
+        on.hw_backend(false);
+        on.hw_backend(true);
+        on.hw_backend(false); // a later noop worker must not clear the gauge
+        let mut set = HwStageSet::new();
+        let mut delta = aon_hw::HwSnapshot::default();
+        delta.values[HwEvent::Cycles.index()] = 1_000;
+        delta.values[HwEvent::Instructions.index()] = 2_500;
+        set.add(Stage::Parse, &delta);
+        set.add(Stage::Parse, &delta);
+        on.record_hw(UseCase::Cbr, &set);
+        let text = on.registry.render_prometheus();
+        assert!(text.contains("aon_hw_backend_active 1"), "{text}");
+        assert!(
+            text.contains(
+                "aon_hw_events_total{use_case=\"CBR\",stage=\"parse\",event=\"cycles\"} 2000"
+            ),
+            "{text}"
+        );
+        assert!(text.contains(
+            "aon_hw_events_total{use_case=\"CBR\",stage=\"parse\",event=\"instructions\"} 5000"
+        ));
+        assert!(text
+            .contains("aon_hw_events_total{use_case=\"CBR\",stage=\"xpath\",event=\"cycles\"} 0"));
+    }
+
+    #[test]
+    fn new_families_roundtrip_through_the_scrape_parser() {
+        // Render → parse_prometheus → sum_samples must reproduce every
+        // value the new plane wrote — this is the exact path obs-report
+        // and hw-report consume, so a label-escaping or formatting
+        // regression in any new family fails here, not in a live run.
+        let obs = ServerObs::new(2, true, true);
+        obs.hw_backend(true);
+        let mut set = HwStageSet::new();
+        let mut delta = aon_hw::HwSnapshot::default();
+        delta.values[HwEvent::LlcMiss.index()] = 77;
+        set.add(Stage::Validate, &delta);
+        obs.record_hw(UseCase::Sv, &set);
+        obs.record_queue_wait(2_000);
+        obs.trace_outcome(&StoreOutcome {
+            kept: Some(TraceClass::Error),
+            evicted_sampled: 2,
+            evicted_keep: 1,
+        });
+        let stages = WallStages::new();
+        for _ in 0..3 {
+            obs.record_request(Some(UseCase::Sv), 200, 10, 1_000, &stages);
+        }
+
+        let samples = aon_obs::scrape::parse_prometheus(&obs.registry.render_prometheus());
+        let sum =
+            |name, labels: &[(&str, &str)]| aon_obs::scrape::sum_samples(&samples, name, labels);
+        assert_eq!(sum("aon_hw_backend_active", &[]), 1.0);
+        assert_eq!(sum("aon_hw_events_total", &[("use_case", "SV"), ("event", "llc_miss")]), 77.0);
+        assert_eq!(sum("aon_hw_events_total", &[("stage", "validate")]), 77.0);
+        assert_eq!(sum("aon_queue_wait_ns_count", &[]), 1.0);
+        assert_eq!(sum("aon_queue_wait_ns_sum", &[]), 2000.0);
+        assert_eq!(sum("aon_trace_kept_total", &[("class", "error")]), 1.0);
+        assert_eq!(sum("aon_trace_dropped_total", &[("kind", "sampled")]), 2.0);
+        assert_eq!(sum("aon_trace_dropped_total", &[("kind", "keep")]), 1.0);
+        assert_eq!(sum("aon_flight_dropped_total", &[]), 1.0, "3 events into a 2-ring");
+    }
+
+    #[test]
+    fn hw_rows_aggregate_events_across_stages_per_use_case() {
+        let obs = ServerObs::new(4, true, false);
+        assert!(obs.hw_rows().is_empty(), "no counted events, no rows");
+        let mut set = HwStageSet::new();
+        let mut delta = aon_hw::HwSnapshot::default();
+        delta.values[HwEvent::Cycles.index()] = 300;
+        delta.values[HwEvent::Instructions.index()] = 150;
+        set.add(Stage::Parse, &delta);
+        set.add(Stage::Write, &delta);
+        obs.record_hw(UseCase::Dpi, &set);
+        let stages = WallStages::new();
+        obs.record_request(Some(UseCase::Dpi), 200, 10, 1_000, &stages);
+        obs.record_request(Some(UseCase::Dpi), 422, 10, 1_000, &stages);
+        let rows = obs.hw_rows();
+        assert_eq!(rows.len(), 1, "only the use case with events gets a row");
+        assert_eq!(rows[0].use_case, "DPI");
+        assert_eq!(rows[0].requests, 2, "ok + rejected both attribute");
+        assert_eq!(rows[0].cycles, 600, "parse + write stages sum");
+        assert_eq!(rows[0].instructions, 300);
+        assert!((rows[0].cpi() - 2.0).abs() < 1e-9);
+        assert_eq!(rows[0].predicted_cpi, None, "prediction is the caller's to fill");
+    }
+
+    #[test]
     fn admin_and_connection_counters_are_separate() {
-        let obs = ServerObs::new(4);
+        let obs = ServerObs::new(4, false, false);
         obs.connection_accepted();
         obs.connection_dropped_backlog();
         obs.connection_rejected_closed();

@@ -6,18 +6,30 @@
 //! * `GET /metrics` — Prometheus text exposition (counters, gauges,
 //!   per-stage latency histograms);
 //! * `GET /stats.json` — the [`ServeStatsSnapshot`] as JSON;
-//! * `GET /flight.jsonl` — the flight-recorder ring buffer as JSONL.
+//! * `GET /flight.jsonl` — the flight-recorder ring buffer as JSONL;
+//! * `GET /trace.jsonl` — the tail-sampled per-request span traces
+//!   ([`aon_obs::reqtrace`]) as JSONL.
 //!
 //! Admin hits are counted in a separate counter (never in the request
 //! totals), so scraping `/metrics` mid-run cannot perturb the numbers it
 //! reports — the CI cross-check relies on exact equality with the load
 //! generator.
+//!
+//! When tracing or hardware counters are on, the request path swaps its
+//! per-stage recorder from [`aon_obs::stage::WallStages`] to
+//! [`RichStages`], which additionally emits trace spans and snapshots
+//! the worker's perf counter group at stage boundaries. With everything
+//! off, the engine still runs the untimed `NoopStages` instantiation —
+//! zero clock reads.
 
 use crate::governor::{Governor, GovernorConfig, GovernorCore};
 use crate::obs::ServerObs;
-use aon_net::acceptq::{AcceptQueue, Pop, PushError};
+use aon_hw::HwGroup;
+use aon_net::acceptq::{AcceptQueue, Pop, PushError, Timed};
 use aon_net::wire::{write_all, FrameBuf, WireError, WireLimits};
-use aon_obs::stage::{Stage, WallStages};
+use aon_obs::hwcounters::RichStages;
+use aon_obs::reqtrace::{TraceClass, TraceConfig, TraceRecord, Tracer};
+use aon_obs::stage::{Stage, StageRecorder, WallStages};
 use aon_server::engine::{Engine, ParseMode};
 use aon_server::http::{self, Method};
 use aon_server::usecase::UseCase;
@@ -64,6 +76,17 @@ pub struct ServeConfig {
     /// SLO-aware admission control ([`crate::governor`]): budgets, sample
     /// cadence, hysteresis, and the FR-only bypass switch.
     pub governor: GovernorConfig,
+    /// Per-thread hardware performance counters ([`aon_hw`]): each worker
+    /// opens a perf event group and the stage recorder attributes counter
+    /// deltas to pipeline stages. Off by default — the perf backend costs
+    /// two group reads per stage; when on but unavailable (no PMU, locked
+    /// down `perf_event_paranoid`) it degrades to the no-op backend.
+    pub hw_counters: bool,
+    /// Tail-sampled per-request tracing ([`aon_obs::reqtrace`]): slow,
+    /// shed, and errored requests always keep their span trees, the rest
+    /// are reservoir-sampled; dumped at `GET /trace.jsonl`. A `None`
+    /// slow budget adopts [`GovernorConfig::p99_budget`] at startup.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +104,8 @@ impl Default for ServeConfig {
             flight_capacity: 1024,
             parse_mode: ParseMode::Fast,
             governor: GovernorConfig::default(),
+            hw_counters: false,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -205,7 +230,7 @@ impl ServeStatsSnapshot {
 
 struct Shared {
     cfg: ServeConfig,
-    queue: AcceptQueue<TcpStream>,
+    queue: AcceptQueue<Timed<TcpStream>>,
     // audit:role(flag): stop edge; Release store in shutdown()/Drop
     // happens-before the Acquire loads in the listener and worker polls,
     // so everything written before the signal is visible to exiting threads
@@ -214,6 +239,7 @@ struct Shared {
     engine: Engine,
     obs: Option<ServerObs>,
     governor: Governor,
+    tracer: Option<Tracer>,
 }
 
 /// A running live server. Create with [`Server::start`], stop with
@@ -239,8 +265,14 @@ impl Server {
         } else {
             std::thread::available_parallelism().map(usize::from).unwrap_or(2)
         };
-        let obs = cfg.observe.then(|| ServerObs::new(cfg.flight_capacity));
+        let obs = cfg
+            .observe
+            .then(|| ServerObs::new(cfg.flight_capacity, cfg.hw_counters, cfg.trace.enabled));
         let governor = Governor::new(cfg.governor.clone());
+        // The tracer's "slow" threshold defaults to the governor's p99
+        // budget, so a kept-slow trace is precisely a budget violation.
+        let budget_ns = u64::try_from(cfg.governor.p99_budget.as_nanos()).unwrap_or(u64::MAX);
+        let tracer = cfg.trace.enabled.then(|| Tracer::new(cfg.trace.clone(), budget_ns));
         let shared = Arc::new(Shared {
             queue: AcceptQueue::new(cfg.accept_backlog),
             cfg,
@@ -249,6 +281,7 @@ impl Server {
             engine: Engine::new(),
             obs,
             governor,
+            tracer,
         });
 
         let listener_handle = {
@@ -318,10 +351,28 @@ impl Server {
         self.shared.obs.as_ref().map(|o| o.flight.dump_jsonl())
     }
 
+    /// The trace dump `GET /trace.jsonl` would return right now (`None`
+    /// with tracing off).
+    pub fn trace_jsonl(&self) -> Option<String> {
+        self.shared.tracer.as_ref().map(Tracer::dump_jsonl)
+    }
+
+    /// The tail-sampling tracer, when [`TraceConfig::enabled`] is on.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.shared.tracer.as_ref()
+    }
+
     /// Per-(use case × stage) totals for the live-bench stage breakdown
     /// (empty with observability off).
     pub fn stage_cells(&self) -> Vec<crate::metrics::StageCell> {
         self.shared.obs.as_ref().map(ServerObs::stage_cells).unwrap_or_default()
+    }
+
+    /// Per-use-case hardware-counter totals for the `hw-report` table
+    /// (empty with observability or the HW plane off, and on the noop
+    /// backend — no counted events, no rows).
+    pub fn hw_rows(&self) -> Vec<crate::metrics::HwRow> {
+        self.shared.obs.as_ref().map(ServerObs::hw_rows).unwrap_or_default()
     }
 
     /// Graceful shutdown: stop accepting, drain the accept queue, finish
@@ -359,7 +410,7 @@ fn listener_loop(listener: &TcpListener, shared: &Shared) {
                 if let Some(obs) = &shared.obs {
                     obs.connection_accepted();
                 }
-                match shared.queue.push(stream) {
+                match shared.queue.push(Timed::now(stream)) {
                     Ok(depth) => {
                         note_queue_depth(shared, u64::try_from(depth).unwrap_or(u64::MAX));
                     }
@@ -451,11 +502,18 @@ fn sampler_loop(shared: &Shared) {
     }
 }
 
-/// Pull connections until the queue is closed *and* drained.
+/// Pull connections until the queue is closed *and* drained. Each worker
+/// owns one perf counter group (when [`ServeConfig::hw_counters`] is on):
+/// the fds are thread-bound, so the group lives exactly as long as the
+/// worker and never needs locking.
 fn worker_loop(shared: &Shared) {
+    let hw_group = shared.cfg.hw_counters.then(HwGroup::open_for_thread);
+    if let (Some(obs), Some(g)) = (&shared.obs, &hw_group) {
+        obs.hw_backend(g.active());
+    }
     loop {
         match shared.queue.pop(Duration::from_millis(25)) {
-            Pop::Item(stream) => handle_connection(shared, stream),
+            Pop::Item(timed) => handle_connection(shared, timed, hw_group.as_ref()),
             Pop::Empty => {}
             Pop::Closed => break,
         }
@@ -476,8 +534,10 @@ struct Reply {
     use_case: Option<UseCase>,
     /// Request payload bytes handed to the engine.
     payload_bytes: u64,
-    /// Per-stage wall time recorded while producing this reply.
-    stages: WallStages,
+    /// True when the request failed (malformed HTTP or an engine error)
+    /// — the tail sampler's `error` retention class. A negative routing
+    /// verdict (`422 routed="false"`) is a valid answer, not an error.
+    errored: bool,
 }
 
 impl Reply {
@@ -491,18 +551,26 @@ impl Reply {
             retry_after: None,
             use_case: None,
             payload_bytes: 0,
-            stages: WallStages::new(),
+            errored: false,
         }
     }
 }
 
-/// Serve one connection's keep-alive loop.
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+/// Serve one connection's keep-alive loop. The accept-queue wait carried
+/// by `timed` is attributed to the connection's *first* request only —
+/// later keep-alive requests never sat in the accept queue.
+fn handle_connection(shared: &Shared, timed: Timed<TcpStream>, hw: Option<&HwGroup>) {
+    let queue_wait = timed.wait_ns();
+    let mut stream = timed.item;
     let cfg = &shared.cfg;
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(cfg.write_timeout));
     let mut fb = FrameBuf::new();
     let mut served: u32 = 0;
+    let mut first_request = true;
+    // The rich recorder exists whenever anyone consumes what it produces:
+    // wall stages (obs), spans (tracer), or HW deltas (an active group).
+    let rich = shared.obs.is_some() || shared.tracer.is_some() || hw.is_some_and(HwGroup::active);
 
     loop {
         let deadline = Instant::now() + cfg.read_timeout;
@@ -558,8 +626,20 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         // is draining for shutdown.
         let server_close =
             served >= cfg.keepalive_max_requests || shared.shutdown.load(Ordering::Acquire);
-        let service_start = Instant::now();
-        let mut reply = handle_request(shared, &fb.bytes()[..total], frame.body_len);
+        // The recorder's construction instant is the service-time origin
+        // (frame complete → response written), exactly where the old
+        // `service_start` stopwatch stood.
+        let mut rec = rich.then(|| RichStages::new(hw, shared.tracer.is_some()));
+        if first_request {
+            first_request = false;
+            if let Some(r) = rec.as_mut() {
+                r.note_queue_wait(queue_wait);
+            }
+            if let Some(obs) = &shared.obs {
+                obs.record_queue_wait(queue_wait);
+            }
+        }
+        let mut reply = handle_request(shared, &fb.bytes()[..total], frame.body_len, rec.as_mut());
         reply.close |= server_close;
 
         if reply.admin {
@@ -576,27 +656,56 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 _ => shared.stats.bad_request.fetch_add(1, Ordering::Relaxed),
             };
         }
-        let write_start = Instant::now();
-        let sent = send(
-            &mut stream,
-            reply.status,
-            &reply.body,
-            reply.close,
-            reply.content_type,
-            reply.retry_after,
-        );
-        if shared.obs.is_some() && !reply.admin {
-            let write_ns = u64::try_from(write_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            reply.stages.add(Stage::Write, write_ns);
-            let total_ns = u64::try_from(service_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            if let Some(obs) = &shared.obs {
-                obs.record_request(
-                    reply.use_case,
-                    reply.status,
-                    reply.payload_bytes,
-                    total_ns,
-                    &reply.stages,
-                );
+        let do_send = |stream: &mut TcpStream| {
+            send(
+                stream,
+                reply.status,
+                &reply.body,
+                reply.close,
+                reply.content_type,
+                reply.retry_after,
+            )
+        };
+        // Admin replies are never recorded — not even their write time —
+        // so a scrape cannot perturb the totals it reports.
+        let sent = match rec.as_mut() {
+            Some(r) if !reply.admin => r.time(Stage::Write, || do_send(&mut stream)),
+            _ => do_send(&mut stream),
+        };
+        if !reply.admin {
+            if let Some(r) = rec.as_mut() {
+                let total_ns = r.offset_ns();
+                if let Some(obs) = &shared.obs {
+                    obs.record_request(
+                        reply.use_case,
+                        reply.status,
+                        reply.payload_bytes,
+                        total_ns,
+                        r.wall(),
+                    );
+                    if r.hw_active() {
+                        if let Some(uc) = reply.use_case {
+                            obs.record_hw(uc, r.hw());
+                        }
+                    }
+                }
+                if let Some(tracer) = &shared.tracer {
+                    if let Some(spans) = r.finish_trace(total_ns) {
+                        let record = TraceRecord {
+                            id: tracer.next_id(),
+                            use_case: reply.use_case.map_or("-", |uc| uc.label()),
+                            status: reply.status,
+                            // Placeholder: `Tracer::finish` reclassifies.
+                            class: TraceClass::Sampled,
+                            total_ns,
+                            spans,
+                        };
+                        let outcome = tracer.finish(record, reply.errored);
+                        if let Some(obs) = &shared.obs {
+                            obs.trace_outcome(&outcome);
+                        }
+                    }
+                }
             }
         }
         if sent.is_err() {
@@ -612,15 +721,24 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
 
 /// Record a wire-level error response (408/413/400 sent straight from the
 /// connection loop) into the observability layer, so the HTTP status
-/// counters agree with [`ServeStats`] exactly.
+/// counters agree with [`ServeStats`] exactly. Wire errors are *not*
+/// traced: the failure happened before a request frame existed, so there
+/// is no span tree to retain — the status counters carry them.
 fn record_wire_error(shared: &Shared, status: u16) {
     if let Some(obs) = &shared.obs {
         obs.record_request(None, status, 0, 0, &WallStages::new());
     }
 }
 
-/// Parse, route, and process one framed request.
-fn handle_request(shared: &Shared, msg: &[u8], framed_body_len: usize) -> Reply {
+/// Parse, route, and process one framed request. `rec`, when present, is
+/// the rich per-request recorder the engine times its stages into (and
+/// that collects trace spans / HW deltas as a side effect).
+fn handle_request(
+    shared: &Shared,
+    msg: &[u8],
+    framed_body_len: usize,
+    rec: Option<&mut RichStages>,
+) -> Reply {
     let req = match http::parse_request(TBuf::msg(msg), &mut NullProbe) {
         Ok(r) => r,
         Err(_) => return bad_request("malformed request"),
@@ -654,6 +772,21 @@ fn handle_request(shared: &Shared, msg: &[u8], framed_body_len: usize) -> Reply 
         },
         (Method::Get | Method::Head, b"/stats.json") => {
             let mut body = shared.stats.snapshot().to_json_object("");
+            // With observability on, append the service-time percentiles
+            // (bucket-derived, interpolated p99.9 included) so a scraper
+            // gets latency without parsing the Prometheus exposition.
+            if let Some(obs) = &shared.obs {
+                let h = obs.service_histogram_merged();
+                let trimmed = body.trim_end_matches('}').trim_end().to_string();
+                body = format!(
+                    "{},\n  \"service_latency_ns\": {{ \"count\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {} }}\n}}",
+                    trimmed.trim_end_matches(','),
+                    h.count,
+                    h.percentile(50),
+                    h.percentile(99),
+                    h.percentile_per_mille(999)
+                );
+            }
             body.push('\n');
             let mut r = Reply::new(200, body, close);
             r.content_type = "application/json";
@@ -669,12 +802,26 @@ fn handle_request(shared: &Shared, msg: &[u8], framed_body_len: usize) -> Reply 
             }
             None => not_found(close),
         },
+        (Method::Get | Method::Head, b"/trace.jsonl") => match &shared.tracer {
+            Some(tracer) => {
+                let mut r = Reply::new(200, tracer.dump_jsonl(), close);
+                r.content_type = "application/x-ndjson";
+                r.admin = true;
+                r
+            }
+            None => not_found(close),
+        },
         (Method::Post, _) => match route_use_case(shared, path) {
             // Admission control happens after routing (so the refusal is
             // attributed to a cost class) but before the engine touches
             // the payload — a shed request costs the server one header
             // write and nothing else.
             Some(uc) if shared.governor.should_shed(uc) => {
+                if let Some(r) = rec {
+                    // A zero-duration marker: the trace shows *where* in
+                    // the request's life the governor refused it.
+                    r.note_point("governor_shed");
+                }
                 let level = shared.governor.level();
                 let mut r = Reply::new(
                     503,
@@ -688,10 +835,9 @@ fn handle_request(shared: &Shared, msg: &[u8], framed_body_len: usize) -> Reply 
                 r
             }
             Some(uc) => {
-                let mut stages = WallStages::new();
                 let mode = shared.cfg.parse_mode;
-                let outcome = match &shared.obs {
-                    Some(_) => shared.engine.process_mode_staged(mode, uc, body, &mut stages),
+                let outcome = match rec {
+                    Some(r) => shared.engine.process_mode_staged(mode, uc, body, r),
                     None => shared.engine.process_mode_staged(
                         mode,
                         uc,
@@ -702,11 +848,14 @@ fn handle_request(shared: &Shared, msg: &[u8], framed_body_len: usize) -> Reply 
                 let mut r = match outcome {
                     Ok(true) => Reply::new(200, "<aon routed=\"true\"/>".to_string(), close),
                     Ok(false) => Reply::new(422, "<aon routed=\"false\"/>".to_string(), close),
-                    Err(e) => Reply::new(422, format!("<aon error=\"{e}\"/>"), close),
+                    Err(e) => {
+                        let mut r = Reply::new(422, format!("<aon error=\"{e}\"/>"), close);
+                        r.errored = true;
+                        r
+                    }
                 };
                 r.use_case = Some(uc);
                 r.payload_bytes = u64::try_from(body.len()).unwrap_or(u64::MAX);
-                r.stages = stages;
                 r
             }
             None => not_found(close),
@@ -716,7 +865,9 @@ fn handle_request(shared: &Shared, msg: &[u8], framed_body_len: usize) -> Reply 
 }
 
 fn bad_request(why: &str) -> Reply {
-    Reply::new(400, format!("<aon error=\"{why}\"/>"), true)
+    let mut r = Reply::new(400, format!("<aon error=\"{why}\"/>"), true);
+    r.errored = true;
+    r
 }
 
 fn not_found(close: bool) -> Reply {
@@ -1110,6 +1261,121 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.admin_requests, 2);
         assert_eq!(stats.requests_total(), 1, "admin hits are not requests");
+    }
+
+    #[test]
+    fn trace_endpoint_serves_complete_span_trees_without_perturbing_totals() {
+        use aon_obs::reqtrace::ParsedTrace;
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            // Sample everything so the one request is provably retained
+            // regardless of its latency class.
+            trace: TraceConfig { sample_per_million: 1_000_000, ..TraceConfig::default() },
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = server.addr();
+        let corpus = aon_server::Corpus::generate(7, 2);
+        let body = &corpus.variants[0].http[corpus.variants[0].body_start..];
+        let got = roundtrip(addr, &post(b"/aon/sv", body));
+        assert!(got.starts_with(b"HTTP/1.1 200"), "{}", String::from_utf8_lossy(&got));
+
+        let got = roundtrip(addr, b"GET /trace.jsonl HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let text = String::from_utf8_lossy(&got);
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(text.contains("Content-Type: application/x-ndjson"), "{text}");
+        let body_start = text.find("\r\n\r\n").expect("has body") + 4;
+        let traces = ParsedTrace::parse_jsonl(&text[body_start..]).expect("valid trace JSONL");
+        assert_eq!(traces.len(), 1, "exactly the one POST is traced — never the admin GETs");
+        let t = &traces[0];
+        t.tree_complete().expect("span tree complete");
+        assert_eq!(t.use_case, "SV");
+        assert_eq!(t.status, 200);
+        assert!(t.span_ns("queue_wait") > 0, "first request carries its accept-queue wait");
+        assert!(t.span_ns("validate") > 0, "SV runs the validate stage: {:?}", t.spans);
+        assert!(t.span_ns("write") > 0, "response write is a span");
+
+        let stats = server.shutdown();
+        assert_eq!(stats.requests_total(), 1, "trace reads never perturb request totals");
+        assert_eq!(stats.admin_requests, 1);
+    }
+
+    #[test]
+    fn tail_sampler_always_keeps_shed_requests_even_with_sampling_off() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            governor: GovernorConfig { fr_only: true, ..GovernorConfig::default() },
+            // Reservoir rate zero: only the always-keep classes survive.
+            trace: TraceConfig { sample_per_million: 0, ..TraceConfig::default() },
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = server.addr();
+        let corpus = aon_server::Corpus::generate(42, 2);
+        let body = &corpus.variants[0].http[corpus.variants[0].body_start..];
+
+        let got = roundtrip(addr, &post(b"/aon/fr", body));
+        assert!(got.starts_with(b"HTTP/1.1 200"), "admitted FR is fast, not sampled, discarded");
+        let got = roundtrip(addr, &post(b"/aon/sv", body));
+        assert!(got.starts_with(b"HTTP/1.1 503"), "SV shed in FR-only mode");
+
+        let tracer = server.tracer().expect("tracing on by default");
+        assert_eq!(tracer.dropped_keep(), 0, "no always-keep trace may ever be evicted");
+        let dump = server.trace_jsonl().expect("tracing on");
+        let traces = aon_obs::reqtrace::ParsedTrace::parse_jsonl(&dump).expect("valid");
+        assert_eq!(traces.len(), 1, "only the shed request is retained: {dump}");
+        assert_eq!(traces[0].class, TraceClass::Shed);
+        assert_eq!(traces[0].status, 503);
+        assert!(
+            traces[0].spans.iter().any(|s| s.label == "governor_shed"),
+            "shed traces carry the refusal marker: {dump}"
+        );
+
+        let metrics = server.metrics_text().expect("observability on");
+        assert!(metrics.contains("aon_trace_kept_total{class=\"shed\"} 1"), "{metrics}");
+        assert!(metrics.contains("aon_trace_dropped_total{kind=\"keep\"} 0"));
+        assert!(
+            metrics.contains("aon_queue_wait_ns_count 2"),
+            "both connections waited: {metrics}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn tracing_off_disables_trace_endpoint_and_families() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            trace: TraceConfig { enabled: false, ..TraceConfig::default() },
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = server.addr();
+        assert!(server.trace_jsonl().is_none());
+        assert!(server.tracer().is_none());
+        let got = roundtrip(addr, b"GET /trace.jsonl HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(got.starts_with(b"HTTP/1.1 404"), "{}", String::from_utf8_lossy(&got));
+        let metrics = server.metrics_text().expect("observability on");
+        assert!(!metrics.contains("aon_trace_"), "no dead trace series: {metrics}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_json_carries_bucket_derived_latency_percentiles() {
+        let server = tiny_server();
+        let addr = server.addr();
+        let corpus = aon_server::Corpus::generate(42, 2);
+        let body = &corpus.variants[0].http[corpus.variants[0].body_start..];
+        let got = roundtrip(addr, &post(b"/aon/fr", body));
+        assert!(got.starts_with(b"HTTP/1.1 200"));
+        let got = roundtrip(addr, b"GET /stats.json HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let text = String::from_utf8_lossy(&got);
+        assert!(text.contains("\"service_latency_ns\""), "{text}");
+        assert!(text.contains("\"p999\":"), "{text}");
+        assert!(
+            text.contains("\"count\": 1"),
+            "the FR request is in the service histogram: {text}"
+        );
+        server.shutdown();
     }
 
     #[test]

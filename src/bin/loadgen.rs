@@ -17,8 +17,20 @@
 //! cargo run --release --bin loadgen -- --obs-overhead          # off-vs-on p50
 //! cargo run --release --bin loadgen -- --overload              # goodput curve
 //! cargo run --release --bin loadgen -- --overload-smoke        # CI overload gate
+//! cargo run --release --bin loadgen -- --trace-smoke           # CI tracing gate
 //! ```
+//!
+//! Tail-sampled tracing is on by default in the in-process server (like a
+//! production deployment would run it), so `--obs-overhead` measures the
+//! *full* observability plane — counters, histograms, flight ring, and
+//! tracing together — against the all-off baseline. `--hw` additionally
+//! opens per-worker perf counter groups. `--trace-smoke` drives a mixed
+//! load against an FR-only server and proves the tail sampler's retention
+//! contract: every governor-shed request's span tree is present in
+//! `/trace.jsonl` (`dropped_keep == 0`), every tree is complete, and the
+//! trace reads never moved the request totals.
 
+use aon_obs::reqtrace::{ParsedTrace, TraceClass, TraceConfig};
 use aon_obs::scrape::{parse_prometheus, sum_samples};
 use aon_serve::governor::GovernorConfig;
 use aon_serve::loadgen::{run, run_overload, scrape, LoadgenConfig, OverloadConfig};
@@ -46,6 +58,9 @@ struct Args {
     fr_only: bool,
     p99_budget_ms: Option<u64>,
     queue_budget: Option<u64>,
+    trace: bool,
+    trace_smoke: bool,
+    hw: bool,
 }
 
 impl Args {
@@ -99,6 +114,12 @@ fn main() {
         outcome.report.overload = Some(ov);
         overload_failed = failed;
     }
+
+    // Tracing retention gate: its own in-process server too.
+    let mut trace_smoke_failed = false;
+    if args.trace_smoke {
+        trace_smoke_failed = trace_smoke_scenario(&args);
+    }
     let report = &outcome.report;
 
     let json = report.to_json();
@@ -122,10 +143,11 @@ fn main() {
         );
     }
 
-    if outcome.failed() || overload_failed {
+    if outcome.failed() || overload_failed || trace_smoke_failed {
         eprintln!(
             "loadgen: FAILED (failed={}, ok={}, server protocol errors={}, scrape mismatch={}, \
-             unexpected sheds={}, overload gate failed={overload_failed})",
+             unexpected sheds={}, overload gate failed={overload_failed}, \
+             trace smoke failed={trace_smoke_failed})",
             report.requests_failed,
             report.requests_ok,
             outcome.server_protocol_errors,
@@ -225,6 +247,105 @@ fn overload_scenario(args: &Args) -> (OverloadReport, bool) {
     (report, failed)
 }
 
+/// Drive a mixed load against an FR-only server with tracing on and gate
+/// on the tail sampler's retention contract. FR-only mode sheds every
+/// CBR/SV request, generating a large always-keep population; the gate
+/// then proves three things exactly:
+///
+/// 1. every shed request's span tree is in `/trace.jsonl` (kept-shed
+///    count == the server's 503 count, and `dropped_keep == 0`);
+/// 2. every retained span tree is structurally complete;
+/// 3. reading `/trace.jsonl` never moved a request total (server totals
+///    equal the client's request count exactly).
+///
+/// One connection keeps the shed volume within the trace ring and the
+/// scrape size limit — the proof is about exactness, not throughput.
+fn trace_smoke_scenario(args: &Args) -> bool {
+    if args.addr.is_some() {
+        usage("--trace-smoke needs an in-process server (drop --addr)");
+    }
+    let server = Server::start(ServeConfig {
+        parse_mode: args.parse_mode,
+        governor: GovernorConfig { fr_only: true, ..args.governor_config() },
+        trace: TraceConfig { capacity: 1 << 17, ..TraceConfig::default() },
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback");
+    let cfg = LoadgenConfig {
+        addr: server.addr(),
+        connections: 1,
+        duration: Duration::from_secs(args.duration_secs),
+        use_cases: args.use_cases.clone(),
+        ..LoadgenConfig::default()
+    };
+    eprintln!(
+        "loadgen: trace smoke — {}s mixed load, FR-only governor (CBR/SV shed), tracing on",
+        args.duration_secs
+    );
+    let report = run(&cfg);
+    let dump = scrape(server.addr(), "/trace.jsonl", Duration::from_secs(10)).unwrap_or_default();
+    let dropped_keep = server.tracer().map_or(u64::MAX, |t| t.dropped_keep());
+    let stats = server.shutdown();
+
+    let traces = match ParsedTrace::parse_jsonl(&dump) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("loadgen: trace smoke FAILED: bad /trace.jsonl: {e}");
+            return true;
+        }
+    };
+    let mut failed = false;
+    if report.requests_ok == 0 {
+        eprintln!("loadgen: trace smoke FAILED: no FR request succeeded");
+        failed = true;
+    }
+    if traces.is_empty() {
+        eprintln!("loadgen: trace smoke FAILED: /trace.jsonl is empty after load");
+        failed = true;
+    }
+    for t in &traces {
+        if let Err(e) = t.tree_complete() {
+            eprintln!("loadgen: trace smoke FAILED: incomplete span tree (id {}): {e}", t.id);
+            failed = true;
+            break;
+        }
+    }
+    let shed_kept = u64::try_from(traces.iter().filter(|t| t.class == TraceClass::Shed).count())
+        .expect("trace count fits u64");
+    if shed_kept != stats.requests_shed {
+        eprintln!(
+            "loadgen: trace smoke FAILED: {} shed requests served but {} shed traces kept",
+            stats.requests_shed, shed_kept
+        );
+        failed = true;
+    }
+    if dropped_keep != 0 {
+        eprintln!("loadgen: trace smoke FAILED: {dropped_keep} always-keep traces were evicted");
+        failed = true;
+    }
+    let client_total = report.requests_ok + report.requests_failed + report.errors.shed;
+    if stats.requests_total() != client_total {
+        eprintln!(
+            "loadgen: trace smoke FAILED: server served {} requests but the client drove {} \
+             — an admin read perturbed the totals",
+            stats.requests_total(),
+            client_total
+        );
+        failed = true;
+    }
+    if !failed {
+        eprintln!(
+            "loadgen: trace smoke OK — {} traces kept ({} shed = 100% of {} served sheds), \
+             dropped_keep 0, totals exact at {}",
+            traces.len(),
+            shed_kept,
+            stats.requests_shed,
+            client_total
+        );
+    }
+    failed
+}
+
 /// The result of one measured run plus its gate inputs.
 struct RunOutcome {
     report: LiveBenchReport,
@@ -255,6 +376,11 @@ fn drive(args: &Args, observe: bool, scrape_path: Option<&str>) -> RunOutcome {
                 observe,
                 parse_mode: args.parse_mode,
                 governor: args.governor_config(),
+                // The baseline (observe=false) run turns the whole plane
+                // off — tracing and HW included — so `--obs-overhead`
+                // measures everything the observed server pays for.
+                hw_counters: observe && args.hw,
+                trace: TraceConfig { enabled: observe && args.trace, ..TraceConfig::default() },
                 ..ServeConfig::default()
             })
             .expect("bind loopback"),
@@ -369,6 +495,9 @@ fn parse_args() -> Args {
         fr_only: false,
         p99_budget_ms: None,
         queue_budget: None,
+        trace: true,
+        trace_smoke: false,
+        hw: false,
     };
 
     let mut it = std::env::args().skip(1);
@@ -399,6 +528,9 @@ fn parse_args() -> Args {
             }
             "--overload" => args.overload = true,
             "--overload-smoke" => args.overload_smoke = true,
+            "--trace-smoke" => args.trace_smoke = true,
+            "--no-trace" => args.trace = false,
+            "--hw" => args.hw = true,
             "--no-governor" => args.governor = false,
             "--fr-only" => args.fr_only = true,
             "--p99-budget-ms" => {
@@ -421,6 +553,7 @@ fn parse_args() -> Args {
                      [--use-case fr|cbr|sv|dpi|crypto]... [--addr HOST:PORT] [--out FILE] \
                      [--no-obs] [--scrape-metrics FILE] [--obs-overhead] \
                      [--parse-mode fast|scalar] [--overload] [--overload-smoke] \
+                     [--trace-smoke] [--no-trace] [--hw] \
                      [--no-governor] [--fr-only] [--p99-budget-ms N] [--queue-budget N]"
                 );
                 std::process::exit(0);

@@ -4,8 +4,12 @@
 //! the numbers the paper tabulates: per-use-case throughput (req/s,
 //! payload Mbps), the service-time decomposition by pipeline stage
 //! (where do the cycles go for CBR vs SV vs DPI?), the response status
-//! mix, and edge admission counters (accept-queue high-water mark,
-//! dropped connections).
+//! mix, edge admission counters (accept-queue high-water mark, dropped
+//! connections), bucket-derived service-latency percentiles (p50 / p99 /
+//! interpolated p999, from `GET /stats.json`), and — when the server
+//! runs with `--hw` on a machine whose PMU opened — the per-use-case
+//! hardware-counter characterization (CPI, LLC and branch misses per
+//! request) from the `aon_hw_events_total` deltas across the window.
 //!
 //! ```text
 //! cargo run --release --bin obs-report -- --addr 127.0.0.1:8080
@@ -116,6 +120,67 @@ fn main() {
         sum_samples(&second, "aon_accept_queue_depth_hwm", &[])
     );
     println!("  admin scrapes: {:.0}", sum_samples(&second, "aon_admin_requests_total", &[]));
+
+    println!();
+    println!("service latency, bucket-derived (cumulative, all use cases):");
+    match scrape(addr, "/stats.json", timeout) {
+        Ok(stats) => {
+            let us = |key| json_field(&stats, key).map_or(0.0, |ns| ns / 1000.0);
+            println!(
+                "  count {:.0}, p50 {:.0}us, p99 {:.0}us, p999 {:.0}us",
+                json_field(&stats, "count").unwrap_or(0.0),
+                us("p50"),
+                us("p99"),
+                us("p999"),
+            );
+        }
+        Err(e) => println!("  unavailable: /stats.json scrape failed: {e:?}"),
+    }
+
+    println!();
+    println!("hardware counters (this window):");
+    if second.iter().any(|s| s.name == "aon_hw_events_total") {
+        println!(
+            "{:<8} {:>10} {:>8} {:>10} {:>12}",
+            "use case", "requests", "cpi", "llc/req", "branch/req"
+        );
+        for uc in UseCase::EXTENDED {
+            let label = uc.label();
+            let hw = |event| {
+                delta(
+                    &second,
+                    &first,
+                    "aon_hw_events_total",
+                    &[("use_case", label), ("event", event)],
+                )
+            };
+            let (cycles, instructions) = (hw("cycles"), hw("instructions"));
+            let requests = delta(&second, &first, "aon_requests_total", &[("use_case", label)]);
+            if instructions == 0.0 || requests == 0.0 {
+                continue;
+            }
+            println!(
+                "{label:<8} {requests:>10.0} {:>8.3} {:>10.1} {:>12.1}",
+                cycles / instructions,
+                hw("llc_miss") / requests,
+                hw("branch_miss") / requests,
+            );
+        }
+    } else {
+        println!("  absent (server without --hw, or PMU unavailable — see hw-report)");
+    }
+}
+
+/// Extract a numeric field from the `"service_latency_ns"` object of a
+/// `/stats.json` body without a JSON parser: the server emits the exact
+/// shape `"key": value` and `service_latency_ns` is the only object in
+/// the document containing these keys.
+fn json_field(stats: &str, key: &str) -> Option<f64> {
+    let obj = stats.split("\"service_latency_ns\"").nth(1)?;
+    let after = obj.split(&format!("\"{key}\":")).nth(1)?;
+    let digits: String =
+        after.trim_start().chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
+    digits.parse().ok()
 }
 
 /// Counter increase across the window (clamped at zero: counters are
