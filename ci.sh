@@ -120,6 +120,42 @@ say "trace smoke (tail-sampler retention, complete span trees, admin reads free)
 ./target/release/loadgen --trace-smoke --duration 2 \
     --out /tmp/BENCH_trace_smoke.json >/dev/null
 
+say "profile smoke (worker-state profiler, Little's law, exemplar linkage)"
+# Two gates. First the sampler's cost: an A/B closed loop (observability
+# on both times, profiler off vs on) whose p50 delta must stay under the
+# 2% budget — with a 25us absolute floor so scheduler noise on tiny
+# medians cannot fail the build spuriously.
+./target/release/loadgen --profile-overhead --duration 1 \
+    --out /tmp/BENCH_profile_smoke.json >/dev/null
+python3 - <<'EOF'
+import json
+with open("/tmp/BENCH_profile_smoke.json") as f:
+    report = json.load(f)
+po = report["profile_overhead"]
+off, on = po["p50_us_profile_off"], po["p50_us_profile_on"]
+assert off > 0 and on > 0, po
+assert po["delta_pct"] < 2.0 or (on - off) < 25.0, (
+    f"profiler overhead budget blown: p50 {off:.1f}us -> {on:.1f}us "
+    f"({po['delta_pct']:+.2f}%)")
+print(f"profiler overhead ok: p50 {off:.1f}us -> {on:.1f}us ({po['delta_pct']:+.2f}%)")
+EOF
+# Then the plane itself: self-driven load, Little's-law agreement within
+# 15% (request plane vs state plane), and at least one latency exemplar
+# resolving to a retained trace — the binary exits 1 on either breach.
+./target/release/profile-report --self-drive --check \
+    --folded-out /tmp/profile_smoke.folded >/dev/null
+python3 - <<'EOF'
+import re
+with open("/tmp/profile_smoke.folded") as f:
+    lines = f.read().splitlines()
+assert lines, "folded dump must be non-empty after load"
+for line in lines:
+    assert re.fullmatch(r'[^;]+;[a-z_]+ \d+', line), f"bad folded line: {line!r}"
+states = {line.split(";")[1].split(" ")[0] for line in lines}
+assert "write" in states, f"served load must show write samples: {states}"
+print(f"profile smoke ok: {len(lines)} folded cells, states {sorted(states)}")
+EOF
+
 say "hw smoke (hardware-counter plane, probe-and-degrade)"
 # Runs the closed loop with per-worker perf counter groups requested.
 # On hosts without PMU access (most CI containers) the backend degrades

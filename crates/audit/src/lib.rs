@@ -65,6 +65,7 @@ pub const CAST_ENFORCED_FILES: &[&str] = &[
     "crates/obs/src/hwcounters.rs",
     "crates/obs/src/latency.rs",
     "crates/obs/src/metric.rs",
+    "crates/obs/src/profiler.rs",
     "crates/obs/src/registry.rs",
     "crates/obs/src/reqtrace.rs",
     "crates/obs/src/scrape.rs",

@@ -26,7 +26,7 @@
 //! * [`flight`] — a bounded ring-buffer [`flight::FlightRecorder`] of
 //!   recent request events, dumpable as JSONL.
 //!
-//! Two further planes close the loop with the paper's method:
+//! Three further planes close the loop with the paper's method:
 //!
 //! * [`hwcounters`] — hardware-counter stage attribution: a
 //!   [`hwcounters::RichStages`] recorder snapshots a per-thread
@@ -35,7 +35,13 @@
 //!   (and cleanly degrades to zeros when it is not);
 //! * [`reqtrace`] — tail-sampled per-request span traces: slow, shed,
 //!   and errored requests are always retained, the rest
-//!   reservoir-sampled deterministically ([`reqtrace::Tracer`]).
+//!   reservoir-sampled deterministically ([`reqtrace::Tracer`]);
+//! * [`profiler`] — continuous worker-state profiling: workers publish
+//!   their current state into per-worker atomic slots
+//!   ([`profiler::WorkerSlots`]) and a sampler thread builds
+//!   statistical wall-time profiles (state sample counters, pool
+//!   saturation, a flamegraph-compatible folded-stack dump) plus a
+//!   Little's-law consistency check ([`profiler::littles_law`]).
 //!
 //! Two support modules round it out: [`latency`] (the exact
 //! percentile summarization shared with the load generator) and
@@ -49,6 +55,7 @@ pub mod flight;
 pub mod hwcounters;
 pub mod latency;
 pub mod metric;
+pub mod profiler;
 pub mod registry;
 pub mod reqtrace;
 pub mod scrape;
@@ -57,7 +64,8 @@ pub mod stage;
 pub use flight::{FlightRecorder, Recorded, RequestEvent};
 pub use hwcounters::{HwStageSet, RichStages};
 pub use latency::{percentile, percentile_per_mille, summarize_latencies, LatencySummary};
-pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use metric::{Counter, Exemplar, Gauge, Histogram, HistogramSnapshot};
+pub use profiler::{littles_law, LittlesLaw, Profiler, ProfilerConfig, WorkerSlots, WorkerState};
 pub use registry::Registry;
 pub use reqtrace::{
     sample_decision, ParsedSpan, ParsedTrace, TraceClass, TraceConfig, TraceEvent, TraceRecord,

@@ -105,6 +105,37 @@ pub fn bucket_bounds(i: usize) -> (u64, u64) {
     (lower, upper)
 }
 
+/// One exemplar: a concrete observation a histogram bucket can point at
+/// (OpenMetrics exemplar semantics), linking the bucket to the trace id
+/// of a real request that landed in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value (same unit as the histogram's recordings).
+    pub value: u64,
+    /// The trace id of the request that produced the value.
+    pub trace_id: u64,
+}
+
+/// Per-bucket exemplar cells, attached to a histogram only on request
+/// ([`Histogram::with_exemplars`]) — two extra `AtomicU64`s per bucket
+/// are too much to pay on every histogram nobody will link traces from.
+///
+/// The id and value cells are written independently with relaxed stores
+/// (last writer wins), so a concurrent render can pair an id with a
+/// value from a different attachment. Both are then still *recent real
+/// observations* of the same bucket (a bucket spans a 2x value range),
+/// which is all an exemplar promises; exactness is not worth a seqlock
+/// on the request path.
+#[derive(Debug)]
+struct ExemplarCells {
+    // audit:role(gauge): last-write-wins exemplar trace id plus one per
+    // bucket (0 = no exemplar yet); Relaxed by design, see above
+    ids: [AtomicU64; BUCKETS],
+    // audit:role(gauge): last-write-wins exemplar observed value per
+    // bucket; Relaxed by design, see above
+    values: [AtomicU64; BUCKETS],
+}
+
 /// A fixed-bucket log2 histogram. Recording is three relaxed atomic adds
 /// (bucket, sum, count) — no locks, no allocation, safe from any thread.
 ///
@@ -120,6 +151,9 @@ pub struct Histogram {
     sum: AtomicU64,
     // audit:role(counter): monotonic record count; Relaxed adds
     count: AtomicU64,
+    /// Exemplar cells, present only for histograms built with
+    /// [`Histogram::with_exemplars`].
+    exemplars: Option<Box<ExemplarCells>>,
 }
 
 impl Default for Histogram {
@@ -135,7 +169,54 @@ impl Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
+            exemplars: None,
         }
+    }
+
+    /// An empty histogram whose buckets can carry exemplars.
+    pub fn with_exemplars() -> Histogram {
+        Histogram {
+            exemplars: Some(Box::new(ExemplarCells {
+                ids: std::array::from_fn(|_| AtomicU64::new(0)),
+                values: std::array::from_fn(|_| AtomicU64::new(0)),
+            })),
+            ..Histogram::new()
+        }
+    }
+
+    /// True when this histogram carries exemplar cells.
+    pub fn has_exemplars(&self) -> bool {
+        self.exemplars.is_some()
+    }
+
+    /// Attach an exemplar to the bucket `v` falls in: the bucket now
+    /// points at `trace_id` as a concrete request that landed there.
+    /// Does **not** record `v` (callers record first, then attach for
+    /// the observations they chose to link). A no-op on histograms
+    /// without exemplar cells. Trace ids are stored offset by one so a
+    /// zero cell unambiguously means "no exemplar yet" even though
+    /// trace ids themselves start at 0.
+    pub fn attach_exemplar(&self, v: u64, trace_id: u64) {
+        let Some(cells) = &self.exemplars else { return };
+        let i = bucket_index(v);
+        cells.ids[i].store(trace_id.saturating_add(1), Ordering::Relaxed);
+        cells.values[i].store(v, Ordering::Relaxed);
+    }
+
+    /// The exemplar attached to bucket `i`, if any.
+    pub fn exemplar(&self, i: usize) -> Option<Exemplar> {
+        let cells = self.exemplars.as_ref()?;
+        assert!(i < BUCKETS, "bucket index {i} out of range");
+        let id_plus_one = cells.ids[i].load(Ordering::Relaxed);
+        if id_plus_one == 0 {
+            return None;
+        }
+        Some(Exemplar { value: cells.values[i].load(Ordering::Relaxed), trace_id: id_plus_one - 1 })
+    }
+
+    /// Every attached exemplar as `(bucket index, exemplar)`, ascending.
+    pub fn exemplars(&self) -> Vec<(usize, Exemplar)> {
+        (0..BUCKETS).filter_map(|i| self.exemplar(i).map(|e| (i, e))).collect()
     }
 
     /// Record one observation.
@@ -428,5 +509,39 @@ mod tests {
         c.inc();
         c.add(41);
         assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn exemplars_attach_per_bucket_and_last_writer_wins() {
+        let h = Histogram::with_exemplars();
+        assert!(h.has_exemplars());
+        assert_eq!(h.exemplar(bucket_index(100)), None, "no exemplar before any attach");
+        h.record(100);
+        h.attach_exemplar(100, 7);
+        h.record(5_000);
+        h.attach_exemplar(5_000, 9);
+        assert_eq!(h.exemplar(bucket_index(100)), Some(Exemplar { value: 100, trace_id: 7 }));
+        // Trace id 0 is a valid id (ids start at 0), distinct from "none".
+        h.attach_exemplar(120, 0);
+        assert_eq!(
+            h.exemplar(bucket_index(120)),
+            Some(Exemplar { value: 120, trace_id: 0 }),
+            "later attach to the same bucket wins"
+        );
+        let all = h.exemplars();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1].1.trace_id, 9);
+        assert!(all[0].0 < all[1].0, "ascending bucket order");
+    }
+
+    #[test]
+    fn plain_histograms_ignore_exemplar_attaches() {
+        let h = Histogram::new();
+        assert!(!h.has_exemplars());
+        h.record(42);
+        h.attach_exemplar(42, 1);
+        assert_eq!(h.exemplar(bucket_index(42)), None);
+        assert!(h.exemplars().is_empty());
+        assert_eq!(h.count(), 1, "attach never records");
     }
 }

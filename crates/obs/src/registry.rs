@@ -120,6 +120,25 @@ impl Registry {
         }
     }
 
+    /// Register (or look up) a histogram series whose buckets carry
+    /// exemplars ([`Histogram::with_exemplars`]); rendering appends the
+    /// OpenMetrics exemplar suffix to buckets that have one. Looking up
+    /// an existing series returns it as-is (the first registration
+    /// decides whether the cells exist).
+    pub fn histogram_with_exemplars(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.register(name, help, Kind::Histogram, labels, || {
+            Instrument::Histogram(Arc::new(Histogram::with_exemplars()))
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("registry returned wrong instrument kind for {name}"),
+        }
+    }
+
     fn register(
         &self,
         name: &str,
@@ -229,7 +248,11 @@ impl Registry {
 }
 
 /// Render one histogram series: cumulative buckets up to the highest
-/// non-empty one, then `+Inf`, `_sum`, `_count`.
+/// non-empty one, then `+Inf`, `_sum`, `_count`. Buckets carrying an
+/// exemplar get the OpenMetrics exemplar suffix
+/// (`# {trace_id="..."} value`) appended after the sample value; the
+/// last bucket's exemplar, when the table overflowed into it, rides on
+/// the `+Inf` line.
 fn render_histogram(out: &mut String, name: &str, s: &Series, h: &Histogram) {
     let snap = h.snapshot();
     let highest = snap.buckets.iter().rposition(|&b| b > 0);
@@ -239,13 +262,24 @@ fn render_histogram(out: &mut String, name: &str, s: &Series, h: &Histogram) {
             cumulative += snap.buckets[i];
             let le = bucket_bounds(i).1.to_string();
             let _ =
-                writeln!(out, "{name}_bucket{} {cumulative}", label_set(&s.labels, &[("le", &le)]));
+                write!(out, "{name}_bucket{} {cumulative}", label_set(&s.labels, &[("le", &le)]));
+            write_exemplar(out, h.exemplar(i));
+            out.push('\n');
         }
     }
     let total: u64 = snap.buckets.iter().sum();
-    let _ = writeln!(out, "{name}_bucket{} {total}", label_set(&s.labels, &[("le", "+Inf")]));
+    let _ = write!(out, "{name}_bucket{} {total}", label_set(&s.labels, &[("le", "+Inf")]));
+    write_exemplar(out, h.exemplar(BUCKETS - 1));
+    out.push('\n');
     let _ = writeln!(out, "{name}_sum{} {}", label_set(&s.labels, &[]), snap.sum);
     let _ = writeln!(out, "{name}_count{} {}", label_set(&s.labels, &[]), snap.count);
+}
+
+/// Append the OpenMetrics exemplar suffix for `exemplar`, if any.
+fn write_exemplar(out: &mut String, exemplar: Option<crate::metric::Exemplar>) {
+    if let Some(e) = exemplar {
+        let _ = write!(out, " # {{trace_id=\"{}\"}} {}", e.trace_id, e.value);
+    }
 }
 
 /// Format `{k="v",...}` from the series labels plus any extras (the
@@ -330,6 +364,37 @@ mod tests {
         assert!(text.contains("aon_latency_ns_bucket{use_case=\"SV\",le=\"+Inf\"} 3"), "{text}");
         assert!(text.contains("aon_latency_ns_sum{use_case=\"SV\"} 1003"));
         assert!(text.contains("aon_latency_ns_count{use_case=\"SV\"} 3"));
+    }
+
+    #[test]
+    fn exemplar_histograms_render_openmetrics_suffixes() {
+        let r = Registry::new();
+        let h = r.histogram_with_exemplars("aon_lat_ns", "Latency", &[("use_case", "FR")]);
+        h.record(100);
+        h.attach_exemplar(100, 42);
+        h.record(u64::MAX);
+        h.attach_exemplar(u64::MAX, 43);
+        let text = r.render_prometheus();
+        // Bucket [64,127] carries the linked trace id and observed value.
+        assert!(
+            text.contains(
+                "aon_lat_ns_bucket{use_case=\"FR\",le=\"127\"} 1 # {trace_id=\"42\"} 100"
+            ),
+            "{text}"
+        );
+        // The overflow bucket's exemplar rides on the +Inf line.
+        assert!(
+            text.contains(&format!(
+                "aon_lat_ns_bucket{{use_case=\"FR\",le=\"+Inf\"}} 2 # {{trace_id=\"43\"}} {}",
+                u64::MAX
+            )),
+            "{text}"
+        );
+        // Buckets without an exemplar render exactly as before.
+        let r2 = Registry::new();
+        let plain = r2.histogram("aon_lat_ns", "Latency", &[]);
+        plain.record(100);
+        assert!(r2.render_prometheus().contains("aon_lat_ns_bucket{le=\"127\"} 1\n"));
     }
 
     #[test]

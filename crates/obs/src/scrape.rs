@@ -4,11 +4,31 @@
 //! `/metrics` scrape without external dependencies.
 //!
 //! Handles `# HELP`/`# TYPE` comments (skipped), series lines with and
-//! without label sets, escaped label values, and integer or float sample
-//! values. Lines that do not parse are skipped rather than fatal: a
-//! scraper must tolerate families it does not know.
+//! without label sets, escaped label values, integer or float sample
+//! values, and OpenMetrics exemplar suffixes on histogram bucket lines
+//! (`... 17 # {trace_id="42"} 123456` — parsed into
+//! [`ScrapedSample::exemplar`]; a malformed suffix degrades to no
+//! exemplar, never to a lost sample). Lines that do not parse are
+//! skipped rather than fatal: a scraper must tolerate families it does
+//! not know.
 //!
 //! This file is on the `aon-audit` cast-enforced list.
+
+/// One parsed exemplar suffix (`# {trace_id="..."} value`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrapedExemplar {
+    /// Exemplar label pairs in written order (unescaped values).
+    pub labels: Vec<(String, String)>,
+    /// The exemplar's observed value.
+    pub value: f64,
+}
+
+impl ScrapedExemplar {
+    /// The value of the exemplar label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
 
 /// One parsed sample line.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +40,8 @@ pub struct ScrapedSample {
     pub labels: Vec<(String, String)>,
     /// Sample value.
     pub value: f64,
+    /// The OpenMetrics exemplar attached to the line, if any.
+    pub exemplar: Option<ScrapedExemplar>,
 }
 
 impl ScrapedSample {
@@ -51,31 +73,72 @@ fn parse_line(line: &str) -> Option<ScrapedSample> {
     if line.is_empty() || line.starts_with('#') {
         return None;
     }
-    let (name_and_labels, value_text) = match line.find('{') {
+    // The label-set close brace must be found with quote awareness: an
+    // exemplar suffix contributes a *second* `{...}` later in the line
+    // (so `rfind` would be wrong), and a quoted label value may contain
+    // braces of its own. An open brace only denotes a label set when it
+    // precedes the first space — on an unlabelled line the first `{` is
+    // the exemplar's.
+    let open_brace = line.find('{').filter(|&o| line.find(' ').is_none_or(|s| o < s));
+    let (name, labels, after) = match open_brace {
         Some(open) => {
-            let close = line.rfind('}')?;
-            if close < open {
-                return None;
-            }
-            (line[..close + 1].to_string(), line[close + 1..].trim())
+            let close = find_close_brace(line, open)?;
+            (line[..open].to_string(), parse_labels(&line[open + 1..close])?, &line[close + 1..])
         }
         None => {
             let space = line.find(' ')?;
-            (line[..space].to_string(), line[space + 1..].trim())
+            (line[..space].to_string(), Vec::new(), &line[space + 1..])
         }
     };
-    // Value may be followed by an optional timestamp; take the first token.
+    // `after` is `value [timestamp] [# {labels} value [timestamp]]`.
+    // Neither values nor timestamps can contain `#`, so the first `#`
+    // (if any) starts the exemplar suffix.
+    let (value_text, exemplar_text) = match after.find('#') {
+        Some(hash) => (&after[..hash], Some(&after[hash + 1..])),
+        None => (after, None),
+    };
     let value_token = value_text.split_whitespace().next()?;
     let value = parse_value(value_token)?;
-    let (name, labels) = match name_and_labels.find('{') {
-        Some(open) => {
-            let name = name_and_labels[..open].to_string();
-            let inner = &name_and_labels[open + 1..name_and_labels.len() - 1];
-            (name, parse_labels(inner)?)
+    // A malformed exemplar suffix degrades to "no exemplar": the sample
+    // itself parsed, and a scraper must not lose it over decoration.
+    let exemplar = exemplar_text.and_then(parse_exemplar);
+    Some(ScrapedSample { name, labels, value, exemplar })
+}
+
+/// The index of the `}` closing the brace at `open`, skipping braces
+/// inside quoted label values (with escape handling).
+fn find_close_brace(line: &str, open: usize) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in line[open + 1..].char_indices() {
+        if escaped {
+            escaped = false;
+        } else if in_quotes {
+            match c {
+                '\\' => escaped = true,
+                '"' => in_quotes = false,
+                _ => {}
+            }
+        } else if c == '"' {
+            in_quotes = true;
+        } else if c == '}' {
+            return Some(open + 1 + i);
         }
-        None => (name_and_labels, Vec::new()),
-    };
-    Some(ScrapedSample { name, labels, value })
+    }
+    None
+}
+
+/// Parse the exemplar body after its `#`: `{k="v",...} value [ts]`.
+fn parse_exemplar(text: &str) -> Option<ScrapedExemplar> {
+    let text = text.trim_start();
+    if !text.starts_with('{') {
+        return None;
+    }
+    let close = find_close_brace(text, 0)?;
+    let labels = parse_labels(&text[1..close])?;
+    let value_token = text[close + 1..].split_whitespace().next()?;
+    let value = parse_value(value_token)?;
+    Some(ScrapedExemplar { labels, value })
 }
 
 fn parse_value(token: &str) -> Option<f64> {
@@ -140,7 +203,10 @@ mod tests {
         let text = "# HELP aon_x help text\n# TYPE aon_x counter\naon_x 5\naon_y{use_case=\"FR\",stage=\"parse\"} 12.5\n";
         let samples = parse_prometheus(text);
         assert_eq!(samples.len(), 2);
-        assert_eq!(samples[0], ScrapedSample { name: "aon_x".into(), labels: vec![], value: 5.0 });
+        assert_eq!(
+            samples[0],
+            ScrapedSample { name: "aon_x".into(), labels: vec![], value: 5.0, exemplar: None }
+        );
         assert_eq!(samples[1].name, "aon_y");
         assert_eq!(samples[1].label("use_case"), Some("FR"));
         assert_eq!(samples[1].label("stage"), Some("parse"));
@@ -229,5 +295,83 @@ mod tests {
         assert_eq!(sum_samples(&samples, "aon_requests_total", &[]), 13.0);
         assert_eq!(sum_samples(&samples, "aon_lat_ns_count", &[("use_case", "FR")]), 2.0);
         assert_eq!(sum_samples(&samples, "aon_lat_ns_sum", &[]), 1000.0);
+    }
+
+    #[test]
+    fn parses_exemplar_suffixes() {
+        let text = "h_bucket{le=\"127\"} 1 # {trace_id=\"42\"} 100\nh_bucket{le=\"+Inf\"} 2 # {trace_id=\"7\",span=\"parse\"} 9.5\n";
+        let samples = parse_prometheus(text);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].label("le"), Some("127"));
+        assert_eq!(samples[0].value, 1.0);
+        let ex = samples[0].exemplar.as_ref().expect("exemplar parsed");
+        assert_eq!(ex.label("trace_id"), Some("42"));
+        assert_eq!(ex.value, 100.0);
+        let ex2 = samples[1].exemplar.as_ref().expect("exemplar parsed");
+        assert_eq!(ex2.label("trace_id"), Some("7"));
+        assert_eq!(ex2.label("span"), Some("parse"));
+        assert_eq!(ex2.value, 9.5);
+    }
+
+    #[test]
+    fn round_trips_rendered_exemplars() {
+        let r = Registry::new();
+        let h = r.histogram_with_exemplars("aon_lat_ns", "lat", &[("use_case", "FR")]);
+        h.record(100);
+        h.attach_exemplar(100, 42);
+        let samples = parse_prometheus(&r.render_prometheus());
+        let with = samples
+            .iter()
+            .find(|s| s.name == "aon_lat_ns_bucket" && s.exemplar.is_some())
+            .expect("one bucket carries the exemplar");
+        let ex = with.exemplar.as_ref().expect("present");
+        assert_eq!(ex.label("trace_id"), Some("42"));
+        assert_eq!(ex.value, 100.0);
+        // The sample's own value and labels are unperturbed by the suffix.
+        assert_eq!(with.value, 1.0);
+        assert_eq!(with.label("use_case"), Some("FR"));
+        assert_eq!(sum_samples(&samples, "aon_lat_ns_count", &[]), 1.0);
+    }
+
+    #[test]
+    fn truncated_exemplar_suffix_keeps_the_sample() {
+        // A scrape cut anywhere inside the exemplar decoration must
+        // still yield the sample itself (its value already parsed) —
+        // never a lost sample, never a panic. An exemplar survives only
+        // if the cut left a self-consistent prefix (e.g. a truncated
+        // value token), mirroring how truncated plain lines behave.
+        let full = "h_bucket{le=\"127\"} 1 # {trace_id=\"42\"} 100\n";
+        let suffix_start = full.find('#').expect("present");
+        for cut in suffix_start..full.len() - 1 {
+            let samples = parse_prometheus(&full[..cut]);
+            assert_eq!(samples.len(), 1, "cut at {cut}: {samples:?}");
+            assert_eq!(samples[0].value, 1.0);
+            if let Some(ex) = &samples[0].exemplar {
+                assert_eq!(ex.label("trace_id"), Some("42"), "cut at {cut}");
+                assert!(ex.value == 1.0 || ex.value == 10.0 || ex.value == 100.0, "cut at {cut}");
+            }
+        }
+        // A cut strictly inside the exemplar's label set drops only the
+        // exemplar, keeping the sample.
+        let mid_labels = &full[..suffix_start + 10];
+        let samples = parse_prometheus(mid_labels);
+        assert_eq!(samples.len(), 1);
+        assert!(samples[0].exemplar.is_none());
+    }
+
+    #[test]
+    fn bad_exemplar_escapes_degrade_to_no_exemplar() {
+        // Trailing-backslash escape inside the exemplar label value: the
+        // exemplar body never terminates, but the sample survives.
+        let samples = parse_prometheus("h_bucket{le=\"1\"} 3 # {trace_id=\"a\\\\\\\"} 5\n");
+        assert_eq!(samples.len(), 1, "{samples:?}");
+        assert_eq!(samples[0].value, 3.0);
+        assert!(samples[0].exemplar.is_none());
+        // Missing value token, missing braces, empty suffix: same.
+        for bad in ["h 1 # {trace_id=\"9\"}\n", "h 1 # trace_id=9 5\n", "h 1 #\n"] {
+            let got = parse_prometheus(bad);
+            assert_eq!(got.len(), 1, "{bad:?} lost its sample");
+            assert!(got[0].exemplar.is_none(), "{bad:?} invented an exemplar");
+        }
     }
 }

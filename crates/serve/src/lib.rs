@@ -25,9 +25,16 @@
 //! ([`obs`], built on [`aon_obs`]): per-use-case request counters,
 //! per-stage latency histograms, a flight recorder of recent requests,
 //! and admin endpoints (`GET /metrics` Prometheus text,
-//! `GET /stats.json`, `GET /flight.jsonl`) served from the same worker
-//! pool. Admin hits are counted separately so scraping never perturbs
-//! the request totals it reports.
+//! `GET /stats.json`, `GET /flight.jsonl`, `GET /profile.folded` — the
+//! continuous profiler's flamegraph.pl-ready folded-stack dump) served
+//! from the same worker pool. Admin hits are counted separately so
+//! scraping never perturbs the request totals it reports. With the
+//! profiler on, workers publish their current state (parse, write,
+//! keep-alive read wait, ...) into per-worker atomic slots; an
+//! `aon-profiler` sampler thread turns them into state-sample counters,
+//! utilization and pool-saturation gauges, and latency-histogram
+//! observations carry OpenMetrics exemplars linking p99 buckets to kept
+//! traces in `/trace.jsonl`.
 //!
 //! Past saturation the server degrades *gracefully*: an SLO-aware
 //! capacity governor ([`governor`]) samples the windowed service-time

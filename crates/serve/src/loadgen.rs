@@ -185,6 +185,7 @@ pub fn run(cfg: &LoadgenConfig) -> LiveBenchReport {
         latency: summarize_latencies(&mut latencies_ns),
         stages: Vec::new(),
         obs_overhead: None,
+        profile_overhead: None,
         overload: None,
         hw: None,
         server: None,

@@ -6,6 +6,7 @@
 //!           [--p99-budget-ms N] [--queue-budget N]
 //!           [--no-trace] [--trace-capacity N] [--trace-sample-ppm N]
 //!           [--trace-seed N] [--hw]
+//!           [--no-profiler] [--profile-hz N] [--exemplar-threshold-ns N]
 //! ```
 //!
 //! Binds, prints the bound address (the OS picks a port when `:0` is
@@ -76,13 +77,23 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     value("--trace-seed")?.parse().map_err(|e| format!("--trace-seed: {e}"))?;
             }
             "--hw" => cfg.hw_counters = true,
+            "--no-profiler" => cfg.profiler.enabled = false,
+            "--profile-hz" => {
+                cfg.profiler.sample_hz =
+                    value("--profile-hz")?.parse().map_err(|e| format!("--profile-hz: {e}"))?;
+            }
+            "--exemplar-threshold-ns" => {
+                cfg.exemplar_threshold_ns = value("--exemplar-threshold-ns")?
+                    .parse()
+                    .map_err(|e| format!("--exemplar-threshold-ns: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: aon-serve [--addr HOST:PORT] [--threads N] [--for SECS] [--no-obs] \
                      [--parse-mode fast|scalar] [--no-governor] [--fr-only] \
                      [--p99-budget-ms N] [--queue-budget N] \
                      [--no-trace] [--trace-capacity N] [--trace-sample-ppm N] [--trace-seed N] \
-                     [--hw]"
+                     [--hw] [--no-profiler] [--profile-hz N] [--exemplar-threshold-ns N]"
                 );
                 return Ok(());
             }

@@ -77,6 +77,30 @@ impl ObsOverhead {
     }
 }
 
+/// The profiler-overhead comparison: the same closed loop run with the
+/// continuous worker-state profiler off and on (observability on in
+/// both), so the sampler's cost is a recorded number next to
+/// [`ObsOverhead`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileOverhead {
+    /// Loadgen p50 with the profiler disabled, µs.
+    pub p50_us_profile_off: f64,
+    /// Loadgen p50 with the profiler enabled, µs.
+    pub p50_us_profile_on: f64,
+}
+
+impl ProfileOverhead {
+    /// Relative p50 change from enabling the profiler, in percent
+    /// (positive = slower with the profiler).
+    pub fn delta_pct(&self) -> f64 {
+        if self.p50_us_profile_off > 0.0 {
+            (self.p50_us_profile_on - self.p50_us_profile_off) / self.p50_us_profile_off * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
 /// One offered-load step of the overload sweep: open-loop arrivals at
 /// `multiplier ×` the measured closed-loop capacity, classified by what
 /// came back.
@@ -305,6 +329,9 @@ pub struct LiveBenchReport {
     /// Observability probe-overhead comparison (present only when the
     /// run measured both modes, e.g. `loadgen --obs-overhead`).
     pub obs_overhead: Option<ObsOverhead>,
+    /// Continuous-profiler overhead comparison (present only when the
+    /// run measured both modes, e.g. `loadgen --profile-overhead`).
+    pub profile_overhead: Option<ProfileOverhead>,
     /// Goodput-vs-offered-load curve (present only when the run included
     /// the overload scenario, e.g. `loadgen --overload`).
     pub overload: Option<OverloadReport>,
@@ -386,6 +413,13 @@ impl LiveBenchReport {
             s.push_str(&format!("    \"p50_us_obs_off\": {:.1},\n", o.p50_us_obs_off));
             s.push_str(&format!("    \"p50_us_obs_on\": {:.1},\n", o.p50_us_obs_on));
             s.push_str(&format!("    \"delta_pct\": {:.2}\n", o.delta_pct()));
+            s.push_str("  }");
+        }
+        if let Some(p) = &self.profile_overhead {
+            s.push_str(",\n  \"profile_overhead\": {\n");
+            s.push_str(&format!("    \"p50_us_profile_off\": {:.1},\n", p.p50_us_profile_off));
+            s.push_str(&format!("    \"p50_us_profile_on\": {:.1},\n", p.p50_us_profile_on));
+            s.push_str(&format!("    \"delta_pct\": {:.2}\n", p.delta_pct()));
             s.push_str("  }");
         }
         if let Some(ov) = &self.overload {
@@ -549,6 +583,26 @@ mod tests {
         assert!((o.delta_pct() + 5.0).abs() < 0.001, "faster-with-obs is negative");
         let zero = ObsOverhead { p50_us_obs_off: 0.0, p50_us_obs_on: 5.0 };
         assert_eq!(zero.delta_pct(), 0.0);
+        let p = ProfileOverhead { p50_us_profile_off: 200.0, p50_us_profile_on: 202.0 };
+        assert!((p.delta_pct() - 1.0).abs() < 0.001);
+        let zero = ProfileOverhead { p50_us_profile_off: 0.0, p50_us_profile_on: 5.0 };
+        assert_eq!(zero.delta_pct(), 0.0);
+    }
+
+    #[test]
+    fn json_carries_profile_overhead_next_to_obs_overhead() {
+        let mut r = report_fixture();
+        r.obs_overhead = Some(ObsOverhead { p50_us_obs_off: 100.0, p50_us_obs_on: 101.0 });
+        r.profile_overhead =
+            Some(ProfileOverhead { p50_us_profile_off: 101.0, p50_us_profile_on: 102.0 });
+        let j = r.to_json();
+        assert!(j.contains("\"obs_overhead\""), "{j}");
+        assert!(j.contains("\"profile_overhead\""), "{j}");
+        assert!(j.contains("\"p50_us_profile_off\": 101.0"), "{j}");
+        assert!(j.contains("\"p50_us_profile_on\": 102.0"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(!j.contains(",\n}"));
+        assert!(!j.contains(",\n  }"));
     }
 
     fn report_fixture() -> LiveBenchReport {
@@ -571,6 +625,7 @@ mod tests {
             },
             stages: Vec::new(),
             obs_overhead: None,
+            profile_overhead: None,
             overload: None,
             hw: None,
             server: None,

@@ -8,7 +8,9 @@
 //!   by routing outcome (`ok` = 200, `rejected` = 422);
 //! * `aon_payload_bytes_total{use_case}` — request payload bytes;
 //! * `aon_request_duration_ns{use_case}` — end-to-end service-time
-//!   histogram (frame complete → response written);
+//!   histogram (frame complete → response written); when tracing is on
+//!   its buckets carry OpenMetrics exemplars (`# {trace_id="..."} ns`)
+//!   linking a bucket to a kept trace in `/trace.jsonl`;
 //! * `aon_stage_duration_ns{use_case,stage}` — per-pipeline-phase
 //!   histograms (parse / xpath / validate / dpi / crypto / write);
 //! * `aon_http_responses_total{status}` — every non-admin response by
@@ -40,7 +42,12 @@
 //!   `aon_hw_backend_active` — hardware-counter deltas attributed to
 //!   pipeline stages when the perf backend opened (the live analogue of
 //!   the paper's PMU characterization), plus a gauge saying whether any
-//!   worker thread actually has counters.
+//!   worker thread actually has counters;
+//! * the continuous-profiler families (`aon_worker_state_samples_total`,
+//!   `aon_worker_utilization_permille`, `aon_pool_saturation_permille`,
+//!   `aon_profiler_*`) are registered into this registry by
+//!   [`aon_obs::Profiler`] when the server builds one — see
+//!   `crate::server`.
 //!
 //! This file is on the `aon-audit` cast-enforced list.
 
@@ -116,7 +123,7 @@ pub struct ServerObs {
     governor_down: Arc<Counter>,
 }
 
-fn use_case_index(uc: UseCase) -> usize {
+pub(crate) fn use_case_index(uc: UseCase) -> usize {
     match uc {
         UseCase::Fr => 0,
         UseCase::Cbr => 1,
@@ -199,11 +206,21 @@ impl ServerObs {
                     "Request payload bytes by use case",
                     &[("use_case", label)],
                 ),
-                service_ns: registry.histogram(
-                    "aon_request_duration_ns",
-                    "End-to-end service time (frame complete to response written)",
-                    &[("use_case", label)],
-                ),
+                // With tracing on, service buckets carry exemplars so a
+                // p99 bucket links to a kept trace in /trace.jsonl.
+                service_ns: if trace_enabled {
+                    registry.histogram_with_exemplars(
+                        "aon_request_duration_ns",
+                        "End-to-end service time (frame complete to response written)",
+                        &[("use_case", label)],
+                    )
+                } else {
+                    registry.histogram(
+                        "aon_request_duration_ns",
+                        "End-to-end service time (frame complete to response written)",
+                        &[("use_case", label)],
+                    )
+                },
                 stage_ns: std::array::from_fn(|s| {
                     registry.histogram(
                         "aon_stage_duration_ns",
@@ -378,6 +395,13 @@ impl ServerObs {
     /// later keep-alive requests never sat in the accept queue).
     pub fn record_queue_wait(&self, wait_ns: u64) {
         self.queue_wait_ns.record(wait_ns);
+    }
+
+    /// Attach an exemplar (a kept trace's id) to the service-time bucket
+    /// `total_ns` falls in. A no-op when the histograms were registered
+    /// without exemplar cells (tracing off).
+    pub fn attach_service_exemplar(&self, use_case: UseCase, total_ns: u64, trace_id: u64) {
+        self.per_use[use_case_index(use_case)].service_ns.attach_exemplar(total_ns, trace_id);
     }
 
     /// Publish one tail-sampler store outcome. A no-op when tracing
@@ -714,10 +738,23 @@ mod tests {
         for _ in 0..3 {
             obs.record_request(Some(UseCase::Sv), 200, 10, 1_000, &stages);
         }
+        obs.attach_service_exemplar(UseCase::Sv, 1_000, 42);
 
         let samples = aon_obs::scrape::parse_prometheus(&obs.registry.render_prometheus());
         let sum =
             |name, labels: &[(&str, &str)]| aon_obs::scrape::sum_samples(&samples, name, labels);
+        let exemplar = samples
+            .iter()
+            .filter(|s| s.name == "aon_request_duration_ns_bucket")
+            .find_map(|s| s.exemplar.as_ref())
+            .expect("one service bucket carries the exemplar");
+        assert_eq!(exemplar.label("trace_id"), Some("42"));
+        assert_eq!(exemplar.value, 1000.0);
+        assert_eq!(
+            sum("aon_request_duration_ns_count", &[("use_case", "SV")]),
+            3.0,
+            "exemplar decoration must not perturb bucket parsing"
+        );
         assert_eq!(sum("aon_hw_backend_active", &[]), 1.0);
         assert_eq!(sum("aon_hw_events_total", &[("use_case", "SV"), ("event", "llc_miss")]), 77.0);
         assert_eq!(sum("aon_hw_events_total", &[("stage", "validate")]), 77.0);
@@ -727,6 +764,24 @@ mod tests {
         assert_eq!(sum("aon_trace_dropped_total", &[("kind", "sampled")]), 2.0);
         assert_eq!(sum("aon_trace_dropped_total", &[("kind", "keep")]), 1.0);
         assert_eq!(sum("aon_flight_dropped_total", &[]), 1.0, "3 events into a 2-ring");
+    }
+
+    #[test]
+    fn exemplars_exist_only_when_tracing_enabled() {
+        let stages = WallStages::new();
+        let off = ServerObs::new(4, false, false);
+        off.record_request(Some(UseCase::Fr), 200, 10, 1_000, &stages);
+        off.attach_service_exemplar(UseCase::Fr, 1_000, 7);
+        assert!(
+            !off.registry.render_prometheus().contains("# {trace_id="),
+            "tracing off must not render exemplars"
+        );
+
+        let on = ServerObs::new(4, false, true);
+        on.record_request(Some(UseCase::Fr), 200, 10, 1_000, &stages);
+        on.attach_service_exemplar(UseCase::Fr, 1_000, 7);
+        let text = on.registry.render_prometheus();
+        assert!(text.contains("# {trace_id=\"7\"} 1000"), "{text}");
     }
 
     #[test]

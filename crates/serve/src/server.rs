@@ -8,7 +8,10 @@
 //! * `GET /stats.json` — the [`ServeStatsSnapshot`] as JSON;
 //! * `GET /flight.jsonl` — the flight-recorder ring buffer as JSONL;
 //! * `GET /trace.jsonl` — the tail-sampled per-request span traces
-//!   ([`aon_obs::reqtrace`]) as JSONL.
+//!   ([`aon_obs::reqtrace`]) as JSONL;
+//! * `GET /profile.folded` — the continuous worker-state profiler's
+//!   folded-stack dump ([`aon_obs::profiler`]), directly consumable by
+//!   `flamegraph.pl`.
 //!
 //! Admin hits are counted in a separate counter (never in the request
 //! totals), so scraping `/metrics` mid-run cannot perturb the numbers it
@@ -28,6 +31,7 @@ use aon_hw::HwGroup;
 use aon_net::acceptq::{AcceptQueue, Pop, PushError, Timed};
 use aon_net::wire::{write_all, FrameBuf, WireError, WireLimits};
 use aon_obs::hwcounters::RichStages;
+use aon_obs::profiler::{Profiler, ProfilerConfig, WorkerSlots, WorkerState};
 use aon_obs::reqtrace::{TraceClass, TraceConfig, TraceRecord, Tracer};
 use aon_obs::stage::{Stage, StageRecorder, WallStages};
 use aon_server::engine::{Engine, ParseMode};
@@ -87,6 +91,17 @@ pub struct ServeConfig {
     /// are reservoir-sampled; dumped at `GET /trace.jsonl`. A `None`
     /// slow budget adopts [`GovernorConfig::p99_budget`] at startup.
     pub trace: TraceConfig,
+    /// Continuous worker-state profiling ([`aon_obs::profiler`]): the
+    /// workers publish their state into per-worker atomic slots and a
+    /// sampler thread accumulates the statistical profile behind
+    /// `GET /profile.folded`. Requires [`ServeConfig::observe`] (the
+    /// families live in the same registry).
+    pub profiler: ProfilerConfig,
+    /// Minimum service time (ns) for a kept trace's id to be attached as
+    /// an OpenMetrics exemplar on its latency bucket. 0 = every kept
+    /// trace; the exemplar is only ever a trace that `/trace.jsonl` can
+    /// actually resolve.
+    pub exemplar_threshold_ns: u64,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +121,8 @@ impl Default for ServeConfig {
             governor: GovernorConfig::default(),
             hw_counters: false,
             trace: TraceConfig::default(),
+            profiler: ProfilerConfig::default(),
+            exemplar_threshold_ns: 0,
         }
     }
 }
@@ -240,6 +257,9 @@ struct Shared {
     obs: Option<ServerObs>,
     governor: Governor,
     tracer: Option<Tracer>,
+    profiler: Option<Arc<Profiler>>,
+    /// Resolved worker-pool size (0-in-config already expanded).
+    workers: usize,
 }
 
 /// A running live server. Create with [`Server::start`], stop with
@@ -251,6 +271,7 @@ pub struct Server {
     listener: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     sampler: Option<JoinHandle<()>>,
+    profiler_thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -273,6 +294,14 @@ impl Server {
         // budget, so a kept-slow trace is precisely a budget violation.
         let budget_ns = u64::try_from(cfg.governor.p99_budget.as_nanos()).unwrap_or(u64::MAX);
         let tracer = cfg.trace.enabled.then(|| Tracer::new(cfg.trace.clone(), budget_ns));
+        // The profiler's families live in the obs registry, so it needs
+        // observability on; context 0 is "no use case", the rest map the
+        // engine's use cases (`use_case_index + 1`).
+        let profiler = obs.as_ref().filter(|_| cfg.profiler.enabled).map(|o| {
+            let mut ctx_labels = vec!["-"];
+            ctx_labels.extend(UseCase::EXTENDED.iter().map(|uc| uc.label()));
+            Arc::new(Profiler::new(cfg.profiler.clone(), workers, ctx_labels, &o.registry))
+        });
         let shared = Arc::new(Shared {
             queue: AcceptQueue::new(cfg.accept_backlog),
             cfg,
@@ -282,6 +311,8 @@ impl Server {
             obs,
             governor,
             tracer,
+            profiler,
+            workers,
         });
 
         let listener_handle = {
@@ -295,7 +326,7 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("aon-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
             })
             .collect::<io::Result<Vec<_>>>()?;
         // FR-only bypass mode needs no sampler: the level is pinned.
@@ -309,6 +340,18 @@ impl Server {
         } else {
             None
         };
+        let profiler_thread = match &shared.profiler {
+            Some(p) => {
+                let p = Arc::clone(p);
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("aon-profiler".to_string())
+                        .spawn(move || profiler_loop(&shared, &p))?,
+                )
+            }
+            None => None,
+        };
 
         Ok(Server {
             addr,
@@ -316,6 +359,7 @@ impl Server {
             listener: Some(listener_handle),
             workers: worker_handles,
             sampler,
+            profiler_thread,
         })
     }
 
@@ -362,6 +406,24 @@ impl Server {
         self.shared.tracer.as_ref()
     }
 
+    /// The continuous worker-state profiler, when observability and
+    /// [`ProfilerConfig::enabled`] are both on.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.shared.profiler.as_deref()
+    }
+
+    /// The folded-stack dump `GET /profile.folded` would return right
+    /// now (`None` with the profiler off).
+    pub fn profile_folded(&self) -> Option<String> {
+        self.shared.profiler.as_ref().map(|p| p.folded())
+    }
+
+    /// Resolved worker-pool size (a zero in [`ServeConfig::workers`]
+    /// already expanded to the machine's parallelism).
+    pub fn worker_count(&self) -> usize {
+        self.shared.workers
+    }
+
     /// Per-(use case × stage) totals for the live-bench stage breakdown
     /// (empty with observability off).
     pub fn stage_cells(&self) -> Vec<crate::metrics::StageCell> {
@@ -386,6 +448,9 @@ impl Server {
             let _ = h.join();
         }
         if let Some(h) = self.sampler.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.profiler_thread.take() {
             let _ = h.join();
         }
         self.shared.stats.snapshot()
@@ -502,22 +567,67 @@ fn sampler_loop(shared: &Shared) {
     }
 }
 
+/// The continuous profiler's sample loop: every
+/// [`ProfilerConfig::interval`], take one pass over the worker slots.
+/// Probe-and-degrade like the hardware plane: if passes persistently
+/// overrun the sampling period (the pool is so large or the host so
+/// loaded that sampling itself distorts the workload), the sampler marks
+/// itself inactive and stops rather than keep perturbing what it
+/// measures.
+fn profiler_loop(shared: &Shared, profiler: &Profiler) {
+    profiler.set_active(true);
+    let interval = profiler.config().interval();
+    let max_overruns = profiler.config().max_consecutive_overruns;
+    let mut consecutive = 0u32;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(interval);
+        let pass_start = Instant::now();
+        profiler.sample_once();
+        if pass_start.elapsed() > interval {
+            profiler.note_overrun();
+            consecutive += 1;
+            if consecutive >= max_overruns {
+                profiler.set_active(false);
+                return;
+            }
+        } else {
+            consecutive = 0;
+        }
+    }
+    profiler.set_active(false);
+}
+
+/// Publish one worker's current state into its profiler slot: a single
+/// relaxed store, and nothing at all with the profiler off.
+fn publish_state(shared: &Shared, worker: usize, ctx: usize, state: WorkerState) {
+    if let Some(p) = &shared.profiler {
+        p.slots().publish(worker, ctx, state);
+    }
+}
+
+/// The profiler context index for a routed use case (0 = none).
+fn profile_ctx(use_case: Option<UseCase>) -> usize {
+    use_case.map_or(0, |uc| 1 + crate::obs::use_case_index(uc))
+}
+
 /// Pull connections until the queue is closed *and* drained. Each worker
 /// owns one perf counter group (when [`ServeConfig::hw_counters`] is on):
 /// the fds are thread-bound, so the group lives exactly as long as the
 /// worker and never needs locking.
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: usize) {
     let hw_group = shared.cfg.hw_counters.then(HwGroup::open_for_thread);
     if let (Some(obs), Some(g)) = (&shared.obs, &hw_group) {
         obs.hw_backend(g.active());
     }
     loop {
+        publish_state(shared, worker, 0, WorkerState::AcceptWait);
         match shared.queue.pop(Duration::from_millis(25)) {
-            Pop::Item(timed) => handle_connection(shared, timed, hw_group.as_ref()),
+            Pop::Item(timed) => handle_connection(shared, timed, hw_group.as_ref(), worker),
             Pop::Empty => {}
             Pop::Closed => break,
         }
     }
+    publish_state(shared, worker, 0, WorkerState::Idle);
 }
 
 /// What one request resolves to.
@@ -559,7 +669,12 @@ impl Reply {
 /// Serve one connection's keep-alive loop. The accept-queue wait carried
 /// by `timed` is attributed to the connection's *first* request only —
 /// later keep-alive requests never sat in the accept queue.
-fn handle_connection(shared: &Shared, timed: Timed<TcpStream>, hw: Option<&HwGroup>) {
+fn handle_connection(
+    shared: &Shared,
+    timed: Timed<TcpStream>,
+    hw: Option<&HwGroup>,
+    worker: usize,
+) {
     let queue_wait = timed.wait_ns();
     let mut stream = timed.item;
     let cfg = &shared.cfg;
@@ -573,6 +688,9 @@ fn handle_connection(shared: &Shared, timed: Timed<TcpStream>, hw: Option<&HwGro
     let rich = shared.obs.is_some() || shared.tracer.is_some() || hw.is_some_and(HwGroup::active);
 
     loop {
+        // Keep-alive pinning is occupancy: the blocked read holds this
+        // worker even though no request exists yet.
+        publish_state(shared, worker, 0, WorkerState::ReadWait);
         let deadline = Instant::now() + cfg.read_timeout;
         let frame = match fb.read_frame(&mut stream, &cfg.limits, deadline) {
             Ok(f) => f,
@@ -628,7 +746,13 @@ fn handle_connection(shared: &Shared, timed: Timed<TcpStream>, hw: Option<&HwGro
             served >= cfg.keepalive_max_requests || shared.shutdown.load(Ordering::Acquire);
         // The recorder's construction instant is the service-time origin
         // (frame complete → response written), exactly where the old
-        // `service_start` stopwatch stood.
+        // `service_start` stopwatch stood. The profiler's in-service span
+        // must open at the same instant, or Little's law reads a skewed
+        // `L`: head parsing, routing, and admission all run on the
+        // service clock, so attribute them to Parse now (admin and shed
+        // paths immediately re-publish their own states inside
+        // `handle_request`).
+        publish_state(shared, worker, 0, WorkerState::Parse);
         let mut rec = rich.then(|| RichStages::new(hw, shared.tracer.is_some()));
         if first_request {
             first_request = false;
@@ -639,7 +763,8 @@ fn handle_connection(shared: &Shared, timed: Timed<TcpStream>, hw: Option<&HwGro
                 obs.record_queue_wait(queue_wait);
             }
         }
-        let mut reply = handle_request(shared, &fb.bytes()[..total], frame.body_len, rec.as_mut());
+        let mut reply =
+            handle_request(shared, &fb.bytes()[..total], frame.body_len, rec.as_mut(), worker);
         reply.close |= server_close;
 
         if reply.admin {
@@ -667,12 +792,25 @@ fn handle_connection(shared: &Shared, timed: Timed<TcpStream>, hw: Option<&HwGro
             )
         };
         // Admin replies are never recorded — not even their write time —
-        // so a scrape cannot perturb the totals it reports.
+        // so a scrape cannot perturb the totals it reports. The profiler
+        // attributes the response write to Write (or keeps the Shed
+        // attribution for a governor refusal's header-only write).
+        if !reply.admin {
+            let state =
+                if reply.retry_after.is_some() { WorkerState::Shed } else { WorkerState::Write };
+            publish_state(shared, worker, profile_ctx(reply.use_case), state);
+        }
         let sent = match rec.as_mut() {
             Some(r) if !reply.admin => r.time(Stage::Write, || do_send(&mut stream)),
             _ => do_send(&mut stream),
         };
         if !reply.admin {
+            // The response is written and the service clock stops here;
+            // the observability epilogue below (histogram, flight ring,
+            // span assembly) runs off the clock, so take this worker out
+            // of the in-service states before it — otherwise the sampler
+            // counts epilogue time in `L` that `W` never saw.
+            publish_state(shared, worker, 0, WorkerState::ReadWait);
             if let Some(r) = rec.as_mut() {
                 let total_ns = r.offset_ns();
                 if let Some(obs) = &shared.obs {
@@ -691,8 +829,9 @@ fn handle_connection(shared: &Shared, timed: Timed<TcpStream>, hw: Option<&HwGro
                 }
                 if let Some(tracer) = &shared.tracer {
                     if let Some(spans) = r.finish_trace(total_ns) {
+                        let trace_id = tracer.next_id();
                         let record = TraceRecord {
-                            id: tracer.next_id(),
+                            id: trace_id,
                             use_case: reply.use_case.map_or("-", |uc| uc.label()),
                             status: reply.status,
                             // Placeholder: `Tracer::finish` reclassifies.
@@ -703,6 +842,17 @@ fn handle_connection(shared: &Shared, timed: Timed<TcpStream>, hw: Option<&HwGro
                         let outcome = tracer.finish(record, reply.errored);
                         if let Some(obs) = &shared.obs {
                             obs.trace_outcome(&outcome);
+                            // Exemplars link a latency bucket to a trace
+                            // — only *kept* traces qualify, so every
+                            // rendered exemplar resolves in /trace.jsonl
+                            // by construction.
+                            if outcome.kept.is_some()
+                                && total_ns >= shared.cfg.exemplar_threshold_ns
+                            {
+                                if let Some(uc) = reply.use_case {
+                                    obs.attach_service_exemplar(uc, total_ns, trace_id);
+                                }
+                            }
                         }
                     }
                 }
@@ -730,14 +880,34 @@ fn record_wire_error(shared: &Shared, status: u16) {
     }
 }
 
+/// A [`StageRecorder`] that publishes each stage into the worker's
+/// profiler slot before delegating to the rich recorder — the engine's
+/// pipeline stages become visible worker states for the price of one
+/// relaxed store per stage transition.
+struct ProfiledRec<'a, 'g> {
+    inner: &'a mut RichStages<'g>,
+    slots: &'a WorkerSlots,
+    worker: usize,
+    ctx: usize,
+}
+
+impl StageRecorder for ProfiledRec<'_, '_> {
+    fn time<T>(&mut self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        self.slots.publish(self.worker, self.ctx, WorkerState::from_stage(stage));
+        self.inner.time(stage, f)
+    }
+}
+
 /// Parse, route, and process one framed request. `rec`, when present, is
 /// the rich per-request recorder the engine times its stages into (and
-/// that collects trace spans / HW deltas as a side effect).
+/// that collects trace spans / HW deltas as a side effect). `worker` is
+/// the serving worker's profiler slot index.
 fn handle_request(
     shared: &Shared,
     msg: &[u8],
     framed_body_len: usize,
     rec: Option<&mut RichStages>,
+    worker: usize,
 ) -> Reply {
     let req = match http::parse_request(TBuf::msg(msg), &mut NullProbe) {
         Ok(r) => r,
@@ -763,6 +933,7 @@ fn handle_request(
         }
         (Method::Get | Method::Head, b"/metrics") => match &shared.obs {
             Some(obs) => {
+                publish_state(shared, worker, 0, WorkerState::Admin);
                 let mut r = Reply::new(200, obs.registry.render_prometheus(), close);
                 r.content_type = "text/plain; version=0.0.4";
                 r.admin = true;
@@ -771,6 +942,7 @@ fn handle_request(
             None => not_found(close),
         },
         (Method::Get | Method::Head, b"/stats.json") => {
+            publish_state(shared, worker, 0, WorkerState::Admin);
             let mut body = shared.stats.snapshot().to_json_object("");
             // With observability on, append the service-time percentiles
             // (bucket-derived, interpolated p99.9 included) so a scraper
@@ -787,6 +959,28 @@ fn handle_request(
                     h.percentile_per_mille(999)
                 );
             }
+            // Always surface the pool shape: a reporter must not have to
+            // infer worker count from configuration. With the profiler
+            // on, the pool's live saturation and per-worker busy
+            // fractions ride along.
+            let pool = match &shared.profiler {
+                Some(p) => {
+                    let busy = p
+                        .worker_utilization_permille()
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "{{ \"workers\": {}, \"saturation_permille\": {}, \"busy_permille\": [{busy}] }}",
+                        shared.workers,
+                        p.saturation_permille()
+                    )
+                }
+                None => format!("{{ \"workers\": {} }}", shared.workers),
+            };
+            let trimmed = body.trim_end_matches('}').trim_end().to_string();
+            body = format!("{},\n  \"worker_pool\": {pool}\n}}", trimmed.trim_end_matches(','));
             body.push('\n');
             let mut r = Reply::new(200, body, close);
             r.content_type = "application/json";
@@ -795,6 +989,7 @@ fn handle_request(
         }
         (Method::Get | Method::Head, b"/flight.jsonl") => match &shared.obs {
             Some(obs) => {
+                publish_state(shared, worker, 0, WorkerState::Admin);
                 let mut r = Reply::new(200, obs.flight.dump_jsonl(), close);
                 r.content_type = "application/x-ndjson";
                 r.admin = true;
@@ -804,8 +999,19 @@ fn handle_request(
         },
         (Method::Get | Method::Head, b"/trace.jsonl") => match &shared.tracer {
             Some(tracer) => {
+                publish_state(shared, worker, 0, WorkerState::Admin);
                 let mut r = Reply::new(200, tracer.dump_jsonl(), close);
                 r.content_type = "application/x-ndjson";
+                r.admin = true;
+                r
+            }
+            None => not_found(close),
+        },
+        (Method::Get | Method::Head, b"/profile.folded") => match &shared.profiler {
+            Some(p) => {
+                publish_state(shared, worker, 0, WorkerState::Admin);
+                let mut r = Reply::new(200, p.folded(), close);
+                r.content_type = "text/plain";
                 r.admin = true;
                 r
             }
@@ -817,6 +1023,7 @@ fn handle_request(
             // the payload — a shed request costs the server one header
             // write and nothing else.
             Some(uc) if shared.governor.should_shed(uc) => {
+                publish_state(shared, worker, profile_ctx(Some(uc)), WorkerState::Shed);
                 if let Some(r) = rec {
                     // A zero-duration marker: the trace shows *where* in
                     // the request's life the governor refused it.
@@ -836,9 +1043,20 @@ fn handle_request(
             }
             Some(uc) => {
                 let mode = shared.cfg.parse_mode;
-                let outcome = match rec {
-                    Some(r) => shared.engine.process_mode_staged(mode, uc, body, r),
-                    None => shared.engine.process_mode_staged(
+                let outcome = match (rec, &shared.profiler) {
+                    // With the profiler on, wrap the rich recorder so
+                    // each engine stage also publishes the worker state.
+                    (Some(r), Some(p)) => {
+                        let mut pr = ProfiledRec {
+                            inner: r,
+                            slots: p.slots().as_ref(),
+                            worker,
+                            ctx: profile_ctx(Some(uc)),
+                        };
+                        shared.engine.process_mode_staged(mode, uc, body, &mut pr)
+                    }
+                    (Some(r), None) => shared.engine.process_mode_staged(mode, uc, body, r),
+                    (None, _) => shared.engine.process_mode_staged(
                         mode,
                         uc,
                         body,
@@ -1374,6 +1592,128 @@ mod tests {
         assert!(
             text.contains("\"count\": 1"),
             "the FR request is in the service histogram: {text}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn profiler_off_disables_endpoint_and_families() {
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            profiler: ProfilerConfig { enabled: false, ..ProfilerConfig::default() },
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = server.addr();
+        assert!(server.profiler().is_none());
+        assert!(server.profile_folded().is_none());
+        let got = roundtrip(addr, b"GET /profile.folded HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(got.starts_with(b"HTTP/1.1 404"), "{}", String::from_utf8_lossy(&got));
+        let metrics = server.metrics_text().expect("observability on");
+        assert!(!metrics.contains("aon_worker_"), "no dead profiler series: {metrics}");
+        assert!(!metrics.contains("aon_pool_"), "{metrics}");
+        assert!(!metrics.contains("aon_profiler_"), "{metrics}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn profile_folded_serves_worker_states_without_perturbing_totals() {
+        let server = tiny_server();
+        let addr = server.addr();
+        let corpus = aon_server::Corpus::generate(7, 2);
+        let body = &corpus.variants[0].http[corpus.variants[0].body_start..];
+        let got = roundtrip(addr, &post(b"/aon/sv", body));
+        assert!(got.starts_with(b"HTTP/1.1 200"), "{}", String::from_utf8_lossy(&got));
+
+        // Drive sampling passes deterministically rather than waiting on
+        // the sampler thread's cadence (its passes interleave harmlessly).
+        let p = server.profiler().expect("profiler on by default");
+        for _ in 0..5 {
+            p.sample_once();
+        }
+        let got = roundtrip(addr, b"GET /profile.folded HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let text = String::from_utf8_lossy(&got);
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(text.contains("Content-Type: text/plain"), "{text}");
+        let folded_start = text.find("\r\n\r\n").expect("has body") + 4;
+        for line in text[folded_start..].lines() {
+            let (frames, count) = line.rsplit_once(' ').expect("folded grammar");
+            assert!(count.parse::<u64>().is_ok(), "{line}");
+            assert_eq!(frames.split(';').count(), 2, "{line}");
+        }
+        assert!(p.passes() >= 5);
+        // The pool went through accept-wait at least once per pass, so
+        // the aggregate state samples are visible in /metrics too.
+        let metrics = server.metrics_text().expect("observability on");
+        assert!(metrics.contains("aon_profiler_passes_total"), "{metrics}");
+        assert!(metrics.contains("aon_worker_state_samples_total{state=\"accept_wait\"}"));
+
+        let stats = server.shutdown();
+        assert_eq!(stats.requests_total(), 1, "profile reads never perturb request totals");
+        assert_eq!(stats.admin_requests, 1);
+    }
+
+    #[test]
+    fn stats_json_reports_worker_pool_shape() {
+        let server = tiny_server();
+        let addr = server.addr();
+        assert_eq!(server.worker_count(), 2);
+        let got = roundtrip(addr, b"GET /stats.json HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let text = String::from_utf8_lossy(&got);
+        assert!(text.contains("\"worker_pool\""), "{text}");
+        assert!(text.contains("\"workers\": 2"), "{text}");
+        assert!(text.contains("\"saturation_permille\":"), "{text}");
+        assert!(text.contains("\"busy_permille\": ["), "{text}");
+        server.shutdown();
+
+        // Profiler off: the pool size still surfaces (no more inferring
+        // worker count from configuration), just without live saturation.
+        let server = Server::start(ServeConfig {
+            workers: 3,
+            profiler: ProfilerConfig { enabled: false, ..ProfilerConfig::default() },
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let got =
+            roundtrip(server.addr(), b"GET /stats.json HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let text = String::from_utf8_lossy(&got);
+        assert!(text.contains("\"workers\": 3"), "{text}");
+        assert!(!text.contains("saturation_permille"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn exemplars_link_latency_buckets_to_kept_traces() {
+        use aon_obs::reqtrace::ParsedTrace;
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            // Sample everything: the request is provably kept, so its id
+            // must appear both as an exemplar and in /trace.jsonl.
+            trace: TraceConfig { sample_per_million: 1_000_000, ..TraceConfig::default() },
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = server.addr();
+        let corpus = aon_server::Corpus::generate(7, 2);
+        let body = &corpus.variants[0].http[corpus.variants[0].body_start..];
+        let got = roundtrip(addr, &post(b"/aon/sv", body));
+        assert!(got.starts_with(b"HTTP/1.1 200"), "{}", String::from_utf8_lossy(&got));
+
+        let metrics = server.metrics_text().expect("observability on");
+        let samples = aon_obs::scrape::parse_prometheus(&metrics);
+        let exemplar = samples
+            .iter()
+            .filter(|s| s.name == "aon_request_duration_ns_bucket")
+            .find_map(|s| s.exemplar.as_ref())
+            .expect("a service bucket carries an exemplar");
+        let id: u64 = exemplar.label("trace_id").expect("trace_id label").parse().expect("id");
+        assert!(exemplar.value > 0.0, "exemplar value is the observed service time");
+
+        let dump = server.trace_jsonl().expect("tracing on");
+        let traces = ParsedTrace::parse_jsonl(&dump).expect("valid trace JSONL");
+        assert!(
+            traces.iter().any(|t| t.id == id),
+            "exemplar trace id {id} must resolve in /trace.jsonl: {dump}"
         );
         server.shutdown();
     }

@@ -15,6 +15,7 @@
 //! cargo run --release --bin loadgen -- --use-case sv --connections 8
 //! cargo run --release --bin loadgen -- --scrape-metrics metrics.prom
 //! cargo run --release --bin loadgen -- --obs-overhead          # off-vs-on p50
+//! cargo run --release --bin loadgen -- --profile-overhead      # sampler off-vs-on p50
 //! cargo run --release --bin loadgen -- --overload              # goodput curve
 //! cargo run --release --bin loadgen -- --overload-smoke        # CI overload gate
 //! cargo run --release --bin loadgen -- --trace-smoke           # CI tracing gate
@@ -30,11 +31,12 @@
 //! `/trace.jsonl` (`dropped_keep == 0`), every tree is complete, and the
 //! trace reads never moved the request totals.
 
+use aon_obs::profiler::ProfilerConfig;
 use aon_obs::reqtrace::{ParsedTrace, TraceClass, TraceConfig};
 use aon_obs::scrape::{parse_prometheus, sum_samples};
 use aon_serve::governor::GovernorConfig;
 use aon_serve::loadgen::{run, run_overload, scrape, LoadgenConfig, OverloadConfig};
-use aon_serve::metrics::{LiveBenchReport, ObsOverhead, OverloadReport};
+use aon_serve::metrics::{LiveBenchReport, ObsOverhead, OverloadReport, ProfileOverhead};
 use aon_serve::server::{ServeConfig, Server};
 use aon_server::usecase::UseCase;
 use aon_server::ParseMode;
@@ -51,6 +53,7 @@ struct Args {
     observe: bool,
     scrape_path: Option<String>,
     obs_overhead: bool,
+    profile_overhead: bool,
     parse_mode: ParseMode,
     overload: bool,
     overload_smoke: bool,
@@ -88,7 +91,7 @@ fn main() {
     // counters off, before the measured (observed) run.
     let baseline_p50 = if args.obs_overhead {
         eprintln!("loadgen: baseline run (observability off)");
-        let outcome = drive(&args, false, None);
+        let outcome = drive(&args, false, false, None);
         if outcome.failed() {
             eprintln!("loadgen: FAILED during the observability-off baseline run");
             std::process::exit(1);
@@ -98,11 +101,32 @@ fn main() {
         None
     };
 
-    let mut outcome = drive(&args, args.observe, args.scrape_path.as_deref());
+    // Profiler A/B baseline: the full observability plane on, only the
+    // worker-state sampler off — isolates the sampler's own cost from
+    // everything `--obs-overhead` already measures.
+    let profile_baseline_p50 = if args.profile_overhead {
+        eprintln!("loadgen: baseline run (observability on, profiler off)");
+        let outcome = drive(&args, true, false, None);
+        if outcome.failed() {
+            eprintln!("loadgen: FAILED during the profiler-off baseline run");
+            std::process::exit(1);
+        }
+        Some(outcome.report.latency.p50_us)
+    } else {
+        None
+    };
+
+    let mut outcome = drive(&args, args.observe, true, args.scrape_path.as_deref());
     if let Some(p50_off) = baseline_p50 {
         outcome.report.obs_overhead = Some(ObsOverhead {
             p50_us_obs_off: p50_off,
             p50_us_obs_on: outcome.report.latency.p50_us,
+        });
+    }
+    if let Some(p50_off) = profile_baseline_p50 {
+        outcome.report.profile_overhead = Some(ProfileOverhead {
+            p50_us_profile_off: p50_off,
+            p50_us_profile_on: outcome.report.latency.p50_us,
         });
     }
 
@@ -139,6 +163,14 @@ fn main() {
             "loadgen: obs overhead p50 {:.0}us -> {:.0}us ({:+.2}%)",
             o.p50_us_obs_off,
             o.p50_us_obs_on,
+            o.delta_pct()
+        );
+    }
+    if let Some(o) = &report.profile_overhead {
+        eprintln!(
+            "loadgen: profiler overhead p50 {:.0}us -> {:.0}us ({:+.2}%)",
+            o.p50_us_profile_off,
+            o.p50_us_profile_on,
             o.delta_pct()
         );
     }
@@ -368,7 +400,7 @@ impl RunOutcome {
 
 /// Run the closed loop once: in-process server (unless `--addr`), load,
 /// optional live `/metrics` scrape + cross-check, stats fold-in.
-fn drive(args: &Args, observe: bool, scrape_path: Option<&str>) -> RunOutcome {
+fn drive(args: &Args, observe: bool, profiler: bool, scrape_path: Option<&str>) -> RunOutcome {
     let server = match &args.addr {
         Some(_) => None,
         None => Some(
@@ -381,6 +413,12 @@ fn drive(args: &Args, observe: bool, scrape_path: Option<&str>) -> RunOutcome {
                 // measures everything the observed server pays for.
                 hw_counters: observe && args.hw,
                 trace: TraceConfig { enabled: observe && args.trace, ..TraceConfig::default() },
+                // The profiler lives inside the obs registry, so it only
+                // runs when the plane as a whole is on.
+                profiler: ProfilerConfig {
+                    enabled: observe && profiler,
+                    ..ProfilerConfig::default()
+                },
                 ..ServeConfig::default()
             })
             .expect("bind loopback"),
@@ -488,6 +526,7 @@ fn parse_args() -> Args {
         observe: true,
         scrape_path: None,
         obs_overhead: false,
+        profile_overhead: false,
         parse_mode: ParseMode::Fast,
         overload: false,
         overload_smoke: false,
@@ -521,6 +560,7 @@ fn parse_args() -> Args {
             "--no-obs" => args.observe = false,
             "--scrape-metrics" => args.scrape_path = Some(value("--scrape-metrics")),
             "--obs-overhead" => args.obs_overhead = true,
+            "--profile-overhead" => args.profile_overhead = true,
             "--parse-mode" => {
                 let v = value("--parse-mode");
                 args.parse_mode = ParseMode::from_str_opt(&v)
@@ -551,7 +591,7 @@ fn parse_args() -> Args {
                 println!(
                     "usage: loadgen [--duration SECS] [--connections N] \
                      [--use-case fr|cbr|sv|dpi|crypto]... [--addr HOST:PORT] [--out FILE] \
-                     [--no-obs] [--scrape-metrics FILE] [--obs-overhead] \
+                     [--no-obs] [--scrape-metrics FILE] [--obs-overhead] [--profile-overhead] \
                      [--parse-mode fast|scalar] [--overload] [--overload-smoke] \
                      [--trace-smoke] [--no-trace] [--hw] \
                      [--no-governor] [--fr-only] [--p99-budget-ms N] [--queue-budget N]"
@@ -570,6 +610,14 @@ fn parse_args() -> Args {
         }
         if !args.observe {
             usage("--obs-overhead and --no-obs are mutually exclusive");
+        }
+    }
+    if args.profile_overhead {
+        if args.addr.is_some() {
+            usage("--profile-overhead needs an in-process server (drop --addr)");
+        }
+        if !args.observe {
+            usage("--profile-overhead and --no-obs are mutually exclusive");
         }
     }
     args

@@ -121,14 +121,37 @@ fn main() {
     );
     println!("  admin scrapes: {:.0}", sum_samples(&second, "aon_admin_requests_total", &[]));
 
+    let stats = scrape(addr, "/stats.json", timeout);
+
+    // Pool shape comes from the server's own /stats.json report — never
+    // inferred from configuration (satellite of the profiling plane:
+    // saturation and per-worker busy fractions ride along when the
+    // profiler is on).
+    println!();
+    println!("worker pool (/stats.json):");
+    match &stats {
+        Ok(s) => match object_field(s, "worker_pool", "workers") {
+            Some(w) => {
+                println!("  workers: {w:.0}");
+                if let Some(sat) = object_field(s, "worker_pool", "saturation_permille") {
+                    println!("  saturation: {:.1}%", sat / 10.0);
+                } else {
+                    println!("  saturation: unavailable (profiler off)");
+                }
+            }
+            None => println!("  unavailable (no worker_pool object)"),
+        },
+        Err(e) => println!("  unavailable: /stats.json scrape failed: {e:?}"),
+    }
+
     println!();
     println!("service latency, bucket-derived (cumulative, all use cases):");
-    match scrape(addr, "/stats.json", timeout) {
+    match &stats {
         Ok(stats) => {
-            let us = |key| json_field(&stats, key).map_or(0.0, |ns| ns / 1000.0);
+            let us = |key| json_field(stats, key).map_or(0.0, |ns| ns / 1000.0);
             println!(
                 "  count {:.0}, p50 {:.0}us, p99 {:.0}us, p999 {:.0}us",
-                json_field(&stats, "count").unwrap_or(0.0),
+                json_field(stats, "count").unwrap_or(0.0),
                 us("p50"),
                 us("p99"),
                 us("p999"),
@@ -176,7 +199,13 @@ fn main() {
 /// shape `"key": value` and `service_latency_ns` is the only object in
 /// the document containing these keys.
 fn json_field(stats: &str, key: &str) -> Option<f64> {
-    let obj = stats.split("\"service_latency_ns\"").nth(1)?;
+    object_field(stats, "service_latency_ns", key)
+}
+
+/// Same shape-based extraction for any named `/stats.json` sub-object
+/// (`"object": { "key": value, ... }`).
+fn object_field(stats: &str, object: &str, key: &str) -> Option<f64> {
+    let obj = stats.split(&format!("\"{object}\"")).nth(1)?;
     let after = obj.split(&format!("\"{key}\":")).nth(1)?;
     let digits: String =
         after.trim_start().chars().take_while(|c| c.is_ascii_digit() || *c == '.').collect();
